@@ -1,0 +1,51 @@
+// Ablation: the scheduler structure the paper inherits from Krevat [11] —
+// FCFS alone vs +backfilling vs +migration vs both — under the paper's
+// failure regime. Krevat's result (backfilling dominates, migration adds a
+// little on top) should reproduce.
+#include <iostream>
+
+#include "common/bench_common.hpp"
+
+int main() {
+  using namespace bgl;
+  using namespace bgl::bench;
+
+  const SyntheticModel model = bench_sdsc();
+  const std::size_t nominal = paper_failure_count(model);
+  std::cout << "Ablation: backfill/migration structure (SDSC, balancing a=0.1, c=1.0, "
+            << "nominal " << nominal << " failures)\n\n";
+
+  struct Variant {
+    const char* label;
+    BackfillMode backfill;
+    bool migration;
+  };
+  const Variant variants[] = {
+      {"fcfs", BackfillMode::kNone, false},
+      {"fcfs+easy-backfill", BackfillMode::kEasy, false},
+      {"fcfs+conservative-backfill", BackfillMode::kConservative, false},
+      {"fcfs+migration", BackfillMode::kNone, true},
+      {"fcfs+easy-backfill+migration", BackfillMode::kEasy, true},
+  };
+
+  Table table({"variant", "slowdown", "response_h", "utilized", "kills",
+               "migrations"});
+  for (const Variant& v : variants) {
+    SimConfig proto;
+    proto.sched.backfill = v.backfill;
+    proto.sched.migration = v.migration;
+    const RunSummary r =
+        run_point(model, 1.0, nominal, SchedulerKind::kBalancing, 0.1, &proto);
+    table.add_row()
+        .add(std::string(v.label))
+        .add(r.slowdown, 1)
+        .add(r.response / 3600.0, 2)
+        .add(r.utilization, 3)
+        .add(r.kills, 1)
+        .add(r.migrations, 1);
+    std::cout << "." << std::flush;
+  }
+  std::cout << "\n\n" << table.render();
+  write_csv(table, "ablation_backfill_migration");
+  return 0;
+}

@@ -1,0 +1,48 @@
+// Extension bench (paper §8 future work): periodic checkpointing combined
+// with prediction. Sweeps checkpoint interval against prediction confidence
+// and reports how the two mechanisms interact: checkpointing bounds the
+// work lost per kill, prediction avoids kills altogether, and their
+// combination should dominate either alone until checkpoint overhead eats
+// the gains.
+#include <iostream>
+
+#include "common/bench_common.hpp"
+
+int main() {
+  using namespace bgl;
+  using namespace bgl::bench;
+
+  const SyntheticModel model = bench_sdsc();
+  const std::size_t nominal = paper_failure_count(model);
+  std::cout << "Extension: checkpointing x prediction (SDSC, balancing, c=1.0, "
+            << "nominal " << nominal << " failures)\n"
+            << "checkpoint overhead 60 s, restart overhead 30 s\n\n";
+
+  Table table({"ckpt_interval", "confidence", "slowdown", "lost", "kills",
+               "work_lost_node_h"});
+  for (const double interval_hours : {0.0, 1.0, 4.0}) {
+    for (const double a : {0.0, 0.1, 0.9}) {
+      SimConfig proto;
+      if (interval_hours > 0.0) {
+        proto.ckpt.enabled = true;
+        proto.ckpt.interval = interval_hours * 3600.0;
+        proto.ckpt.overhead = 60.0;
+        proto.ckpt.restart_overhead = 30.0;
+      }
+      const RunSummary r =
+          run_point(model, 1.0, nominal, SchedulerKind::kBalancing, a, &proto);
+      table.add_row()
+          .add(interval_hours == 0.0 ? std::string("off")
+                                     : format_double(interval_hours, 0) + "h")
+          .add(a, 1)
+          .add(r.slowdown, 1)
+          .add(r.lost, 3)
+          .add(r.kills, 1)
+          .add(r.work_lost_node_hours, 1);
+      std::cout << "." << std::flush;
+    }
+  }
+  std::cout << "\n\n" << table.render();
+  write_csv(table, "ablation_checkpoint");
+  return 0;
+}

@@ -1,0 +1,41 @@
+// Ablation: torus wrap-around vs mesh partitions.
+//
+// The paper models partitions as wrap-around rectangles; Krevat et al. also
+// evaluated the non-wrapping (mesh) variant. Wrap-around multiplies the
+// candidate placements per shape and reduces fragmentation, so the mesh
+// machine should show higher slowdown at equal load — this bench measures
+// by how much, with and without fault prediction.
+#include <iostream>
+
+#include "common/bench_common.hpp"
+
+int main() {
+  using namespace bgl;
+  using namespace bgl::bench;
+
+  const SyntheticModel model = bench_sdsc();
+  const std::size_t nominal = paper_failure_count(model);
+  std::cout << "Ablation: torus vs mesh partitions (SDSC, c=1.0, nominal " << nominal
+            << " failures)\n\n";
+
+  Table table({"topology", "alpha", "slowdown", "wait_h", "utilized", "kills"});
+  for (const Topology topology : {Topology::kTorus, Topology::kMesh}) {
+    for (const double a : {0.0, 0.1}) {
+      SimConfig proto;
+      proto.topology = topology;
+      const RunSummary r =
+          run_point(model, 1.0, nominal, SchedulerKind::kBalancing, a, &proto);
+      table.add_row()
+          .add(std::string(to_string(topology)))
+          .add(a, 1)
+          .add(r.slowdown, 1)
+          .add(r.wait / 3600.0, 1)
+          .add(r.utilization, 3)
+          .add(r.kills, 1);
+      std::cout << "." << std::flush;
+    }
+  }
+  std::cout << "\n\n" << table.render();
+  write_csv(table, "ablation_topology");
+  return 0;
+}

@@ -1,0 +1,37 @@
+// Figure 4: average bounded slowdown vs. failure rate for the SDSC log,
+// balancing scheduler (a = 0.1), at loads c = 1.0 and c = 1.2.
+//
+// Expected shape: both curves rise then flatten; the c = 1.2 curve sits
+// well above c = 1.0 everywhere (the 20 % load increase amplifies the
+// queueing impact of every kill).
+#include <algorithm>
+#include <iostream>
+
+#include "common/bench_common.hpp"
+
+int main() {
+  using namespace bgl;
+  using namespace bgl::bench;
+
+  const SyntheticModel model = bench_sdsc();
+  const double alpha = 0.1;
+  std::cout << "Figure 4: avg bounded slowdown vs failure rate (SDSC, balancing, a="
+            << format_double(alpha, 1) << ")\n"
+            << "seeds/point: " << std::max(bench_seeds(), 5) << ", jobs/run: " << model.num_jobs
+            << "\n\n";
+
+  Table table({"failure_rate", "c=1.0", "c=1.2", "ratio"});
+  for (std::size_t rate = 0; rate <= 4000; rate += 500) {
+    const RunSummary c10 = run_point(model, 1.0, rate, SchedulerKind::kBalancing, alpha, nullptr, 5);
+    const RunSummary c12 = run_point(model, 1.2, rate, SchedulerKind::kBalancing, alpha, nullptr, 5);
+    table.add_row()
+        .add(static_cast<long long>(rate))
+        .add(c10.slowdown, 1)
+        .add(c12.slowdown, 1)
+        .add(c10.slowdown > 0.0 ? c12.slowdown / c10.slowdown : 0.0, 2);
+    std::cout << "." << std::flush;
+  }
+  std::cout << "\n\n" << table.render();
+  write_csv(table, "fig4_slowdown_vs_failures_load");
+  return 0;
+}

@@ -1,0 +1,58 @@
+// Figure 6: average bounded slowdown vs. prediction confidence for the
+// (a) SDSC, (b) NASA, (c) LLNL logs under the balancing scheduler, at
+// loads c = 1.0 and c = 1.2 and the paper's failure budgets (4000 / 4000 /
+// 1000 nominal events).
+//
+// Expected shape: most of the improvement appears within the first step
+// (a = 0.1); beyond it the curves are non-monotonic ("little correlation
+// between the value of the confidence and the overall performance") because
+// E_loss trades MFP against stability. Gains are larger at c = 1.2.
+#include <algorithm>
+#include <iostream>
+
+#include "common/bench_common.hpp"
+
+int main() {
+  using namespace bgl;
+  using namespace bgl::bench;
+
+  struct LogCase {
+    const char* label;
+    SyntheticModel model;
+  };
+  const LogCase cases[] = {
+      {"SDSC", bench_sdsc()}, {"NASA", bench_nasa()}, {"LLNL", bench_llnl()}};
+
+  std::cout << "Figure 6: avg bounded slowdown vs confidence (balancing)\n"
+            << "seeds/point: " << std::max(bench_seeds(), 5) << "\n\n";
+
+  for (const LogCase& lc : cases) {
+    const std::size_t nominal = paper_failure_count(lc.model);
+    Table table({"confidence", "c=1.0", "impr_%", "c=1.2", "impr_%"});
+    double base10 = -1.0;
+    double base12 = -1.0;
+    for (int step = 0; step <= 10; ++step) {
+      const double a = 0.1 * step;
+      const RunSummary r10 =
+          run_point(lc.model, 1.0, nominal, SchedulerKind::kBalancing, a, nullptr, 5);
+      const RunSummary r12 =
+          run_point(lc.model, 1.2, nominal, SchedulerKind::kBalancing, a, nullptr, 5);
+      if (step == 0) {
+        base10 = r10.slowdown;
+        base12 = r12.slowdown;
+      }
+      table.add_row()
+          .add(a, 1)
+          .add(r10.slowdown, 1)
+          .add(improvement_pct(base10, r10.slowdown), 1)
+          .add(r12.slowdown, 1)
+          .add(improvement_pct(base12, r12.slowdown), 1);
+      std::cout << "." << std::flush;
+    }
+    std::cout << "\n\nPanel " << lc.label << " (nominal failures " << nominal
+              << "):\n"
+              << table.render();
+    write_csv(table, std::string("fig6_slowdown_vs_confidence_") + lc.label);
+  }
+  return 0;
+}

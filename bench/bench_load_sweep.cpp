@@ -1,0 +1,39 @@
+// §6.2 load sweep: the paper varied the load-scale coefficient c from 0.5
+// to 1.5 in steps of 0.1 and presented c = 1.0 / 1.2 because "significant
+// changes in system performance [appear] when we increased the standard
+// load by 20%". This bench regenerates the whole sweep for the SDSC log so
+// that the knee is visible, with and without prediction.
+#include <iostream>
+
+#include "common/bench_common.hpp"
+
+int main() {
+  using namespace bgl;
+  using namespace bgl::bench;
+
+  const SyntheticModel model = bench_sdsc();
+  const std::size_t nominal = paper_failure_count(model);
+  std::cout << "Load sweep: avg bounded slowdown and utilization vs c (SDSC, "
+            << "nominal " << nominal << " failures)\n"
+            << "seeds/point: " << bench_seeds() << ", jobs/run: " << model.num_jobs
+            << "\n\n";
+
+  Table table({"c", "slowdown_a0.0", "slowdown_a0.1", "impr_%", "util_a0.0",
+               "util_a0.1"});
+  for (int step = 5; step <= 15; ++step) {
+    const double c = 0.1 * step;
+    const RunSummary none = run_point(model, c, nominal, SchedulerKind::kBalancing, 0.0);
+    const RunSummary low = run_point(model, c, nominal, SchedulerKind::kBalancing, 0.1);
+    table.add_row()
+        .add(c, 1)
+        .add(none.slowdown, 1)
+        .add(low.slowdown, 1)
+        .add(improvement_pct(none.slowdown, low.slowdown), 1)
+        .add(none.utilization, 3)
+        .add(low.utilization, 3);
+    std::cout << "." << std::flush;
+  }
+  std::cout << "\n\n" << table.render();
+  write_csv(table, "load_sweep");
+  return 0;
+}

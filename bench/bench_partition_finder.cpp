@@ -1,0 +1,111 @@
+// Appendix 9: asymptotic comparison of the free-partition finder algorithms.
+//
+//   naive    — enumerate all boxes of all sizes then filter: O(M^9) empty-torus
+//   pop      — Krevat's Projection of Partitions: O(M^5) family
+//   divisor  — the paper's divisor-shape finder with base skipping
+//   catalog  — this library's production path (precomputed masks; the build
+//              cost is amortised across a whole simulation, queries are
+//              word-ops)
+//
+// Run on empty and half-occupied M x M x M tori for growing M; the paper's
+// claim is the divisor finder's "significant performance improvement over
+// the naive algorithm and POP-based partition finder".
+#include <benchmark/benchmark.h>
+
+#include "torus/catalog.hpp"
+#include "torus/finders.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace bgl;
+
+NodeSet occupancy(const Dims& dims, double density, std::uint64_t seed) {
+  Rng rng(seed);
+  NodeSet occ(dims.volume());
+  for (int i = 0; i < dims.volume(); ++i) {
+    if (rng.bernoulli(density)) occ.set(i);
+  }
+  return occ;
+}
+
+/// Partition size swept: half a z-column's worth scales with the torus.
+int probe_size(int m) { return m * m / 2 > 0 ? (m * m / 2) * 2 / 2 : 1; }
+
+void BM_FinderNaive(benchmark::State& state) {
+  const int m = static_cast<int>(state.range(0));
+  const double density = static_cast<double>(state.range(1)) / 100.0;
+  const Dims dims = Dims::cube(m);
+  const NodeSet occ = occupancy(dims, density, 42);
+  const int s = probe_size(m);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(find_free_naive(dims, occ, s));
+  }
+}
+
+void BM_FinderPop(benchmark::State& state) {
+  const int m = static_cast<int>(state.range(0));
+  const double density = static_cast<double>(state.range(1)) / 100.0;
+  const Dims dims = Dims::cube(m);
+  const NodeSet occ = occupancy(dims, density, 42);
+  const int s = probe_size(m);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(find_free_pop(dims, occ, s));
+  }
+}
+
+void BM_FinderDivisor(benchmark::State& state) {
+  const int m = static_cast<int>(state.range(0));
+  const double density = static_cast<double>(state.range(1)) / 100.0;
+  const Dims dims = Dims::cube(m);
+  const NodeSet occ = occupancy(dims, density, 42);
+  const int s = probe_size(m);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(find_free_divisor(dims, occ, s));
+  }
+}
+
+void BM_CatalogQuery(benchmark::State& state) {
+  const int m = static_cast<int>(state.range(0));
+  const double density = static_cast<double>(state.range(1)) / 100.0;
+  const Dims dims = Dims::cube(m);
+  const PartitionCatalog catalog(dims);
+  const NodeSet occ = occupancy(dims, density, 42);
+  const int s = probe_size(m);
+  std::vector<int> out;
+  for (auto _ : state) {
+    out.clear();
+    catalog.free_entries_of_size(occ, s, out);
+    benchmark::DoNotOptimize(out);
+  }
+}
+
+void BM_CatalogBuild(benchmark::State& state) {
+  const int m = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    PartitionCatalog catalog(Dims::cube(m));
+    benchmark::DoNotOptimize(catalog.num_entries());
+  }
+}
+
+void BM_CatalogMfp(benchmark::State& state) {
+  const PartitionCatalog catalog(Dims::bluegene_l());
+  const NodeSet occ = occupancy(Dims::bluegene_l(),
+                                static_cast<double>(state.range(0)) / 100.0, 7);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(catalog.mfp(occ));
+  }
+}
+
+}  // namespace
+
+// Empty (density 0) and fragmented (density 50) tori, growing M. The naive
+// finder is capped at M=8; it is O(M^9) and exists only as the strawman.
+BENCHMARK(BM_FinderNaive)->Args({4, 0})->Args({4, 50})->Args({6, 0})->Args({6, 50})->Args({8, 0})->Args({8, 50})->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_FinderPop)->Args({4, 0})->Args({4, 50})->Args({6, 0})->Args({6, 50})->Args({8, 0})->Args({8, 50})->Args({12, 0})->Args({12, 50})->Args({16, 0})->Args({16, 50})->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_FinderDivisor)->Args({4, 0})->Args({4, 50})->Args({6, 0})->Args({6, 50})->Args({8, 0})->Args({8, 50})->Args({12, 0})->Args({12, 50})->Args({16, 0})->Args({16, 50})->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_CatalogQuery)->Args({4, 0})->Args({4, 50})->Args({6, 0})->Args({6, 50})->Args({8, 0})->Args({8, 50})->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_CatalogBuild)->Arg(4)->Arg(6)->Arg(8)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_CatalogMfp)->Arg(0)->Arg(30)->Arg(60)->Arg(90)->Unit(benchmark::kMicrosecond);
+
+BENCHMARK_MAIN();

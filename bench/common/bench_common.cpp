@@ -1,0 +1,115 @@
+#include "common/bench_common.hpp"
+
+#include <cstdlib>
+#include <filesystem>
+#include <iostream>
+
+#include "failure/generator.hpp"
+#include "util/rng.hpp"
+#include "util/strings.hpp"
+
+namespace bgl::bench {
+
+int bench_seeds() {
+  if (const char* env = std::getenv("BGL_BENCH_SEEDS")) {
+    if (const auto v = parse_int(env); v && *v >= 1) return static_cast<int>(*v);
+  }
+  return 3;
+}
+
+namespace {
+SyntheticModel sized(SyntheticModel model, int default_jobs) {
+  model.num_jobs = default_jobs;
+  apply_job_scale_env(model);
+  return model;
+}
+
+const PartitionCatalog& shared_catalog() {
+  static PartitionCatalog catalog(Dims::bluegene_l());
+  return catalog;
+}
+}  // namespace
+
+SyntheticModel bench_nasa() { return sized(SyntheticModel::nasa(), 1100); }
+SyntheticModel bench_sdsc() { return sized(SyntheticModel::sdsc(), 1200); }
+SyntheticModel bench_llnl() { return sized(SyntheticModel::llnl(), 1000); }
+
+RunSummary run_point(const SyntheticModel& model, double load_scale,
+                     std::size_t nominal_failures, SchedulerKind kind, double alpha,
+                     const SimConfig* proto, int min_seeds) {
+  RunSummary summary;
+  summary.seeds = std::max(bench_seeds(), min_seeds);
+  for (int s = 0; s < summary.seeds; ++s) {
+    const std::uint64_t workload_seed = 1000 + 17 * static_cast<std::uint64_t>(s);
+    const std::uint64_t trace_seed = 500 + 29 * static_cast<std::uint64_t>(s);
+
+    Workload w = generate_workload(model, workload_seed);
+    w = rescale_sizes(w, 128);
+    const double span = w.arrival_span();
+    if (load_scale != 1.0) w = scale_load(w, load_scale);
+
+    double max_runtime = 0.0;
+    for (const Job& j : w.jobs) max_runtime = std::max(max_runtime, j.runtime);
+    const double trace_span = span * 1.05 + 2.0 * max_runtime;
+    const std::size_t events = span_scaled_events(nominal_failures, trace_span, model);
+
+    FailureModel fm = FailureModel::bluegene_l(events, trace_span);
+    const FailureTrace trace = generate_failures(fm, trace_seed);
+
+    SimConfig config;
+    if (proto) config = *proto;
+    config.dims = Dims::bluegene_l();
+    config.scheduler = kind;
+    config.alpha = alpha;
+    config.seed = trace_seed ^ 0x7365656473ULL;
+
+    // The shared catalog is the default torus one; mesh-topology protos
+    // build their own.
+    const PartitionCatalog* catalog =
+        config.topology == Topology::kTorus ? &shared_catalog() : nullptr;
+    const SimResult r = run_simulation(w, trace, config, catalog);
+    summary.slowdown += r.avg_bounded_slowdown;
+    summary.response += r.avg_response;
+    summary.wait += r.avg_wait;
+    summary.utilization += r.utilization;
+    summary.unused += r.unused;
+    summary.lost += r.lost;
+    summary.kills += static_cast<double>(r.job_kills);
+    summary.migrations += static_cast<double>(r.migrations);
+    summary.injected_events += static_cast<double>(events);
+    summary.work_lost_node_hours += r.work_lost_node_seconds / 3600.0;
+  }
+  const double n = static_cast<double>(summary.seeds);
+  summary.slowdown /= n;
+  summary.response /= n;
+  summary.wait /= n;
+  summary.utilization /= n;
+  summary.unused /= n;
+  summary.lost /= n;
+  summary.kills /= n;
+  summary.migrations /= n;
+  summary.injected_events /= n;
+  summary.work_lost_node_hours /= n;
+  return summary;
+}
+
+void write_csv(const Table& table, const std::string& name) {
+  const char* env = std::getenv("BGL_BENCH_OUT");
+  const std::string dir = env ? env : "bench_out";
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  const std::string path = dir + "/" + name + ".csv";
+  try {
+    table.write_csv(path);
+    std::cout << "[csv] " << path << "\n";
+  } catch (const std::exception& e) {
+    std::cout << "[csv] skipped (" << e.what() << ")\n";
+  }
+}
+
+double improvement_pct(double baseline, double value) {
+  if (baseline == 0.0) return 0.0;
+  return 100.0 * (baseline - value) / baseline;
+}
+
+}  // namespace bgl::bench

@@ -1,0 +1,173 @@
+// replay_gantt: visualise a simulation as an ASCII machine-utilisation
+// timeline built from the structured replay log.
+//
+// Renders two views of a small SDSC-like run under the balancing scheduler:
+//   1. a utilisation strip — one column per time bucket, bar height = busy
+//      nodes, with failure events marked on top;
+//   2. a per-z-plane occupancy map at a chosen instant, showing how the
+//      torus is carved into rectangular partitions.
+//
+// Usage: replay_gantt [jobs] [failures_per_day] [seed]
+#include <algorithm>
+#include <iostream>
+#include <map>
+#include <vector>
+
+#include "failure/generator.hpp"
+#include "sim/driver.hpp"
+#include "sim/replay.hpp"
+#include "util/strings.hpp"
+#include "workload/synthetic.hpp"
+
+namespace {
+
+using namespace bgl;
+
+/// Busy-node count over time reconstructed from the replay log.
+struct TimelinePoint {
+  double time;
+  int busy;
+  bool failure;
+};
+
+std::vector<TimelinePoint> reconstruct(const std::vector<ReplayEvent>& replay,
+                                       const PartitionCatalog& catalog) {
+  std::vector<TimelinePoint> points;
+  std::map<std::uint64_t, int> running;  // job -> entry
+  int busy = 0;
+  for (const ReplayEvent& e : replay) {
+    bool failure = false;
+    switch (e.type) {
+      case ReplayEventType::kStart:
+        running[e.job_id] = e.entry_index;
+        busy += catalog.entry(e.entry_index).size;
+        break;
+      case ReplayEventType::kFinish:
+      case ReplayEventType::kKill:
+        busy -= catalog.entry(running[e.job_id]).size;
+        running.erase(e.job_id);
+        break;
+      case ReplayEventType::kNodeFailure:
+        failure = true;
+        break;
+      default:
+        break;
+    }
+    points.push_back(TimelinePoint{e.time, busy, failure});
+  }
+  return points;
+}
+
+void render_strip(const std::vector<TimelinePoint>& points, int columns, int rows) {
+  if (points.empty()) return;
+  const double t0 = points.front().time;
+  const double t1 = points.back().time;
+  const double bucket = (t1 - t0) / columns;
+  std::vector<int> level(static_cast<std::size_t>(columns), 0);
+  std::vector<bool> failed(static_cast<std::size_t>(columns), false);
+  std::size_t p = 0;
+  int busy = 0;
+  for (int c = 0; c < columns; ++c) {
+    const double end = t0 + bucket * (c + 1);
+    int peak = busy;
+    while (p < points.size() && points[p].time <= end) {
+      busy = points[p].busy;
+      peak = std::max(peak, busy);
+      failed[static_cast<std::size_t>(c)] =
+          failed[static_cast<std::size_t>(c)] || points[p].failure;
+      ++p;
+    }
+    level[static_cast<std::size_t>(c)] = peak;
+  }
+  std::cout << "busy nodes (peak per bucket; 'x' = failure events in bucket)\n";
+  for (int r = rows; r >= 1; --r) {
+    const int threshold = 128 * r / rows;
+    std::cout << (r == rows ? "128|" : (r == 1 ? "  0|" : "   |"));
+    for (int c = 0; c < columns; ++c) {
+      const bool on = level[static_cast<std::size_t>(c)] >= threshold;
+      if (r == rows && failed[static_cast<std::size_t>(c)]) {
+        std::cout << 'x';
+      } else {
+        std::cout << (on ? '#' : ' ');
+      }
+    }
+    std::cout << '\n';
+  }
+  std::cout << "   +" << std::string(static_cast<std::size_t>(columns), '-') << '\n';
+  std::cout << "    0" << std::string(static_cast<std::size_t>(columns) - 10, ' ')
+            << format_duration(t1 - t0) << '\n';
+}
+
+void render_occupancy_at(const std::vector<ReplayEvent>& replay,
+                         const PartitionCatalog& catalog, double at) {
+  std::map<std::uint64_t, int> running;
+  for (const ReplayEvent& e : replay) {
+    if (e.time > at) break;
+    switch (e.type) {
+      case ReplayEventType::kStart: running[e.job_id] = e.entry_index; break;
+      case ReplayEventType::kFinish:
+      case ReplayEventType::kKill: running.erase(e.job_id); break;
+      default: break;
+    }
+  }
+  // Letter per job, '.' for free.
+  std::vector<char> cell(static_cast<std::size_t>(catalog.num_nodes()), '.');
+  char letter = 'A';
+  for (const auto& [job, entry] : running) {
+    for (const int id : catalog.entry(entry).mask.to_ids()) {
+      cell[static_cast<std::size_t>(id)] = letter;
+    }
+    letter = letter == 'Z' ? 'a' : static_cast<char>(letter + 1);
+  }
+  const Dims dims = catalog.dims();
+  std::cout << "\ntorus occupancy at t = " << format_duration(at) << " ("
+            << running.size() << " jobs running):\n";
+  for (int z = 0; z < dims.z; ++z) {
+    std::cout << "z=" << z << "  ";
+    for (int y = dims.y - 1; y >= 0; --y) {
+      for (int x = 0; x < dims.x; ++x) {
+        std::cout << cell[static_cast<std::size_t>(node_id(dims, Coord{x, y, z}))];
+      }
+      std::cout << ' ';
+    }
+    std::cout << '\n';
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace bgl;
+  int jobs = 400;
+  double failures_per_day = 6.0;
+  std::uint64_t seed = 11;
+  if (argc > 1) jobs = static_cast<int>(parse_int(argv[1]).value_or(jobs));
+  if (argc > 2) failures_per_day = parse_double(argv[2]).value_or(failures_per_day);
+  if (argc > 3) seed = static_cast<std::uint64_t>(parse_int(argv[3]).value_or(11));
+
+  SyntheticModel model = SyntheticModel::sdsc();
+  model.num_jobs = jobs;
+  Workload w = generate_workload(model, seed);
+  w = rescale_sizes(w, 128);
+  const double span = w.arrival_span() * 1.05 + 2.0 * 36.0 * 3600.0;
+  const FailureTrace trace = generate_failures(
+      FailureModel::bluegene_l(
+          static_cast<std::size_t>(failures_per_day * span / 86400.0), span),
+      seed ^ 0x9e37);
+
+  SimConfig config;
+  config.scheduler = SchedulerKind::kBalancing;
+  config.alpha = 0.1;
+  config.record_replay = true;
+
+  const PartitionCatalog catalog(Dims::bluegene_l());
+  const SimResult r = run_simulation(w, trace, config, &catalog);
+
+  std::cout << "jobs " << r.jobs_completed << ", kills " << r.job_kills
+            << ", utilization " << format_double(r.utilization, 3) << ", slowdown "
+            << format_double(r.avg_bounded_slowdown, 1) << "\n\n";
+  const auto points = reconstruct(r.replay, catalog);
+  render_strip(points, 100, 12);
+  render_occupancy_at(r.replay, catalog, r.span / 2.0);
+  return 0;
+}

@@ -1,0 +1,195 @@
+// simulate_cli: run one simulation from the command line.
+//
+// The workload comes from a real SWF file or a synthetic model; the failure
+// trace from a CSV or the bursty generator. Prints the full §3.4 metric set.
+//
+// Usage:
+//   simulate_cli [options]
+//     --workload <nasa|sdsc|llnl|path.swf>   (default sdsc)
+//     --jobs N            synthetic job count (default 2000)
+//     --load C            load-scale coefficient c (default 1.0)
+//     --failures N        failure events to inject (default: paper density)
+//     --failure-csv PATH  use a recorded failure trace instead
+//     --scheduler <krevat|balancing|tiebreak> (default balancing)
+//     --alpha A           confidence/accuracy in [0,1] (default 0.1)
+//     --no-backfill --conservative-backfill --no-migration
+//     --ckpt-interval S   enable checkpointing with this interval (seconds)
+//     --downtime S        nodes stay down S seconds after failing
+//     --seed N            master seed (default 42)
+#include <iostream>
+#include <optional>
+#include <string>
+
+#include "failure/generator.hpp"
+#include "sim/driver.hpp"
+#include "sim/experiment.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+#include "workload/analysis.hpp"
+#include "workload/swf.hpp"
+#include "workload/synthetic.hpp"
+
+namespace {
+
+using namespace bgl;
+
+struct Options {
+  std::string workload = "sdsc";
+  int jobs = 2000;
+  double load = 1.0;
+  std::optional<std::size_t> failures;
+  std::optional<std::string> failure_csv;
+  std::string scheduler = "balancing";
+  double alpha = 0.1;
+  BackfillMode backfill = BackfillMode::kEasy;
+  bool migration = true;
+  double ckpt_interval = 0.0;
+  double downtime = 0.0;
+  std::uint64_t seed = 42;
+};
+
+int usage() {
+  std::cerr << "see the header comment of examples/simulate_cli.cpp for usage\n";
+  return 2;
+}
+
+std::optional<Options> parse(int argc, char** argv) {
+  Options o;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> std::optional<std::string> {
+      if (i + 1 >= argc) return std::nullopt;
+      return std::string(argv[++i]);
+    };
+    if (arg == "--workload") {
+      if (auto v = next()) o.workload = *v; else return std::nullopt;
+    } else if (arg == "--jobs") {
+      if (auto v = next()) o.jobs = static_cast<int>(parse_int(*v).value_or(0));
+      else return std::nullopt;
+    } else if (arg == "--load") {
+      if (auto v = next()) o.load = parse_double(*v).value_or(1.0);
+      else return std::nullopt;
+    } else if (arg == "--failures") {
+      if (auto v = next()) o.failures = static_cast<std::size_t>(parse_int(*v).value_or(0));
+      else return std::nullopt;
+    } else if (arg == "--failure-csv") {
+      if (auto v = next()) o.failure_csv = *v; else return std::nullopt;
+    } else if (arg == "--scheduler") {
+      if (auto v = next()) o.scheduler = *v; else return std::nullopt;
+    } else if (arg == "--alpha") {
+      if (auto v = next()) o.alpha = parse_double(*v).value_or(0.0);
+      else return std::nullopt;
+    } else if (arg == "--no-backfill") {
+      o.backfill = BackfillMode::kNone;
+    } else if (arg == "--conservative-backfill") {
+      o.backfill = BackfillMode::kConservative;
+    } else if (arg == "--no-migration") {
+      o.migration = false;
+    } else if (arg == "--ckpt-interval") {
+      if (auto v = next()) o.ckpt_interval = parse_double(*v).value_or(0.0);
+      else return std::nullopt;
+    } else if (arg == "--downtime") {
+      if (auto v = next()) o.downtime = parse_double(*v).value_or(0.0);
+      else return std::nullopt;
+    } else if (arg == "--seed") {
+      if (auto v = next()) o.seed = static_cast<std::uint64_t>(parse_int(*v).value_or(42));
+      else return std::nullopt;
+    } else {
+      std::cerr << "unknown option: " << arg << '\n';
+      return std::nullopt;
+    }
+  }
+  return o;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto options = parse(argc, argv);
+  if (!options) return usage();
+  const Options& o = *options;
+
+  try {
+    // --- workload ---
+    Workload workload;
+    SyntheticModel model = SyntheticModel::sdsc();
+    if (o.workload == "nasa" || o.workload == "sdsc" || o.workload == "llnl") {
+      model = o.workload == "nasa"   ? SyntheticModel::nasa()
+              : o.workload == "llnl" ? SyntheticModel::llnl()
+                                     : SyntheticModel::sdsc();
+      model.num_jobs = o.jobs;
+      workload = generate_workload(model, o.seed);
+    } else {
+      workload = read_swf_file(o.workload);
+    }
+    workload = rescale_sizes(workload, Dims::bluegene_l().volume());
+    if (o.load != 1.0) workload = scale_load(workload, o.load);
+    std::cout << describe(workload) << '\n';
+
+    // --- failures ---
+    double max_runtime = 0.0;
+    for (const Job& j : workload.jobs) max_runtime = std::max(max_runtime, j.runtime);
+    const double span = workload.arrival_span() * 1.05 + 2.0 * max_runtime;
+    FailureTrace trace;
+    if (o.failure_csv) {
+      trace = read_failure_csv(*o.failure_csv, 128);
+    } else {
+      const std::size_t events =
+          o.failures ? *o.failures
+                     : span_scaled_events(paper_failure_count(model), span, model);
+      trace = generate_failures(FailureModel::bluegene_l(events, span), o.seed ^ 0xfa17);
+    }
+    std::cout << "failures: " << trace.size() << " events ("
+              << format_double(trace.mean_rate_per_day(), 2) << "/day)\n\n";
+
+    // --- simulation ---
+    SimConfig config;
+    if (o.scheduler == "krevat") config.scheduler = SchedulerKind::kKrevat;
+    else if (o.scheduler == "balancing") config.scheduler = SchedulerKind::kBalancing;
+    else if (o.scheduler == "tiebreak") config.scheduler = SchedulerKind::kTieBreak;
+    else {
+      std::cerr << "unknown scheduler: " << o.scheduler << '\n';
+      return usage();
+    }
+    config.alpha = o.alpha;
+    config.sched.backfill = o.backfill;
+    config.sched.migration = o.migration;
+    config.seed = o.seed;
+    if (o.ckpt_interval > 0.0) {
+      config.ckpt.enabled = true;
+      config.ckpt.interval = o.ckpt_interval;
+    }
+    if (o.downtime > 0.0) {
+      config.failure_semantics = FailureSemantics::kDownFor;
+      config.node_downtime = o.downtime;
+    }
+
+    const SimResult r = run_simulation(workload, trace, config);
+
+    Table table({"metric", "value"});
+    table.add_row().add("scheduler").add(std::string(to_string(config.scheduler)));
+    table.add_row().add("alpha").add(o.alpha, 2);
+    table.add_row().add("jobs completed").add(static_cast<long long>(r.jobs_completed));
+    table.add_row().add("makespan").add(format_duration(r.span));
+    table.add_row().add("avg wait").add(format_duration(r.avg_wait));
+    table.add_row().add("avg response").add(format_duration(r.avg_response));
+    table.add_row().add("avg bounded slowdown").add(r.avg_bounded_slowdown, 2);
+    table.add_row().add("utilization").add(r.utilization, 3);
+    table.add_row().add("unused capacity").add(r.unused, 3);
+    table.add_row().add("lost capacity").add(r.lost, 3);
+    table.add_row().add("failures during run").add(static_cast<long long>(r.failures_total));
+    table.add_row().add("job kills").add(static_cast<long long>(r.job_kills));
+    table.add_row().add("migrations").add(static_cast<long long>(r.migrations));
+    table.add_row().add("work destroyed (node-h)")
+        .add(r.work_lost_node_seconds / 3600.0, 1);
+    if (config.ckpt.enabled) {
+      table.add_row().add("checkpoints taken")
+          .add(static_cast<long long>(r.checkpoints_taken));
+    }
+    std::cout << table.render();
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << '\n';
+    return 1;
+  }
+  return 0;
+}

@@ -1,0 +1,121 @@
+// Trace tools: generate, inspect and convert the simulator's two input
+// artifacts — SWF job logs and failure-trace CSVs — so users can prepare
+// their own inputs (including real Parallel Workloads Archive logs).
+//
+// Usage:
+//   trace_tools gen-swf <nasa|sdsc|llnl> <jobs> <seed> <out.swf>
+//   trace_tools gen-failures <events> <days> <seed> <out.csv>
+//   trace_tools describe-swf <file.swf>
+//   trace_tools describe-failures <file.csv> [nodes]
+#include <algorithm>
+#include <iostream>
+#include <string>
+
+#include "failure/generator.hpp"
+#include "util/stats.hpp"
+#include "util/strings.hpp"
+#include "workload/analysis.hpp"
+#include "workload/swf.hpp"
+#include "workload/synthetic.hpp"
+
+namespace {
+
+using namespace bgl;
+
+int usage() {
+  std::cerr << "usage:\n"
+            << "  trace_tools gen-swf <nasa|sdsc|llnl> <jobs> <seed> <out.swf>\n"
+            << "  trace_tools gen-failures <events> <days> <seed> <out.csv>\n"
+            << "  trace_tools describe-swf <file.swf>\n"
+            << "  trace_tools describe-failures <file.csv> [nodes]\n";
+  return 2;
+}
+
+SyntheticModel model_by_name(const std::string& name) {
+  if (name == "nasa") return SyntheticModel::nasa();
+  if (name == "sdsc") return SyntheticModel::sdsc();
+  if (name == "llnl") return SyntheticModel::llnl();
+  throw ConfigError("unknown model '" + name + "' (expected nasa|sdsc|llnl)");
+}
+
+int gen_swf(int argc, char** argv) {
+  if (argc != 6) return usage();
+  SyntheticModel model = model_by_name(argv[2]);
+  model.num_jobs = static_cast<int>(parse_int(argv[3]).value_or(0));
+  const auto seed = static_cast<std::uint64_t>(parse_int(argv[4]).value_or(1));
+  const Workload w = generate_workload(model, seed);
+  write_swf_file(argv[5], w);
+  std::cout << "wrote " << w.jobs.size() << " jobs to " << argv[5] << '\n'
+            << describe(w);
+  return 0;
+}
+
+int gen_failures(int argc, char** argv) {
+  if (argc != 6) return usage();
+  const auto events = static_cast<std::size_t>(parse_int(argv[2]).value_or(0));
+  const double days = parse_double(argv[3]).value_or(365.0);
+  const auto seed = static_cast<std::uint64_t>(parse_int(argv[4]).value_or(1));
+  const FailureTrace trace =
+      generate_failures(FailureModel::bluegene_l(events, days * 86400.0), seed);
+  write_failure_csv(argv[5], trace);
+  std::cout << "wrote " << trace.size() << " failure events to " << argv[5] << " ("
+            << format_double(trace.mean_rate_per_day(), 2) << "/day)\n";
+  return 0;
+}
+
+int describe_swf(int argc, char** argv) {
+  if (argc != 3) return usage();
+  const Workload w = read_swf_file(argv[2]);
+  std::cout << describe(w);
+  return 0;
+}
+
+int describe_failures(int argc, char** argv) {
+  if (argc != 3 && argc != 4) return usage();
+  const int nodes = argc == 4 ? static_cast<int>(parse_int(argv[3]).value_or(128)) : 128;
+  const FailureTrace trace = read_failure_csv(argv[2], nodes);
+  std::cout << "failure trace: " << trace.size() << " events over " << nodes
+            << " nodes\n";
+  if (trace.empty()) return 0;
+  std::cout << "  span: "
+            << format_duration(trace.events().back().time - trace.events().front().time)
+            << ", rate " << format_double(trace.mean_rate_per_day(), 2) << "/day\n";
+  // Node skew: how concentrated are failures on repeat offenders?
+  std::vector<std::size_t> per_node(static_cast<std::size_t>(nodes), 0);
+  for (const FailureEvent& e : trace.events()) ++per_node[static_cast<std::size_t>(e.node)];
+  std::sort(per_node.rbegin(), per_node.rend());
+  std::size_t top10 = 0;
+  for (std::size_t i = 0; i < per_node.size() / 10 + 1; ++i) top10 += per_node[i];
+  std::cout << "  top-10% offender nodes account for "
+            << format_double(100.0 * static_cast<double>(top10) /
+                                 static_cast<double>(trace.size()),
+                             1)
+            << "% of events\n";
+  // Burstiness: inter-event gap CV.
+  RunningStats gaps;
+  for (std::size_t i = 1; i < trace.size(); ++i) {
+    gaps.add(trace.events()[i].time - trace.events()[i - 1].time);
+  }
+  if (gaps.count() > 1 && gaps.mean() > 0.0) {
+    std::cout << "  inter-event gap CV: " << format_double(gaps.stddev() / gaps.mean(), 2)
+              << " (Poisson ~ 1, bursty >> 1)\n";
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string command = argv[1];
+  try {
+    if (command == "gen-swf") return gen_swf(argc, argv);
+    if (command == "gen-failures") return gen_failures(argc, argv);
+    if (command == "describe-swf") return describe_swf(argc, argv);
+    if (command == "describe-failures") return describe_failures(argc, argv);
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << '\n';
+    return 1;
+  }
+  return usage();
+}

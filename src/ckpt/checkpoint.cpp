@@ -1,0 +1,40 @@
+#include "ckpt/checkpoint.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace bgl {
+
+int checkpoint_count(double work, const CheckpointConfig& config) {
+  if (!config.enabled || config.interval <= 0.0 || work <= 0.0) return 0;
+  // Checkpoints fire after each full interval of work; one landing exactly
+  // at the end is pointless and skipped.
+  const double intervals = work / config.interval;
+  const double whole = std::floor(intervals);
+  const bool exact_end = std::abs(intervals - whole) < 1e-12;
+  return static_cast<int>(whole) - (exact_end ? 1 : 0);
+}
+
+double walltime_for_work(double work, const CheckpointConfig& config) {
+  BGL_CHECK(work >= 0.0, "work must be non-negative");
+  if (!config.enabled) return work;
+  return work + static_cast<double>(checkpoint_count(work, config)) * config.overhead;
+}
+
+double saved_work_at(double elapsed_wall, double work, const CheckpointConfig& config) {
+  if (!config.enabled || config.interval <= 0.0) return 0.0;
+  const int total_ckpts = checkpoint_count(work, config);
+  // The k-th checkpoint (1-based) completes at wall time
+  //   k * interval + k * overhead.
+  int completed = 0;
+  for (int k = 1; k <= total_ckpts; ++k) {
+    const double done_at = static_cast<double>(k) * (config.interval + config.overhead);
+    if (done_at <= elapsed_wall + 1e-9) completed = k;
+    else break;
+  }
+  return std::min(static_cast<double>(completed) * config.interval, work);
+}
+
+}  // namespace bgl

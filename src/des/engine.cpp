@@ -1,0 +1,25 @@
+#include "des/engine.hpp"
+
+namespace bgl {
+
+void Engine::on(EventType type, Handler handler) {
+  handlers_[static_cast<std::size_t>(type)] = std::move(handler);
+}
+
+void Engine::schedule(SimTime time, EventType type, std::uint64_t id, std::uint64_t tag) {
+  queue_.push(Event{time, type, id, tag, 0});
+}
+
+std::size_t Engine::run(std::size_t max_events) {
+  stopped_ = false;
+  std::size_t dispatched = 0;
+  while (!stopped_ && !queue_.empty() && dispatched < max_events) {
+    const Event e = queue_.pop();
+    ++dispatched;
+    Handler& h = handlers_[static_cast<std::size_t>(e.type)];
+    if (h) h(*this, e);
+  }
+  return dispatched;
+}
+
+}  // namespace bgl

@@ -1,0 +1,55 @@
+// Discrete-event primitives.
+//
+// The simulator is event-driven, as in the paper (§6.1): arrival, start,
+// finish, failure and checkpoint events. Start events are implicit (jobs
+// start the moment the scheduler places them — "jobs are always scheduled
+// for immediate execution"), so the queue carries arrival/finish/failure/
+// checkpoint plus a custom type for extensions.
+//
+// Tie-breaking at equal timestamps is semantically load-bearing:
+//   finish < failure < arrival < checkpoint
+// A job finishing at exactly the instant a node fails has completed its
+// work; a job arriving at that instant sees the freed nodes.
+#pragma once
+
+#include <cstdint>
+
+namespace bgl {
+
+/// Simulation time in seconds since the workload epoch.
+using SimTime = double;
+
+enum class EventType : std::uint8_t {
+  kFinish = 0,
+  kFailure = 1,
+  kArrival = 2,
+  kCheckpoint = 3,
+  kCustom = 4,
+};
+
+const char* to_string(EventType type);
+
+struct Event {
+  SimTime time = 0.0;
+  EventType type = EventType::kCustom;
+  /// Payload id: job id for arrival/finish/checkpoint, node id for failure.
+  std::uint64_t id = 0;
+  /// Generation tag. Finish events of a job killed by a failure are "stale":
+  /// the handler compares tag against the job's current generation and drops
+  /// mismatches instead of deleting from the middle of the heap.
+  std::uint64_t tag = 0;
+  /// Stable FIFO sequence number assigned by the queue.
+  std::uint64_t seq = 0;
+};
+
+/// Heap ordering: earliest time first, then the semantic type order above,
+/// then insertion order.
+struct EventAfter {
+  bool operator()(const Event& a, const Event& b) const {
+    if (a.time != b.time) return a.time > b.time;
+    if (a.type != b.type) return a.type > b.type;
+    return a.seq > b.seq;
+  }
+};
+
+}  // namespace bgl

@@ -1,0 +1,41 @@
+#include "des/event_queue.hpp"
+
+namespace bgl {
+
+const char* to_string(EventType type) {
+  switch (type) {
+    case EventType::kFinish: return "finish";
+    case EventType::kFailure: return "failure";
+    case EventType::kArrival: return "arrival";
+    case EventType::kCheckpoint: return "checkpoint";
+    case EventType::kCustom: return "custom";
+  }
+  return "?";
+}
+
+void EventQueue::push(Event event) {
+  BGL_CHECK(event.time >= now_, "event scheduled in the past");
+  event.seq = next_seq_++;
+  heap_.push(event);
+}
+
+const Event& EventQueue::top() const {
+  BGL_CHECK(!heap_.empty(), "top() on empty event queue");
+  return heap_.top();
+}
+
+Event EventQueue::pop() {
+  BGL_CHECK(!heap_.empty(), "pop() on empty event queue");
+  Event e = heap_.top();
+  heap_.pop();
+  now_ = e.time;
+  return e;
+}
+
+void EventQueue::clear() {
+  heap_ = {};
+  next_seq_ = 0;
+  now_ = 0.0;
+}
+
+}  // namespace bgl

@@ -1,0 +1,38 @@
+// Binary-heap event queue with stable FIFO tie-breaking.
+#pragma once
+
+#include <queue>
+#include <vector>
+
+#include "des/event.hpp"
+#include "util/error.hpp"
+
+namespace bgl {
+
+class EventQueue {
+ public:
+  bool empty() const { return heap_.empty(); }
+  std::size_t size() const { return heap_.size(); }
+
+  /// Enqueue; the event's seq field is overwritten with a fresh number.
+  /// Events must not be scheduled before the last popped time.
+  void push(Event event);
+
+  /// Earliest event (undefined if empty — checked).
+  const Event& top() const;
+
+  /// Remove and return the earliest event; advances the internal clock.
+  Event pop();
+
+  /// Time of the last popped event (0 before the first pop).
+  SimTime now() const { return now_; }
+
+  void clear();
+
+ private:
+  std::priority_queue<Event, std::vector<Event>, EventAfter> heap_;
+  std::uint64_t next_seq_ = 0;
+  SimTime now_ = 0.0;
+};
+
+}  // namespace bgl

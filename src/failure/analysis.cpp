@@ -1,0 +1,77 @@
+#include "failure/analysis.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/strings.hpp"
+
+namespace bgl {
+
+FailureSummary summarize_failures(const FailureTrace& trace, double burst_window) {
+  FailureSummary s;
+  s.events = trace.size();
+  if (trace.empty()) return s;
+  const auto& events = trace.events();
+  s.span_seconds = events.back().time - events.front().time;
+  s.rate_per_day = trace.mean_rate_per_day();
+
+  std::size_t clustered = 0;
+  for (std::size_t i = 1; i < events.size(); ++i) {
+    const double gap = events[i].time - events[i - 1].time;
+    s.gaps.add(gap);
+    if (gap <= burst_window) ++clustered;
+  }
+  if (s.gaps.count() > 0) {
+    s.clustered_fraction =
+        static_cast<double>(clustered) / static_cast<double>(s.gaps.count());
+    if (s.gaps.mean() > 0.0) s.gap_cv = s.gaps.stddev() / s.gaps.mean();
+  }
+
+  std::vector<std::size_t> per_node(static_cast<std::size_t>(trace.num_nodes()), 0);
+  for (const FailureEvent& e : events) ++per_node[static_cast<std::size_t>(e.node)];
+  s.distinct_nodes = static_cast<int>(
+      std::count_if(per_node.begin(), per_node.end(), [](std::size_t c) { return c > 0; }));
+  std::sort(per_node.rbegin(), per_node.rend());
+  const std::size_t decile = std::max<std::size_t>(1, per_node.size() / 10);
+  std::size_t top = 0;
+  for (std::size_t i = 0; i < decile; ++i) top += per_node[i];
+  s.top_decile_share = static_cast<double>(top) / static_cast<double>(s.events);
+  return s;
+}
+
+std::string describe_failures(const FailureTrace& trace) {
+  const FailureSummary s = summarize_failures(trace);
+  std::ostringstream os;
+  os << "failure trace: " << s.events << " events over " << trace.num_nodes()
+     << " nodes\n";
+  if (s.events == 0) return os.str();
+  os << "  span " << format_duration(s.span_seconds) << ", rate "
+     << format_double(s.rate_per_day, 2) << "/day\n";
+  os << "  burstiness: gap CV " << format_double(s.gap_cv, 2) << ", "
+     << format_double(100.0 * s.clustered_fraction, 1)
+     << "% of events within 5 min of the previous\n";
+  os << "  node skew: top decile of nodes takes "
+     << format_double(100.0 * s.top_decile_share, 1) << "% of events ("
+     << s.distinct_nodes << " nodes ever fail)\n";
+  return os.str();
+}
+
+std::vector<std::size_t> episode_sizes(const FailureTrace& trace,
+                                       double burst_window) {
+  std::vector<std::size_t> sizes;
+  if (trace.empty()) return sizes;
+  const auto& events = trace.events();
+  std::size_t current = 1;
+  for (std::size_t i = 1; i < events.size(); ++i) {
+    if (events[i].time - events[i - 1].time <= burst_window) {
+      ++current;
+    } else {
+      sizes.push_back(current);
+      current = 1;
+    }
+  }
+  sizes.push_back(current);
+  return sizes;
+}
+
+}  // namespace bgl

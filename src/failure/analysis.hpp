@@ -1,0 +1,41 @@
+// Failure-trace analysis: the statistics the paper's §6.2/§7.1 discussion
+// turns on — rate, burstiness, node skew — computed from any trace
+// (generated or recorded), for calibration checks and reports.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "failure/trace.hpp"
+#include "util/stats.hpp"
+
+namespace bgl {
+
+struct FailureSummary {
+  std::size_t events = 0;
+  double span_seconds = 0.0;
+  double rate_per_day = 0.0;
+  /// Coefficient of variation of inter-event gaps (Poisson ≈ 1, bursty ≫ 1).
+  double gap_cv = 0.0;
+  /// Fraction of events within `burst_window` of their predecessor.
+  double clustered_fraction = 0.0;
+  /// Fraction of all events on the top 10 % most-failing nodes (skew).
+  double top_decile_share = 0.0;
+  /// Number of distinct nodes that ever fail.
+  int distinct_nodes = 0;
+  RunningStats gaps;
+};
+
+/// Compute the summary; `burst_window` is the clustering threshold (s).
+FailureSummary summarize_failures(const FailureTrace& trace,
+                                  double burst_window = 300.0);
+
+/// Multi-line human-readable report.
+std::string describe_failures(const FailureTrace& trace);
+
+/// Episodes: maximal runs of events separated by gaps <= `burst_window`.
+/// Returns the event count of each episode, in time order.
+std::vector<std::size_t> episode_sizes(const FailureTrace& trace,
+                                       double burst_window = 300.0);
+
+}  // namespace bgl

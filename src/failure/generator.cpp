@@ -1,0 +1,109 @@
+#include "failure/generator.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace bgl {
+
+FailureModel FailureModel::bluegene_l(std::size_t target_events, double span_seconds) {
+  FailureModel m;
+  m.num_nodes = 128;
+  m.span_seconds = span_seconds;
+  m.target_events = target_events;
+  return m;
+}
+
+FailureTrace generate_failures(const FailureModel& model, std::uint64_t seed) {
+  BGL_CHECK(model.num_nodes > 0, "failure model needs nodes");
+  BGL_CHECK(model.span_seconds > 0.0, "failure model needs a positive span");
+  if (model.target_events == 0) return FailureTrace({}, model.num_nodes);
+
+  Rng rng(hash_combine(seed, 0x6661696c75726573ULL));  // "failures"
+  std::vector<FailureEvent> events;
+  events.reserve(model.target_events + 64);
+
+  // Repeat-offender ranking: a random permutation of the nodes; episode loci
+  // are drawn Zipf-skewed over it so low ranks fail most often.
+  std::vector<int> offender_rank(static_cast<std::size_t>(model.num_nodes));
+  for (int i = 0; i < model.num_nodes; ++i) offender_rank[static_cast<std::size_t>(i)] = i;
+  for (std::size_t i = offender_rank.size(); i > 1; --i) {
+    const std::size_t j = static_cast<std::size_t>(rng.uniform_int(0, i - 1));
+    std::swap(offender_rank[i - 1], offender_rank[j]);
+  }
+  auto draw_locus = [&]() -> int {
+    if (model.node_skew <= 0.0) {
+      return static_cast<int>(
+          rng.uniform_int(0, static_cast<std::uint64_t>(model.num_nodes - 1)));
+    }
+    return offender_rank[rng.zipf(static_cast<std::size_t>(model.num_nodes),
+                                  model.node_skew)];
+  };
+
+  // Generate episodes until we have enough events, then trim. The Weibull
+  // renewal gaps are scaled afterwards so the episodes cover the whole span.
+  const double expected_per_episode =
+      1.0 + model.burst_prob * model.mean_burst_extra;
+  const std::size_t approx_episodes = std::max<std::size_t>(
+      1, static_cast<std::size_t>(
+             std::ceil(static_cast<double>(model.target_events) / expected_per_episode)));
+
+  // Weibull scale chosen so the mean gap tiles the span with approx_episodes.
+  const double mean_gap = model.span_seconds / static_cast<double>(approx_episodes);
+  const double gamma_term = std::tgamma(1.0 + 1.0 / model.weibull_shape);
+  const double scale = mean_gap / gamma_term;
+
+  double t = 0.0;
+  while (events.size() < model.target_events) {
+    t += rng.weibull(model.weibull_shape, scale);
+    // Diurnal thinning: drop some episodes in the quiet phase.
+    const double phase = 2.0 * M_PI * std::fmod(t, 86400.0) / 86400.0;
+    const double intensity =
+        1.0 + model.diurnal_amplitude * std::sin(phase - M_PI / 2.0);
+    if (rng.uniform() * (1.0 + model.diurnal_amplitude) > intensity) continue;
+
+    const int locus = draw_locus();
+    events.push_back(FailureEvent{t, locus});
+
+    if (rng.bernoulli(model.burst_prob)) {
+      // Geometric number of extra members: P(k) ∝ (1-p)^k with mean m.
+      const double p = 1.0 / (1.0 + model.mean_burst_extra);
+      int extra = 0;
+      while (!rng.bernoulli(p)) ++extra;
+      for (int k = 0; k < extra && events.size() < model.target_events + 32; ++k) {
+        int node;
+        if (rng.bernoulli(model.burst_locality)) {
+          const int offset = static_cast<int>(rng.uniform_int(
+                                 1, static_cast<std::uint64_t>(model.locality_radius))) *
+                             (rng.bernoulli(0.5) ? 1 : -1);
+          node = ((locus + offset) % model.num_nodes + model.num_nodes) % model.num_nodes;
+        } else {
+          node = static_cast<int>(
+              rng.uniform_int(0, static_cast<std::uint64_t>(model.num_nodes - 1)));
+        }
+        const double jitter = rng.uniform() * model.burst_spread_seconds;
+        events.push_back(FailureEvent{t + jitter, node});
+      }
+    }
+  }
+
+  events.resize(model.target_events);
+
+  // Affine-map onto [margin, span - margin] so early/late behaviour is sane.
+  double t_min = events.front().time;
+  double t_max = events.front().time;
+  for (const FailureEvent& e : events) {
+    t_min = std::min(t_min, e.time);
+    t_max = std::max(t_max, e.time);
+  }
+  const double old_span = std::max(t_max - t_min, 1.0);
+  for (FailureEvent& e : events) {
+    e.time = (e.time - t_min) / old_span * model.span_seconds;
+  }
+
+  return FailureTrace(std::move(events), model.num_nodes);
+}
+
+}  // namespace bgl

@@ -1,0 +1,71 @@
+// Failure traces: ground truth for both fault injection and prediction.
+//
+// The paper drives its simulator with a filtered/normalised year-long
+// failure log from a 350-node cluster (Sahoo et al., KDD'03), scaled so
+// each job log sees a target number of failures (4000 for NASA/SDSC, 1000
+// for LLNL) within its span. A FailureTrace here is an immutable,
+// time-sorted list of (time, node) events with a per-node index so the
+// predictors' window queries ("does node n fail in (t0, t1]?") are binary
+// searches.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "torus/nodeset.hpp"
+
+namespace bgl {
+
+struct FailureEvent {
+  double time = 0.0;
+  int node = 0;
+  friend bool operator==(const FailureEvent&, const FailureEvent&) = default;
+};
+
+class FailureTrace {
+ public:
+  FailureTrace() = default;
+
+  /// Build from events (any order) on a machine with `num_nodes` nodes.
+  FailureTrace(std::vector<FailureEvent> events, int num_nodes);
+
+  int num_nodes() const { return num_nodes_; }
+  std::size_t size() const { return events_.size(); }
+  bool empty() const { return events_.empty(); }
+  const std::vector<FailureEvent>& events() const { return events_; }
+
+  /// True if node `node` has a failure event with time in (t0, t1].
+  bool node_fails_within(int node, double t0, double t1) const;
+
+  /// Time of the first failure of `node` after t0 (strictly), or +inf.
+  double next_failure_after(int node, double t0) const;
+
+  /// Bitmask of all nodes with at least one failure in (t0, t1].
+  NodeSet failing_nodes(double t0, double t1) const;
+
+  /// Events with time in (t0, t1], time-ascending.
+  std::vector<FailureEvent> events_in(double t0, double t1) const;
+
+  /// Uniform random subsample of exactly `target` events (or a copy if the
+  /// trace is smaller). Burst structure is mostly preserved because events
+  /// are dropped independently of time. Deterministic in `seed`.
+  FailureTrace subsample(std::size_t target, std::uint64_t seed) const;
+
+  /// Affine-map event times from their current span onto [t0, t1].
+  FailureTrace retime(double t0, double t1) const;
+
+  /// Failures per day averaged over the event span (0 if < 2 events).
+  double mean_rate_per_day() const;
+
+ private:
+  int num_nodes_ = 0;
+  std::vector<FailureEvent> events_;              ///< time-ascending
+  std::vector<std::vector<double>> times_by_node_;  ///< per-node ascending times
+};
+
+/// CSV I/O: lines of "time_seconds,node". '#' comments allowed.
+FailureTrace read_failure_csv(const std::string& path, int num_nodes);
+void write_failure_csv(const std::string& path, const FailureTrace& trace);
+
+}  // namespace bgl

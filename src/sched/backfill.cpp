@@ -1,0 +1,41 @@
+#include "sched/backfill.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace bgl {
+
+std::optional<Reservation> compute_reservation(const PartitionCatalog& catalog,
+                                               const NodeSet& occupied,
+                                               const std::vector<RunningJob>& running,
+                                               int alloc_size, double now) {
+  // Immediate fit (callers normally ask only after failing to place, but be
+  // correct regardless).
+  std::vector<int> candidates;
+  catalog.free_entries_of_size(occupied, alloc_size, candidates);
+  if (!candidates.empty()) {
+    return Reservation{now, catalog.entry(candidates.front()).mask};
+  }
+
+  std::vector<RunningJob> order = running;
+  std::sort(order.begin(), order.end(), [](const RunningJob& a, const RunningJob& b) {
+    if (a.est_finish != b.est_finish) return a.est_finish < b.est_finish;
+    return a.id < b.id;
+  });
+
+  NodeSet scratch = occupied;
+  for (const RunningJob& r : order) {
+    BGL_CHECK(r.entry_index >= 0, "running job without a partition");
+    scratch.subtract(catalog.entry(r.entry_index).mask);
+    candidates.clear();
+    catalog.free_entries_of_size(scratch, alloc_size, candidates);
+    if (!candidates.empty()) {
+      const double at = std::max(r.est_finish, now);
+      return Reservation{at, catalog.entry(candidates.front()).mask};
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace bgl

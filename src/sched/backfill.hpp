@@ -1,0 +1,34 @@
+// EASY-style spatial backfilling support.
+//
+// To backfill without ever delaying the FCFS head job we compute the head
+// job's *reservation*: the earliest time it could start if no further jobs
+// were admitted, found by replaying the running jobs' estimated completions
+// onto a scratch occupancy. The reservation also fixes a concrete partition
+// (its node mask); a waiting job may jump the queue iff it fits now and
+// either (a) its estimated completion is no later than the reservation time
+// or (b) its partition is disjoint from the reserved partition's nodes.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "sched/types.hpp"
+#include "torus/catalog.hpp"
+
+namespace bgl {
+
+struct Reservation {
+  double time = 0.0;   ///< Earliest estimated start of the head job.
+  NodeSet mask;        ///< Nodes of the partition reserved for it.
+};
+
+/// Compute the head job's reservation given current occupancy and the
+/// estimated finish times of running jobs (including any jobs started
+/// earlier in the same scheduling pass). Returns nullopt only if the job
+/// can never fit (alloc_size has no partitions — callers guard against it).
+std::optional<Reservation> compute_reservation(const PartitionCatalog& catalog,
+                                               const NodeSet& occupied,
+                                               const std::vector<RunningJob>& running,
+                                               int alloc_size, double now);
+
+}  // namespace bgl

@@ -1,0 +1,31 @@
+// Migration: torus compaction by re-packing running jobs.
+//
+// Krevat's scheduler can migrate running jobs (checkpoint, move, restart;
+// instantaneous here because the paper's study excludes checkpoint costs)
+// to defragment the torus. We re-pack greedily: running jobs sorted by
+// partition size descending are placed onto an empty scratch torus with the
+// MFP-loss heuristic; the compaction is adopted only if the stuck head job
+// then fits.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "sched/types.hpp"
+#include "torus/catalog.hpp"
+
+namespace bgl {
+
+struct RepackResult {
+  std::vector<Migration> migrations;  ///< Only jobs whose partition changed.
+  NodeSet occupied_after;             ///< Occupancy after the re-pack.
+  std::vector<RunningJob> running_after;  ///< Same jobs, updated entries.
+};
+
+/// Attempt a compaction that frees a partition of `head_alloc_size` nodes.
+/// Returns nullopt if the greedy packing fails or still leaves no room.
+std::optional<RepackResult> try_repack(const PartitionCatalog& catalog,
+                                       const std::vector<RunningJob>& running,
+                                       int head_alloc_size);
+
+}  // namespace bgl

@@ -1,0 +1,100 @@
+#include "sched/policy.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace bgl {
+
+namespace {
+/// MFP size after hypothetically placing candidate `entry_index`.
+int mfp_after(const PlacementContext& ctx, int entry_index) {
+  const auto& entry = ctx.catalog->entry(entry_index);
+  // Adding nodes can only shrink the MFP, so resume the size-descending scan
+  // at the index of the pre-placement MFP.
+  const int hint = ctx.mfp_before_index < 0 ? 0 : ctx.mfp_before_index;
+  return ctx.catalog->mfp_with(*ctx.occupied, entry.mask, hint);
+}
+}  // namespace
+
+double partition_failure_probability(int flagged_in_partition, double confidence,
+                                     PartitionFailureRule rule) {
+  BGL_CHECK(flagged_in_partition >= 0, "flag count must be non-negative");
+  if (flagged_in_partition == 0 || confidence <= 0.0) return 0.0;
+  switch (rule) {
+    case PartitionFailureRule::kMax:
+      return confidence;
+    case PartitionFailureRule::kProduct:
+      return 1.0 - std::pow(1.0 - confidence, flagged_in_partition);
+  }
+  return confidence;
+}
+
+int MfpLossPolicy::choose(const PlacementContext& ctx,
+                          const std::vector<int>& candidates) const {
+  BGL_CHECK(!candidates.empty(), "policy invoked with no candidates");
+  int best = candidates.front();
+  int best_mfp = -1;
+  for (const int c : candidates) {
+    const int m = mfp_after(ctx, c);
+    if (m > best_mfp) {
+      best_mfp = m;
+      best = c;
+    }
+  }
+  return best;
+}
+
+int BalancingPolicy::choose(const PlacementContext& ctx,
+                            const std::vector<int>& candidates) const {
+  BGL_CHECK(!candidates.empty(), "policy invoked with no candidates");
+  BGL_CHECK(ctx.flagged != nullptr, "balancing policy requires predictor flags");
+  int best = candidates.front();
+  double best_loss = 0.0;
+  int best_mfp = -1;
+  bool first = true;
+  for (const int c : candidates) {
+    const auto& entry = ctx.catalog->entry(c);
+    const int m = mfp_after(ctx, c);
+    const double l_mfp = static_cast<double>(ctx.mfp_before_size - m);
+    const int flags = entry.mask.intersect_count(*ctx.flagged);
+    const double p_f = partition_failure_probability(flags, ctx.confidence, ctx.pf_rule);
+    const double l_pf = p_f * static_cast<double>(ctx.job_size);
+    const double e_loss = l_mfp + l_pf;
+    // Minimise E_loss; tie-break toward the larger resulting MFP, then the
+    // catalog order (deterministic).
+    if (first || e_loss < best_loss - 1e-12 ||
+        (std::abs(e_loss - best_loss) <= 1e-12 && m > best_mfp)) {
+      best = c;
+      best_loss = e_loss;
+      best_mfp = m;
+      first = false;
+    }
+  }
+  return best;
+}
+
+int TieBreakPolicy::choose(const PlacementContext& ctx,
+                           const std::vector<int>& candidates) const {
+  BGL_CHECK(!candidates.empty(), "policy invoked with no candidates");
+  BGL_CHECK(ctx.flagged != nullptr, "tie-break policy requires predictor flags");
+  // Pass 1: the optimal (maximal) resulting MFP, exactly as Krevat's policy.
+  int best_mfp = -1;
+  std::vector<int> mfps(candidates.size());
+  for (std::size_t i = 0; i < candidates.size(); ++i) {
+    mfps[i] = mfp_after(ctx, candidates[i]);
+    if (mfps[i] > best_mfp) best_mfp = mfps[i];
+  }
+  // Pass 2: among the tied optima, the first candidate the predictor does
+  // not flag; if all are flagged, the first optimum (arbitrary choice).
+  int fallback = -1;
+  for (std::size_t i = 0; i < candidates.size(); ++i) {
+    if (mfps[i] != best_mfp) continue;
+    const auto& entry = ctx.catalog->entry(candidates[i]);
+    if (!entry.mask.intersects(*ctx.flagged)) return candidates[i];
+    if (fallback < 0) fallback = candidates[i];
+  }
+  return fallback;
+}
+
+}  // namespace bgl

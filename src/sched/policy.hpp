@@ -1,0 +1,78 @@
+// Placement policies (§5 of the paper).
+//
+// Given the set of free candidate partitions for a job, a policy picks one:
+//
+//   * MfpLossPolicy   — Krevat's heuristic: keep the maximal free partition
+//                       as large as possible after placement (equivalently,
+//                       minimise L_MFP). Fault-unaware.
+//   * BalancingPolicy — §5.2.1: minimise E_loss = L_MFP + L_PF where
+//                       L_PF = P_f * s_j and P_f combines the predictor's
+//                       per-node probabilities over the candidate.
+//   * TieBreakPolicy  — §5.2.2: Krevat's heuristic, but among candidates
+//                       tied at the optimal MFP prefer one the boolean
+//                       predictor does not expect to fail; if every
+//                       candidate is predicted to fail, fall back to an
+//                       arbitrary (first) choice, as the paper specifies.
+//
+// All policies are deterministic given the context (stochastic predictors
+// already folded their coins into ctx.flagged).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sched/types.hpp"
+#include "torus/catalog.hpp"
+
+namespace bgl {
+
+struct PlacementContext {
+  const PartitionCatalog* catalog = nullptr;
+  const NodeSet* occupied = nullptr;   ///< Current occupancy (scratch view).
+  int mfp_before_index = -1;           ///< first_free_index(occupied).
+  int mfp_before_size = 0;             ///< MFP size before placing the job.
+  const NodeSet* flagged = nullptr;    ///< Predictor flags for the job window.
+  double confidence = 0.0;             ///< Per-node probability of flags.
+  PartitionFailureRule pf_rule = PartitionFailureRule::kProduct;
+  int job_size = 1;                    ///< s_j (requested, not rounded).
+};
+
+class PlacementPolicy {
+ public:
+  virtual ~PlacementPolicy() = default;
+
+  /// Pick one of `candidates` (catalog entry indices, all free, non-empty).
+  virtual int choose(const PlacementContext& ctx,
+                     const std::vector<int>& candidates) const = 0;
+
+  virtual std::string name() const = 0;
+};
+
+class MfpLossPolicy final : public PlacementPolicy {
+ public:
+  int choose(const PlacementContext& ctx,
+             const std::vector<int>& candidates) const override;
+  std::string name() const override { return "mfp-loss"; }
+};
+
+class BalancingPolicy final : public PlacementPolicy {
+ public:
+  int choose(const PlacementContext& ctx,
+             const std::vector<int>& candidates) const override;
+  std::string name() const override { return "balancing"; }
+};
+
+class TieBreakPolicy final : public PlacementPolicy {
+ public:
+  int choose(const PlacementContext& ctx,
+             const std::vector<int>& candidates) const override;
+  std::string name() const override { return "tie-break"; }
+};
+
+/// Partition failure probability for a candidate with `flagged_in_partition`
+/// predicted-faulty nodes of per-node probability `confidence`.
+double partition_failure_probability(int flagged_in_partition, double confidence,
+                                     PartitionFailureRule rule);
+
+}  // namespace bgl

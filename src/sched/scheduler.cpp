@@ -1,0 +1,203 @@
+#include "sched/scheduler.hpp"
+
+#include <algorithm>
+
+#include "sched/backfill.hpp"
+#include "sched/migration.hpp"
+#include "util/error.hpp"
+#include "util/logging.hpp"
+
+namespace bgl {
+
+const char* to_string(BackfillMode mode) {
+  switch (mode) {
+    case BackfillMode::kNone: return "none";
+    case BackfillMode::kEasy: return "easy";
+    case BackfillMode::kConservative: return "conservative";
+  }
+  return "?";
+}
+
+Scheduler::Scheduler(const PartitionCatalog& catalog,
+                     std::unique_ptr<PlacementPolicy> policy,
+                     const FaultPredictor& predictor, SchedulerConfig config)
+    : catalog_(&catalog),
+      policy_(std::move(policy)),
+      predictor_(&predictor),
+      config_(config) {
+  BGL_CHECK(policy_ != nullptr, "scheduler requires a placement policy");
+  BGL_CHECK(config_.backfill_depth >= 0, "backfill depth must be non-negative");
+}
+
+PlacementContext Scheduler::make_context(const NodeSet& occ, const NodeSet& flagged,
+                                         int job_size) const {
+  PlacementContext ctx;
+  ctx.catalog = catalog_;
+  ctx.occupied = &occ;
+  ctx.mfp_before_index = catalog_->first_free_index(occ);
+  ctx.mfp_before_size =
+      ctx.mfp_before_index < 0 ? 0 : catalog_->entry(ctx.mfp_before_index).size;
+  ctx.flagged = &flagged;
+  ctx.confidence = predictor_->confidence();
+  ctx.pf_rule = config_.pf_rule;
+  ctx.job_size = job_size;
+  return ctx;
+}
+
+SchedulingDecision Scheduler::schedule(double now, const std::vector<WaitingJob>& queue,
+                                       const std::vector<RunningJob>& running,
+                                       const NodeSet& occupied) const {
+  SchedulingDecision decision;
+  NodeSet occ = occupied;
+  std::vector<RunningJob> live = running;
+  std::vector<bool> placed(queue.size(), false);
+  std::vector<int> candidates;
+  bool migration_tried = false;
+
+  auto start_job = [&](const WaitingJob& job, int entry_index, const NodeSet& flagged,
+                       const std::vector<int>& considered) {
+    decision.starts.push_back(Start{job.id, entry_index});
+    if (catalog_->entry(entry_index).mask.intersects(flagged)) {
+      ++decision.starts_on_flagged;
+      for (const int c : considered) {
+        if (!catalog_->entry(c).mask.intersects(flagged)) {
+          ++decision.flagged_with_alternative;
+          break;
+        }
+      }
+    }
+    occ |= catalog_->entry(entry_index).mask;
+    live.push_back(RunningJob{job.id, entry_index, now + job.estimate});
+  };
+
+  std::size_t head = 0;
+  while (head < queue.size()) {
+    if (placed[head]) {
+      ++head;
+      continue;
+    }
+    const WaitingJob& job = queue[head];
+    BGL_CHECK(job.alloc_size > 0 && job.alloc_size <= catalog_->num_nodes(),
+              "waiting job has invalid alloc size");
+
+    candidates.clear();
+    catalog_->free_entries_of_size(occ, job.alloc_size, candidates);
+    if (!candidates.empty()) {
+      const NodeSet flagged =
+          predictor_->flagged_nodes(now, now + job.estimate, job.id);
+      const PlacementContext ctx = make_context(occ, flagged, job.size);
+      start_job(job, policy_->choose(ctx, candidates), flagged, candidates);
+      placed[head] = true;
+      ++head;
+      continue;
+    }
+
+    // Head job blocked: first try compaction, once per pass.
+    if (config_.migration && !migration_tried && !live.empty()) {
+      migration_tried = true;
+      if (auto repack = try_repack(*catalog_, live, job.alloc_size)) {
+        for (const Migration& m : repack->migrations) {
+          // A job started earlier in this same pass has not been committed
+          // by the driver yet; rewrite its pending start instead of
+          // reporting a migration of a not-yet-running job.
+          bool was_started_here = false;
+          for (Start& s : decision.starts) {
+            if (s.id == m.id) {
+              s.entry_index = m.to_entry;
+              was_started_here = true;
+              break;
+            }
+          }
+          if (!was_started_here) decision.migrations.push_back(m);
+        }
+        occ = std::move(repack->occupied_after);
+        live = std::move(repack->running_after);
+        continue;  // retry the head job on the compacted torus
+      }
+    }
+
+    // Backfill behind the blocked head job.
+    if (config_.backfill != BackfillMode::kNone && config_.backfill_depth > 0) {
+      // Reservations a filler must not delay. EASY: the head job only.
+      // Conservative: the first reservation_depth waiting jobs; each
+      // reservation is computed against the current running set, which
+      // yields reservation times no later than the true ones — a stricter
+      // (hence safe) admission constraint for fillers.
+      std::vector<Reservation> reservations;
+      const int reservation_count =
+          config_.backfill == BackfillMode::kEasy
+              ? 1
+              : std::max(1, config_.reservation_depth);
+      for (std::size_t q = head;
+           q < queue.size() &&
+           static_cast<int>(reservations.size()) < reservation_count;
+           ++q) {
+        if (placed[q]) continue;
+        auto r = compute_reservation(*catalog_, occ, live, queue[q].alloc_size, now);
+        if (!r) {
+          if (q == head) break;  // head can never fit: no safe backfilling
+          continue;
+        }
+        reservations.push_back(std::move(*r));
+      }
+      if (reservations.empty()) break;
+
+      auto admissible = [&](double est_finish, const NodeSet& mask) {
+        for (const Reservation& r : reservations) {
+          const bool in_time = est_finish <= r.time + 1e-9;
+          if (!in_time && mask.intersects(r.mask)) return false;
+        }
+        return true;
+      };
+
+      int examined = 0;
+      for (std::size_t j = head + 1;
+           j < queue.size() && examined < config_.backfill_depth; ++j) {
+        if (placed[j]) continue;
+        ++examined;
+        const WaitingJob& filler = queue[j];
+        candidates.clear();
+        catalog_->free_entries_of_size(occ, filler.alloc_size, candidates);
+        if (candidates.empty()) continue;
+        std::vector<int> allowed;
+        for (const int c : candidates) {
+          if (admissible(now + filler.estimate, catalog_->entry(c).mask)) {
+            allowed.push_back(c);
+          }
+        }
+        if (allowed.empty()) continue;
+        const NodeSet flagged =
+            predictor_->flagged_nodes(now, now + filler.estimate, filler.id);
+        const PlacementContext ctx = make_context(occ, flagged, filler.size);
+        start_job(filler, policy_->choose(ctx, allowed), flagged, allowed);
+        placed[j] = true;
+      }
+    }
+    break;  // FCFS: the head job stays first in line
+  }
+
+  return decision;
+}
+
+std::unique_ptr<Scheduler> make_krevat_scheduler(const PartitionCatalog& catalog,
+                                                 const FaultPredictor& predictor,
+                                                 SchedulerConfig config) {
+  return std::make_unique<Scheduler>(catalog, std::make_unique<MfpLossPolicy>(),
+                                     predictor, config);
+}
+
+std::unique_ptr<Scheduler> make_balancing_scheduler(const PartitionCatalog& catalog,
+                                                    const FaultPredictor& predictor,
+                                                    SchedulerConfig config) {
+  return std::make_unique<Scheduler>(catalog, std::make_unique<BalancingPolicy>(),
+                                     predictor, config);
+}
+
+std::unique_ptr<Scheduler> make_tiebreak_scheduler(const PartitionCatalog& catalog,
+                                                   const FaultPredictor& predictor,
+                                                   SchedulerConfig config) {
+  return std::make_unique<Scheduler>(catalog, std::make_unique<TieBreakPolicy>(),
+                                     predictor, config);
+}
+
+}  // namespace bgl

@@ -1,0 +1,65 @@
+// The scheduling engine (§5).
+//
+// One engine implements the FCFS + backfilling + migration structure shared
+// by all three schedulers in the paper; the placement policy and the fault
+// predictor are the two injection points:
+//
+//   Krevat baseline  = MfpLossPolicy  + any predictor (ignored)
+//   Balancing        = BalancingPolicy + BalancingPredictor(confidence a)
+//   Tie-breaking     = TieBreakPolicy  + TieBreakPredictor(accuracy a)
+//
+// The engine is stateless: schedule() is a pure function of (now, queue,
+// running, occupancy). The simulation driver owns all mutable state and
+// applies the returned decision, which keeps the engine trivially testable
+// and lets benches share one driver across schedulers.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "predict/predictor.hpp"
+#include "sched/policy.hpp"
+#include "sched/types.hpp"
+#include "torus/catalog.hpp"
+
+namespace bgl {
+
+class Scheduler {
+ public:
+  Scheduler(const PartitionCatalog& catalog, std::unique_ptr<PlacementPolicy> policy,
+            const FaultPredictor& predictor, SchedulerConfig config = {});
+
+  /// Decide which jobs to start (and which running jobs to migrate) at time
+  /// `now`. `queue` must be in FCFS priority order; `running` carries the
+  /// current partition and estimated finish of every executing job;
+  /// `occupied` is the current occupancy mask (consistent with `running`).
+  SchedulingDecision schedule(double now, const std::vector<WaitingJob>& queue,
+                              const std::vector<RunningJob>& running,
+                              const NodeSet& occupied) const;
+
+  const SchedulerConfig& config() const { return config_; }
+  std::string name() const { return policy_->name(); }
+
+ private:
+  PlacementContext make_context(const NodeSet& occ, const NodeSet& flagged,
+                                int job_size) const;
+
+  const PartitionCatalog* catalog_;
+  std::unique_ptr<PlacementPolicy> policy_;
+  const FaultPredictor* predictor_;
+  SchedulerConfig config_;
+};
+
+/// Factory helpers for the three paper schedulers.
+std::unique_ptr<Scheduler> make_krevat_scheduler(const PartitionCatalog& catalog,
+                                                 const FaultPredictor& predictor,
+                                                 SchedulerConfig config = {});
+std::unique_ptr<Scheduler> make_balancing_scheduler(const PartitionCatalog& catalog,
+                                                    const FaultPredictor& predictor,
+                                                    SchedulerConfig config = {});
+std::unique_ptr<Scheduler> make_tiebreak_scheduler(const PartitionCatalog& catalog,
+                                                   const FaultPredictor& predictor,
+                                                   SchedulerConfig config = {});
+
+}  // namespace bgl

@@ -1,0 +1,81 @@
+// Shared scheduler data types.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace bgl {
+
+/// How per-node failure probabilities combine into a partition probability.
+/// The paper states both rules (§4.1 uses max, §5.2.1 uses the product
+/// complement); they differ only when several predicted-faulty nodes fall in
+/// one candidate. kProduct is the rule the balancing algorithm's E_loss
+/// derivation uses and is the default.
+enum class PartitionFailureRule { kProduct, kMax };
+
+/// A job waiting in the FCFS queue, in priority order (oldest first).
+struct WaitingJob {
+  std::uint64_t id = 0;
+  int size = 1;        ///< Requested nodes s_j (used in L_PF = P_f * s_j).
+  int alloc_size = 1;  ///< Rounded-up allocatable partition size.
+  double estimate = 0.0;
+};
+
+/// A job currently running on the torus.
+struct RunningJob {
+  std::uint64_t id = 0;
+  int entry_index = -1;     ///< Catalog entry of its partition.
+  double est_finish = 0.0;  ///< start + user estimate (backfill horizon).
+};
+
+/// Decision: start job `id` on catalog entry `entry_index` now.
+struct Start {
+  std::uint64_t id = 0;
+  int entry_index = -1;
+};
+
+/// Decision: move running job `id` between partitions (checkpoint-free in
+/// the paper's study, so it is instantaneous).
+struct Migration {
+  std::uint64_t id = 0;
+  int from_entry = -1;
+  int to_entry = -1;
+};
+
+struct SchedulingDecision {
+  std::vector<Migration> migrations;  ///< Applied before the starts.
+  std::vector<Start> starts;
+
+  // Placement diagnostics (filled by the engine, aggregated by the driver).
+  int starts_on_flagged = 0;       ///< Chosen partition contained a flagged node.
+  int flagged_with_alternative = 0;  ///< ... although a flag-free candidate existed.
+
+  bool empty() const { return migrations.empty() && starts.empty(); }
+};
+
+/// Backfilling discipline.
+enum class BackfillMode {
+  kNone,          ///< Strict FCFS: nothing may pass a blocked head job.
+  kEasy,          ///< EASY: only the head job holds a reservation (the
+                  ///  paper/Krevat behaviour).
+  kConservative,  ///< Every examined waiting job holds a reservation; a
+                  ///  filler may start only if it cannot delay any of them
+                  ///  (spatially conservative approximation: it must finish
+                  ///  before the earliest reservation or avoid every
+                  ///  reserved partition that starts before it finishes).
+};
+
+const char* to_string(BackfillMode mode);
+
+struct SchedulerConfig {
+  BackfillMode backfill = BackfillMode::kEasy;
+  bool migration = true;
+  /// Max queued jobs examined per backfill pass (the head job excluded);
+  /// under kConservative also the number of jobs holding reservations.
+  int backfill_depth = 64;
+  /// Reservations computed per pass under kConservative.
+  int reservation_depth = 8;
+  PartitionFailureRule pf_rule = PartitionFailureRule::kProduct;
+};
+
+}  // namespace bgl

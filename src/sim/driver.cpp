@@ -1,0 +1,502 @@
+#include "sim/driver.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <unordered_map>
+
+#include "des/event_queue.hpp"
+#include "predict/predictor.hpp"
+#include "sim/replay.hpp"
+#include "sched/scheduler.hpp"
+#include "torus/occupancy.hpp"
+#include "util/error.hpp"
+#include "util/logging.hpp"
+
+namespace bgl {
+
+const char* to_string(QueueOrder order) {
+  switch (order) {
+    case QueueOrder::kFcfs: return "fcfs";
+    case QueueOrder::kShortestJobFirst: return "sjf";
+    case QueueOrder::kSmallestJobFirst: return "smallest";
+  }
+  return "?";
+}
+
+const char* to_string(SchedulerKind kind) {
+  switch (kind) {
+    case SchedulerKind::kKrevat: return "krevat";
+    case SchedulerKind::kBalancing: return "balancing";
+    case SchedulerKind::kTieBreak: return "tie-break";
+  }
+  return "?";
+}
+
+const char* to_string(PredictorModel model) {
+  switch (model) {
+    case PredictorModel::kPaper: return "paper";
+    case PredictorModel::kHistory: return "history";
+    case PredictorModel::kPerfect: return "perfect";
+    case PredictorModel::kNone: return "none";
+  }
+  return "?";
+}
+
+namespace {
+
+enum class JobPhase { kNotArrived, kWaiting, kRunning, kDone };
+
+struct JobState {
+  Job job;
+  int alloc_size = 1;
+  JobPhase phase = JobPhase::kNotArrived;
+  double first_start = -1.0;
+  double last_start = -1.0;
+  double finish_time = -1.0;
+  double remaining_work = 0.0;  ///< Work left; shrinks via checkpoints.
+  std::uint64_t gen = 0;        ///< Finish-event validity tag.
+  int restarts = 0;
+  int entry_index = -1;
+};
+
+/// Queue jobs the scheduler actually needs to see: it can start at most
+/// num_nodes jobs per pass plus examine backfill_depth fillers.
+constexpr std::size_t kQueueViewCap = 512;
+
+class Driver {
+ public:
+  Driver(const Workload& workload, const FailureTrace& trace, const SimConfig& config,
+         const PartitionCatalog* shared_catalog)
+      : config_(config),
+        owned_catalog_(shared_catalog
+                           ? nullptr
+                           : new PartitionCatalog(config.dims, config.topology)),
+        catalog_(shared_catalog ? shared_catalog : owned_catalog_.get()),
+        torus_(*catalog_),
+        trace_(&trace),
+        down_(config.dims.volume()),
+        down_until_(static_cast<std::size_t>(config.dims.volume()), 0.0) {
+    BGL_CHECK(catalog_->dims() == config.dims, "shared catalog dims mismatch");
+    BGL_CHECK(catalog_->topology() == config.topology,
+              "shared catalog topology mismatch");
+    BGL_CHECK(trace.empty() || trace.num_nodes() == config.dims.volume(),
+              "failure trace node count mismatch");
+    build_jobs(workload);
+    build_scheduler();
+  }
+
+  SimResult run();
+
+ private:
+  void build_jobs(const Workload& workload);
+  void build_scheduler();
+  void enqueue_job(std::size_t index);
+  void invoke_scheduler(double now);
+  void kill_job(std::size_t index, double now);
+  void finish_job(std::size_t index, double now);
+  NodeSet scheduling_occupancy() const;
+  int usable_free_nodes() const;
+
+  const SimConfig config_;
+  std::unique_ptr<PartitionCatalog> owned_catalog_;
+  const PartitionCatalog* catalog_;
+  TorusOccupancy torus_;
+  const FailureTrace* trace_;
+
+  std::unique_ptr<FaultPredictor> predictor_;
+  std::unique_ptr<Scheduler> scheduler_;
+
+  std::vector<JobState> jobs_;
+  std::vector<std::size_t> queue_;    ///< Waiting jobs, (arrival, id) order.
+  std::vector<std::size_t> running_;  ///< Running jobs, unordered.
+
+  EventQueue events_;
+  CapacityIntegrator integrator_;
+  SimResult result_;
+  std::size_t jobs_done_ = 0;
+  double min_arrival_ = 0.0;
+  double max_finish_ = 0.0;
+
+  NodeSet down_;                     ///< Nodes currently down (kDownFor).
+  std::vector<double> down_until_;
+};
+
+void Driver::build_jobs(const Workload& workload) {
+  const int n = config_.dims.volume();
+  jobs_.reserve(workload.jobs.size());
+  for (const Job& j : workload.jobs) {
+    JobState state;
+    state.job = j;
+    if (state.job.size > n) {
+      BGL_WARN("job " << j.id << " size " << j.size << " exceeds machine (" << n
+                      << "); clamping");
+      state.job.size = n;
+    }
+    const int alloc = catalog_->allocatable_size(state.job.size);
+    BGL_CHECK(alloc > 0, "no allocatable partition size for job");
+    state.alloc_size = alloc;
+    state.remaining_work = state.job.runtime;
+    jobs_.push_back(state);
+  }
+}
+
+void Driver::build_scheduler() {
+  const int n = config_.dims.volume();
+
+  // Predictor: the paper's simulated predictors by default; alternatives
+  // (real history-based, oracle, none) are extensions.
+  switch (config_.predictor_model) {
+    case PredictorModel::kPaper:
+      switch (config_.scheduler) {
+        case SchedulerKind::kKrevat:
+          predictor_ = std::make_unique<NullPredictor>(n);
+          break;
+        case SchedulerKind::kBalancing:
+          predictor_ = std::make_unique<BalancingPredictor>(*trace_, config_.alpha);
+          break;
+        case SchedulerKind::kTieBreak:
+          predictor_ = std::make_unique<TieBreakPredictor>(
+              *trace_, config_.alpha, config_.tiebreak_false_positive_rate,
+              config_.seed);
+          break;
+      }
+      break;
+    case PredictorModel::kHistory:
+      predictor_ = std::make_unique<HistoryPredictor>(
+          *trace_, config_.history_lookback, config_.alpha);
+      break;
+    case PredictorModel::kPerfect:
+      predictor_ = std::make_unique<PerfectPredictor>(*trace_);
+      break;
+    case PredictorModel::kNone:
+      predictor_ = std::make_unique<NullPredictor>(n);
+      break;
+  }
+
+  switch (config_.scheduler) {
+    case SchedulerKind::kKrevat:
+      scheduler_ = make_krevat_scheduler(*catalog_, *predictor_, config_.sched);
+      break;
+    case SchedulerKind::kBalancing:
+      scheduler_ = make_balancing_scheduler(*catalog_, *predictor_, config_.sched);
+      break;
+    case SchedulerKind::kTieBreak:
+      scheduler_ = make_tiebreak_scheduler(*catalog_, *predictor_, config_.sched);
+      break;
+  }
+}
+
+NodeSet Driver::scheduling_occupancy() const {
+  if (config_.failure_semantics == FailureSemantics::kTransient || down_.empty()) {
+    return torus_.occupied();
+  }
+  NodeSet occ = torus_.occupied();
+  occ |= down_;
+  return occ;
+}
+
+int Driver::usable_free_nodes() const {
+  if (config_.failure_semantics == FailureSemantics::kTransient) {
+    return torus_.free_nodes();
+  }
+  NodeSet busy = torus_.occupied();
+  busy |= down_;
+  return catalog_->num_nodes() - busy.count();
+}
+
+void Driver::enqueue_job(std::size_t index) {
+  JobState& state = jobs_[index];
+  state.phase = JobPhase::kWaiting;
+  state.entry_index = -1;
+  auto priority = [&](std::size_t a, std::size_t b) {
+    const Job& ja = jobs_[a].job;
+    const Job& jb = jobs_[b].job;
+    switch (config_.queue_order) {
+      case QueueOrder::kShortestJobFirst:
+        if (ja.estimate != jb.estimate) return ja.estimate < jb.estimate;
+        break;
+      case QueueOrder::kSmallestJobFirst:
+        if (ja.size != jb.size) return ja.size < jb.size;
+        break;
+      case QueueOrder::kFcfs:
+        break;
+    }
+    if (ja.arrival != jb.arrival) return ja.arrival < jb.arrival;
+    return ja.id < jb.id;
+  };
+  const auto pos = std::lower_bound(queue_.begin(), queue_.end(), index, priority);
+  queue_.insert(pos, index);
+  // §6.1: q(t) counts the nodes *requested* by waiting jobs (s_j, not the
+  // rounded-up allocation size).
+  integrator_.add_queued(state.job.size);
+}
+
+void Driver::invoke_scheduler(double now) {
+  // Build the scheduler's views.
+  // Scheduler-facing ids are internal job indices: workload job numbers are
+  // only guaranteed unique per log, not across merged logs.
+  std::vector<WaitingJob> waiting;
+  waiting.reserve(std::min(queue_.size(), kQueueViewCap));
+  for (std::size_t i = 0; i < queue_.size() && i < kQueueViewCap; ++i) {
+    const JobState& s = jobs_[queue_[i]];
+    waiting.push_back(WaitingJob{static_cast<std::uint64_t>(queue_[i]), s.job.size,
+                                 s.alloc_size, s.job.estimate});
+  }
+  std::vector<RunningJob> running;
+  running.reserve(running_.size());
+  for (const std::size_t idx : running_) {
+    const JobState& s = jobs_[idx];
+    running.push_back(RunningJob{static_cast<std::uint64_t>(idx), s.entry_index,
+                                 s.last_start + s.job.estimate});
+  }
+
+  const NodeSet occ = scheduling_occupancy();
+  const SchedulingDecision decision = scheduler_->schedule(now, waiting, running, occ);
+
+  // Apply migrations in two phases: jobs may rotate into one another's old
+  // partitions, so every mover must release before any re-allocates.
+  for (const Migration& m : decision.migrations) {
+    const std::size_t idx = static_cast<std::size_t>(m.id);
+    BGL_CHECK(idx < jobs_.size(), "migration refers to unknown job");
+    BGL_CHECK(jobs_[idx].phase == JobPhase::kRunning, "migrating a non-running job");
+    torus_.release(m.id);
+  }
+  for (const Migration& m : decision.migrations) {
+    torus_.allocate(m.id, m.to_entry);
+    JobState& s = jobs_[static_cast<std::size_t>(m.id)];
+    s.entry_index = m.to_entry;
+    ++result_.migrations;
+    if (config_.record_replay) {
+      result_.replay.push_back(ReplayEvent{now, ReplayEventType::kMigration,
+                                           s.job.id, -1, m.to_entry});
+    }
+  }
+
+  for (const Start& start : decision.starts) {
+    const std::size_t idx = static_cast<std::size_t>(start.id);
+    BGL_CHECK(idx < jobs_.size(), "start refers to unknown job");
+    JobState& s = jobs_[idx];
+    BGL_CHECK(s.phase == JobPhase::kWaiting, "starting a non-waiting job");
+
+    const auto qpos = std::find(queue_.begin(), queue_.end(), idx);
+    BGL_CHECK(qpos != queue_.end(), "started job missing from queue");
+    queue_.erase(qpos);
+    integrator_.add_queued(-static_cast<long long>(s.job.size));
+
+    torus_.allocate(start.id, start.entry_index);
+    s.entry_index = start.entry_index;
+    s.phase = JobPhase::kRunning;
+    s.last_start = now;
+    if (s.first_start < 0.0) s.first_start = now;
+    running_.push_back(idx);
+
+    const double wall = walltime_for_work(s.remaining_work, config_.ckpt);
+    ++s.gen;
+    events_.push(Event{now + wall, EventType::kFinish, start.id, s.gen, 0});
+    if (config_.record_replay) {
+      result_.replay.push_back(ReplayEvent{now, ReplayEventType::kStart, s.job.id,
+                                           -1, start.entry_index});
+    }
+  }
+
+  result_.starts_on_flagged += static_cast<std::size_t>(decision.starts_on_flagged);
+  result_.flagged_with_alternative +=
+      static_cast<std::size_t>(decision.flagged_with_alternative);
+
+  if (!decision.starts.empty() || !decision.migrations.empty()) {
+    integrator_.set_free(usable_free_nodes());
+  }
+}
+
+void Driver::kill_job(std::size_t index, double now) {
+  JobState& s = jobs_[index];
+  BGL_CHECK(s.phase == JobPhase::kRunning, "killing a non-running job");
+  const double elapsed = now - s.last_start;
+  const double saved = saved_work_at(elapsed, s.remaining_work, config_.ckpt);
+  if (config_.ckpt.enabled) {
+    result_.checkpoints_taken +=
+        static_cast<std::size_t>(checkpoint_count(saved, config_.ckpt)) +
+        (saved > 0.0 ? 1u : 0u);
+  }
+  const double wasted = std::max(0.0, std::min(elapsed, s.remaining_work) - saved);
+  result_.work_lost_node_seconds += wasted * static_cast<double>(s.job.size);
+
+  s.remaining_work -= saved;
+  if (saved > 0.0) s.remaining_work += config_.ckpt.restart_overhead;
+  ++s.gen;  // invalidate the in-flight finish event
+  ++s.restarts;
+  ++result_.job_kills;
+  if (now <= s.last_start + s.job.estimate + 1e-9) ++result_.avoidable_kills;
+  if (config_.record_replay) {
+    result_.replay.push_back(ReplayEvent{now, ReplayEventType::kKill, s.job.id, -1,
+                                         s.entry_index});
+  }
+
+  torus_.release(static_cast<std::uint64_t>(index));
+  const auto rpos = std::find(running_.begin(), running_.end(), index);
+  BGL_CHECK(rpos != running_.end(), "killed job missing from running set");
+  *rpos = running_.back();
+  running_.pop_back();
+
+  enqueue_job(index);
+}
+
+void Driver::finish_job(std::size_t index, double now) {
+  JobState& s = jobs_[index];
+  BGL_CHECK(s.phase == JobPhase::kRunning, "finishing a non-running job");
+  if (config_.ckpt.enabled) {
+    result_.checkpoints_taken +=
+        static_cast<std::size_t>(checkpoint_count(s.remaining_work, config_.ckpt));
+  }
+  s.phase = JobPhase::kDone;
+  s.finish_time = now;
+  max_finish_ = std::max(max_finish_, now);
+  if (config_.record_replay) {
+    result_.replay.push_back(ReplayEvent{now, ReplayEventType::kFinish, s.job.id, -1,
+                                         s.entry_index});
+  }
+
+  torus_.release(static_cast<std::uint64_t>(index));
+  const auto rpos = std::find(running_.begin(), running_.end(), index);
+  BGL_CHECK(rpos != running_.end(), "finished job missing from running set");
+  *rpos = running_.back();
+  running_.pop_back();
+  ++jobs_done_;
+
+  JobOutcome outcome;
+  outcome.id = s.job.id;
+  outcome.size = s.job.size;
+  outcome.arrival = s.job.arrival;
+  outcome.first_start = s.first_start;
+  outcome.last_start = s.last_start;
+  outcome.finish = now;
+  outcome.runtime = s.job.runtime;
+  outcome.estimate = s.job.estimate;
+  outcome.restarts = s.restarts;
+
+  result_.wait_stats.add(outcome.wait());
+  result_.response_stats.add(outcome.response());
+  result_.slowdown_stats.add(bounded_slowdown(outcome, config_.metrics));
+  if (config_.collect_outcomes) result_.outcomes.push_back(outcome);
+}
+
+SimResult Driver::run() {
+  if (jobs_.empty()) return result_;
+
+  min_arrival_ = jobs_.front().job.arrival;
+  for (std::size_t i = 0; i < jobs_.size(); ++i) {
+    min_arrival_ = std::min(min_arrival_, jobs_[i].job.arrival);
+    events_.push(Event{jobs_[i].job.arrival, EventType::kArrival,
+                       static_cast<std::uint64_t>(i), 0, 0});
+  }
+  for (const FailureEvent& f : trace_->events()) {
+    events_.push(Event{f.time, EventType::kFailure,
+                       static_cast<std::uint64_t>(f.node), 0, 0});
+  }
+  integrator_.start(min_arrival_, catalog_->num_nodes(), 0);
+
+  while (!events_.empty() && jobs_done_ < jobs_.size()) {
+    const Event e = events_.pop();
+    // Failure events may precede the first arrival; the capacity integral's
+    // lower bound is min(t_a) (§6.1), so only advance from there on. State
+    // changes they cause (e.g. a node going down) still update f(t) below.
+    if (e.time >= min_arrival_) integrator_.advance(e.time);
+
+    switch (e.type) {
+      case EventType::kArrival: {
+        enqueue_job(static_cast<std::size_t>(e.id));
+        if (config_.record_replay) {
+          result_.replay.push_back(
+              ReplayEvent{e.time, ReplayEventType::kArrival,
+                          jobs_[static_cast<std::size_t>(e.id)].job.id, -1, -1});
+        }
+        invoke_scheduler(e.time);
+        break;
+      }
+      case EventType::kFinish: {
+        const std::size_t idx = static_cast<std::size_t>(e.id);
+        BGL_CHECK(idx < jobs_.size(), "finish event for unknown job");
+        JobState& s = jobs_[idx];
+        if (s.gen != e.tag || s.phase != JobPhase::kRunning) break;  // stale
+        finish_job(idx, e.time);
+        integrator_.set_free(usable_free_nodes());
+        invoke_scheduler(e.time);
+        break;
+      }
+      case EventType::kFailure: {
+        const int node = static_cast<int>(e.id);
+        ++result_.failures_total;
+        if (config_.record_replay) {
+          result_.replay.push_back(
+              ReplayEvent{e.time, ReplayEventType::kNodeFailure, 0, node, -1});
+        }
+        const std::vector<std::uint64_t> victims = torus_.allocations_containing(node);
+        if (config_.failure_semantics == FailureSemantics::kDownFor &&
+            config_.node_downtime > 0.0) {
+          down_.set(node);
+          down_until_[static_cast<std::size_t>(node)] =
+              std::max(down_until_[static_cast<std::size_t>(node)],
+                       e.time + config_.node_downtime);
+          events_.push(Event{e.time + config_.node_downtime, EventType::kCustom,
+                             e.id, 0, 0});
+        }
+        if (!victims.empty()) ++result_.failures_hitting_jobs;
+        for (const std::uint64_t id : victims) {
+          kill_job(static_cast<std::size_t>(id), e.time);
+        }
+        if (!victims.empty() ||
+            config_.failure_semantics == FailureSemantics::kDownFor) {
+          integrator_.set_free(usable_free_nodes());
+          invoke_scheduler(e.time);
+        }
+        break;
+      }
+      case EventType::kCustom: {
+        // Node down-time expiry.
+        const int node = static_cast<int>(e.id);
+        if (down_.test(node) &&
+            e.time + 1e-9 >= down_until_[static_cast<std::size_t>(node)]) {
+          down_.reset(node);
+          integrator_.set_free(usable_free_nodes());
+          invoke_scheduler(e.time);
+        }
+        break;
+      }
+      case EventType::kCheckpoint:
+        break;  // checkpoints are modelled analytically; no discrete events
+    }
+  }
+
+  BGL_CHECK(jobs_done_ == jobs_.size(),
+            "simulation ended with unfinished jobs (deadlock?)");
+
+  result_.jobs_completed = jobs_done_;
+  result_.span = max_finish_ - min_arrival_;
+  result_.avg_wait = result_.wait_stats.mean();
+  result_.avg_response = result_.response_stats.mean();
+  result_.avg_bounded_slowdown = result_.slowdown_stats.mean();
+
+  const double tn = result_.span * static_cast<double>(catalog_->num_nodes());
+  if (tn > 0.0) {
+    double useful = 0.0;
+    for (const JobState& s : jobs_) {
+      useful += static_cast<double>(s.job.size) * s.job.runtime;
+    }
+    result_.utilization = useful / tn;
+    result_.unused = integrator_.unused_integral() / tn;
+    result_.lost = 1.0 - result_.utilization - result_.unused;
+  }
+  return result_;
+}
+
+}  // namespace
+
+SimResult run_simulation(const Workload& workload, const FailureTrace& trace,
+                         const SimConfig& config,
+                         const PartitionCatalog* shared_catalog) {
+  validate(config.dims);
+  Driver driver(workload, trace, config, shared_catalog);
+  return driver.run();
+}
+
+}  // namespace bgl

@@ -1,0 +1,102 @@
+// Event-driven simulation of job scheduling with faults (§6.1).
+//
+// The driver owns all mutable state — job lifecycle, FCFS queue, torus
+// occupancy, event queue, metric integrators — and defers every placement
+// decision to a Scheduler. Semantics fixed by the paper:
+//
+//   * jobs start the instant they are scheduled;
+//   * failures are transient: a failing node kills any job running on it
+//     (work since the last checkpoint — all work, in the baseline — is
+//     lost; the job re-enters the queue with its original arrival priority)
+//     and is immediately available again;
+//   * the scheduler runs on every arrival and every termination, including
+//     failure-induced kills.
+//
+// Extensions beyond the paper, all off by default: checkpointing
+// (CheckpointConfig) and node down-time after a failure (kDownFor).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "ckpt/checkpoint.hpp"
+#include "failure/trace.hpp"
+#include "sched/types.hpp"
+#include "sim/metrics.hpp"
+#include "torus/catalog.hpp"
+#include "workload/job.hpp"
+
+namespace bgl {
+
+enum class SchedulerKind { kKrevat, kBalancing, kTieBreak };
+
+const char* to_string(SchedulerKind kind);
+
+/// Which predictor feeds the fault-aware placement policies.
+enum class PredictorModel {
+  kPaper,    ///< §4: balancing/tie-breaking predictors with knob `alpha`.
+  kHistory,  ///< Extension: real past-only predictor (HistoryPredictor);
+             ///  `alpha` becomes its per-node confidence, lookback below.
+  kPerfect,  ///< Oracle upper bound.
+  kNone,     ///< Fault-oblivious regardless of scheduler kind.
+};
+
+const char* to_string(PredictorModel model);
+
+/// Waiting-queue priority order. The paper is strictly FCFS; the others are
+/// classic alternatives provided for scheduler studies (see
+/// bench_ablation_queue_order).
+enum class QueueOrder {
+  kFcfs,              ///< (arrival, id) — the paper's discipline.
+  kShortestJobFirst,  ///< (estimate, arrival, id).
+  kSmallestJobFirst,  ///< (nodes requested, arrival, id).
+};
+
+const char* to_string(QueueOrder order);
+
+/// What happens to a node after it fails.
+enum class FailureSemantics {
+  kTransient,  ///< Paper baseline: instantly healthy again.
+  kDownFor,    ///< Extension: unschedulable for `node_downtime` seconds.
+};
+
+struct SimConfig {
+  Dims dims = Dims::bluegene_l();
+  /// kTorus (the paper's model) or kMesh (no wrap-around; Krevat et al.
+  /// studied both — see bench_ablation_topology).
+  Topology topology = Topology::kTorus;
+  SchedulerKind scheduler = SchedulerKind::kBalancing;
+
+  /// Prediction quality knob: confidence a for the balancing scheduler,
+  /// accuracy a for the tie-breaking scheduler. Ignored by Krevat.
+  double alpha = 0.0;
+  /// Optional false positives for the tie-breaking predictor (paper: 0).
+  double tiebreak_false_positive_rate = 0.0;
+  /// Predictor source (paper-simulated by default).
+  PredictorModel predictor_model = PredictorModel::kPaper;
+  /// History window of the kHistory predictor.
+  double history_lookback = 7.0 * 86400.0;
+
+  SchedulerConfig sched;
+  QueueOrder queue_order = QueueOrder::kFcfs;
+  MetricsConfig metrics;
+  CheckpointConfig ckpt;
+
+  FailureSemantics failure_semantics = FailureSemantics::kTransient;
+  double node_downtime = 0.0;  ///< Seconds a node stays down (kDownFor).
+
+  std::uint64_t seed = 1;      ///< Salts the tie-breaking predictor's coins.
+  bool collect_outcomes = false;
+  /// Record a structured event log (SimResult::replay) for offline
+  /// validation, visualisation, or regression diffing (src/sim/replay.hpp).
+  bool record_replay = false;
+};
+
+/// Run one simulation. Job sizes must already fit config.dims (use
+/// rescale_sizes()); the failure trace must target the same node count.
+/// Pass a prebuilt catalog to amortise its construction across sweeps.
+SimResult run_simulation(const Workload& workload, const FailureTrace& trace,
+                         const SimConfig& config,
+                         const PartitionCatalog* shared_catalog = nullptr);
+
+}  // namespace bgl

@@ -1,0 +1,38 @@
+#include "sim/metrics.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace bgl {
+
+double bounded_slowdown(const JobOutcome& job, const MetricsConfig& config) {
+  const double gamma = config.gamma;
+  BGL_CHECK(gamma > 0.0, "Γ must be positive");
+  const double base =
+      config.use_estimate_denominator ? job.estimate : job.runtime;
+  const double denominator =
+      config.use_paper_min_denominator ? std::min(base, gamma) : std::max(base, gamma);
+  BGL_CHECK(denominator > 0.0, "slowdown denominator must be positive");
+  return std::max(job.response(), gamma) / denominator;
+}
+
+void CapacityIntegrator::start(double t0, int free_nodes, long long queued_demand) {
+  BGL_CHECK(!started_, "integrator already started");
+  started_ = true;
+  last_time_ = t0;
+  free_ = free_nodes;
+  queued_ = queued_demand;
+}
+
+void CapacityIntegrator::advance(double t) {
+  if (!started_) return;  // events before the first arrival do not count
+  BGL_CHECK(t >= last_time_ - 1e-9, "time went backwards in integrator");
+  const double dt = std::max(0.0, t - last_time_);
+  const double surplus =
+      std::max(0.0, static_cast<double>(free_) - static_cast<double>(queued_));
+  integral_ += surplus * dt;
+  last_time_ = t;
+}
+
+}  // namespace bgl

@@ -1,0 +1,156 @@
+#include "torus/catalog.hpp"
+
+#include <algorithm>
+#include <tuple>
+
+namespace bgl {
+
+PartitionCatalog::PartitionCatalog(Dims dims, Topology topology)
+    : dims_(dims), topology_(topology) {
+  validate(dims_);
+  const int volume = dims_.volume();
+
+  // Enumerate every canonical (shape, base) pair. On the torus a full-extent
+  // dimension has one canonical base (all wrap-equivalent); on a mesh a box
+  // of extent e admits exactly D - e + 1 non-wrapping bases.
+  const bool mesh = topology_ == Topology::kMesh;
+  for (int sx = 1; sx <= dims_.x; ++sx) {
+    for (int sy = 1; sy <= dims_.y; ++sy) {
+      for (int sz = 1; sz <= dims_.z; ++sz) {
+        const int bx_max = mesh ? dims_.x - sx + 1 : ((sx == dims_.x) ? 1 : dims_.x);
+        const int by_max = mesh ? dims_.y - sy + 1 : ((sy == dims_.y) ? 1 : dims_.y);
+        const int bz_max = mesh ? dims_.z - sz + 1 : ((sz == dims_.z) ? 1 : dims_.z);
+        for (int bx = 0; bx < bx_max; ++bx) {
+          for (int by = 0; by < by_max; ++by) {
+            for (int bz = 0; bz < bz_max; ++bz) {
+              Entry e;
+              e.box = Box{Coord{bx, by, bz}, Triple{sx, sy, sz}};
+              e.mask = box_mask(dims_, e.box);
+              e.size = e.box.volume();
+              entries_.push_back(std::move(e));
+            }
+          }
+        }
+      }
+    }
+  }
+
+  auto key = [](const Entry& e) {
+    return std::make_tuple(-e.size, e.box.shape.x, e.box.shape.y, e.box.shape.z,
+                           e.box.base.x, e.box.base.y, e.box.base.z);
+  };
+  std::sort(entries_.begin(), entries_.end(),
+            [&](const Entry& a, const Entry& b) { return key(a) < key(b); });
+
+  range_by_size_.assign(static_cast<std::size_t>(volume) + 1, {0, 0});
+  for (int i = 0; i < num_entries();) {
+    int j = i;
+    while (j < num_entries() && entries_[static_cast<std::size_t>(j)].size ==
+                                    entries_[static_cast<std::size_t>(i)].size) {
+      ++j;
+    }
+    range_by_size_[static_cast<std::size_t>(entries_[static_cast<std::size_t>(i)].size)] = {i, j};
+    i = j;
+  }
+
+  allocatable_size_.assign(static_cast<std::size_t>(volume) + 1, -1);
+  int best = -1;
+  for (int s = volume; s >= 1; --s) {
+    const auto [first, last] = range_by_size_[static_cast<std::size_t>(s)];
+    if (first != last) best = s;
+    allocatable_size_[static_cast<std::size_t>(s)] = best;
+  }
+  allocatable_size_[0] = allocatable_size_[1];
+}
+
+std::pair<int, int> PartitionCatalog::size_range(int s) const {
+  if (s < 0 || s > num_nodes()) return {0, 0};
+  return range_by_size_[static_cast<std::size_t>(s)];
+}
+
+int PartitionCatalog::allocatable_size(int s) const {
+  if (s > num_nodes()) return -1;
+  if (s < 0) s = 0;
+  return allocatable_size_[static_cast<std::size_t>(s)];
+}
+
+int PartitionCatalog::first_free_index(const NodeSet& occ, int start_index) const {
+  const auto& occ_words = occ.words();
+  for (int i = std::max(start_index, 0); i < num_entries(); ++i) {
+    const auto& mask_words = entries_[static_cast<std::size_t>(i)].mask.words();
+    bool free = true;
+    for (std::size_t w = 0; w < mask_words.size(); ++w) {
+      if (mask_words[w] & occ_words[w]) {
+        free = false;
+        break;
+      }
+    }
+    if (free) return i;
+  }
+  return -1;
+}
+
+int PartitionCatalog::first_free_index_with(const NodeSet& occ, const NodeSet& extra,
+                                            int start_index) const {
+  const auto& occ_words = occ.words();
+  const auto& extra_words = extra.words();
+  for (int i = std::max(start_index, 0); i < num_entries(); ++i) {
+    const auto& mask_words = entries_[static_cast<std::size_t>(i)].mask.words();
+    bool free = true;
+    for (std::size_t w = 0; w < mask_words.size(); ++w) {
+      if (mask_words[w] & (occ_words[w] | extra_words[w])) {
+        free = false;
+        break;
+      }
+    }
+    if (free) return i;
+  }
+  return -1;
+}
+
+int PartitionCatalog::mfp(const NodeSet& occ) const {
+  const int index = first_free_index(occ);
+  return index < 0 ? 0 : entries_[static_cast<std::size_t>(index)].size;
+}
+
+int PartitionCatalog::mfp_with(const NodeSet& occ, const NodeSet& extra,
+                               int mfp_hint) const {
+  const int index = first_free_index_with(occ, extra, mfp_hint);
+  return index < 0 ? 0 : entries_[static_cast<std::size_t>(index)].size;
+}
+
+void PartitionCatalog::free_entries_of_size(const NodeSet& occ, int s,
+                                            std::vector<int>& out) const {
+  const auto [first, last] = size_range(s);
+  const auto& occ_words = occ.words();
+  for (int i = first; i < last; ++i) {
+    const auto& mask_words = entries_[static_cast<std::size_t>(i)].mask.words();
+    bool free = true;
+    for (std::size_t w = 0; w < mask_words.size(); ++w) {
+      if (mask_words[w] & occ_words[w]) {
+        free = false;
+        break;
+      }
+    }
+    if (free) out.push_back(i);
+  }
+}
+
+bool PartitionCatalog::has_free_of_size(const NodeSet& occ, int s) const {
+  const auto [first, last] = size_range(s);
+  const auto& occ_words = occ.words();
+  for (int i = first; i < last; ++i) {
+    const auto& mask_words = entries_[static_cast<std::size_t>(i)].mask.words();
+    bool free = true;
+    for (std::size_t w = 0; w < mask_words.size(); ++w) {
+      if (mask_words[w] & occ_words[w]) {
+        free = false;
+        break;
+      }
+    }
+    if (free) return true;
+  }
+  return false;
+}
+
+}  // namespace bgl

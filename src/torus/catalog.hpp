@@ -1,0 +1,83 @@
+// PartitionCatalog: the precomputed set of every legal partition.
+//
+// On the scheduler-visible BlueGene/L machine (4 x 4 x 8 supernodes) the set
+// of all contiguous rectangular partitions with torus wrap-around is small
+// (9 633 canonical boxes), so we precompute each one's node bitmask once.
+// Every hot scheduler query then becomes a masked scan:
+//
+//   free?            (occ & mask) == 0            ~2 word-ops
+//   MFP(occ)         first free entry in the size-descending order
+//   MFP(occ | cand)  same scan with a fused OR, resumable from the index of
+//                    MFP(occ) because adding nodes can only shrink the MFP.
+//
+// Canonicality: along any dimension whose extent equals the torus extent the
+// base is fixed at 0 (all bases are wrap-equivalent), which makes the
+// (shape, base) description of a node set unique — no dedup pass needed.
+#pragma once
+
+#include <utility>
+#include <vector>
+
+#include "torus/coords.hpp"
+#include "torus/nodeset.hpp"
+#include "torus/partition.hpp"
+
+namespace bgl {
+
+class PartitionCatalog {
+ public:
+  struct Entry {
+    Box box;
+    NodeSet mask;
+    int size = 0;
+  };
+
+  explicit PartitionCatalog(Dims dims, Topology topology = Topology::kTorus);
+
+  const Dims& dims() const { return dims_; }
+  Topology topology() const { return topology_; }
+  int num_nodes() const { return dims_.volume(); }
+  int num_entries() const { return static_cast<int>(entries_.size()); }
+  const Entry& entry(int index) const { return entries_[static_cast<std::size_t>(index)]; }
+
+  /// Entries are sorted by (size desc, shape lex, base lex); entries of one
+  /// size are contiguous. Returns [first, last) indices for exact size s,
+  /// or an empty range if no shape of that volume fits the torus.
+  std::pair<int, int> size_range(int s) const;
+
+  /// Smallest s' >= s for which partitions exist (jobs whose size has no
+  /// fitting shape are rounded up, as in Krevat's scheduler). Returns -1 if
+  /// s exceeds the machine size.
+  int allocatable_size(int s) const;
+
+  /// Index of the first entry at or after start_index whose mask is disjoint
+  /// from occ; -1 if none. Because entries are size-descending this gives
+  /// the maximal free partition when start_index == 0.
+  int first_free_index(const NodeSet& occ, int start_index = 0) const;
+
+  /// Same, but tests against (occ | extra) without materialising the union.
+  int first_free_index_with(const NodeSet& occ, const NodeSet& extra,
+                            int start_index = 0) const;
+
+  /// Size of the maximal free partition (0 when nothing is free).
+  int mfp(const NodeSet& occ) const;
+
+  /// MFP of (occ | extra), resumable: pass the index returned by
+  /// first_free_index(occ) as mfp_hint to skip entries already known busy.
+  int mfp_with(const NodeSet& occ, const NodeSet& extra, int mfp_hint = 0) const;
+
+  /// Indices of all free entries of exactly size s (appended to out).
+  void free_entries_of_size(const NodeSet& occ, int s, std::vector<int>& out) const;
+
+  /// True if at least one free partition of exactly size s exists.
+  bool has_free_of_size(const NodeSet& occ, int s) const;
+
+ private:
+  Dims dims_;
+  Topology topology_ = Topology::kTorus;
+  std::vector<Entry> entries_;
+  std::vector<std::pair<int, int>> range_by_size_;   ///< indexed by size, [first,last)
+  std::vector<int> allocatable_size_;                ///< indexed by requested size
+};
+
+}  // namespace bgl

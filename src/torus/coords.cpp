@@ -1,0 +1,33 @@
+#include "torus/coords.hpp"
+
+#include <sstream>
+
+namespace bgl {
+
+const char* to_string(Topology topology) {
+  switch (topology) {
+    case Topology::kTorus: return "torus";
+    case Topology::kMesh: return "mesh";
+  }
+  return "?";
+}
+
+std::string to_string(const Coord& c) {
+  std::ostringstream os;
+  os << '(' << c.x << ", " << c.y << ", " << c.z << ')';
+  return os.str();
+}
+
+std::string to_string(const Dims& d) {
+  std::ostringstream os;
+  os << d.x << 'x' << d.y << 'x' << d.z;
+  return os.str();
+}
+
+void validate(const Dims& dims) {
+  if (dims.x <= 0 || dims.y <= 0 || dims.z <= 0) {
+    throw ConfigError("torus dimensions must be positive, got " + to_string(dims));
+  }
+}
+
+}  // namespace bgl

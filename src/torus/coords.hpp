@@ -1,0 +1,77 @@
+// Geometry of a 3-D torus of (super)nodes.
+//
+// BlueGene/L is modelled, as in the paper, as a 4 x 4 x 8 torus of
+// "supernodes" (each being an 8x8x8 block of compute nodes). All classes in
+// this module are dimension-generic so the Appendix-9 complexity study can
+// run on M x M x M tori as well.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "util/error.hpp"
+#include "util/math.hpp"
+
+namespace bgl {
+
+/// Linear node identifier in [0, Dims::volume()).
+using NodeId = std::int32_t;
+
+/// Interconnect topology for partition placement. BlueGene/L electrically
+/// isolates partitions; Krevat et al. studied both variants:
+///   kTorus — partitions may wrap around any dimension (the paper's model);
+///   kMesh  — partitions must be axis-aligned boxes without wrap-around.
+enum class Topology { kTorus, kMesh };
+
+const char* to_string(Topology topology);
+
+/// Coordinates of a node in the torus.
+struct Coord {
+  int x = 0;
+  int y = 0;
+  int z = 0;
+  friend bool operator==(const Coord&, const Coord&) = default;
+};
+
+/// Torus dimensions. The paper's machine is {4, 4, 8} supernodes.
+struct Dims {
+  int x = 0;
+  int y = 0;
+  int z = 0;
+
+  constexpr int volume() const { return x * y * z; }
+
+  /// BlueGene/L as seen by the job scheduler: 4 x 4 x 8 supernodes.
+  static constexpr Dims bluegene_l() { return Dims{4, 4, 8}; }
+
+  /// Cubic torus for the partition-finder complexity study.
+  static constexpr Dims cube(int m) { return Dims{m, m, m}; }
+
+  friend bool operator==(const Dims&, const Dims&) = default;
+};
+
+/// Row-major linearisation: id = x + dims.x * (y + dims.y * z).
+constexpr NodeId node_id(const Dims& dims, const Coord& c) {
+  return static_cast<NodeId>(c.x + dims.x * (c.y + dims.y * c.z));
+}
+
+/// Inverse of node_id().
+constexpr Coord coord_of(const Dims& dims, NodeId id) {
+  const int x = static_cast<int>(id) % dims.x;
+  const int rest = static_cast<int>(id) / dims.x;
+  return Coord{x, rest % dims.y, rest / dims.y};
+}
+
+/// Wrap a (possibly out-of-range, non-negative) coordinate onto the torus.
+constexpr Coord wrap(const Dims& dims, int x, int y, int z) {
+  return Coord{x % dims.x, y % dims.y, z % dims.z};
+}
+
+/// Human-readable "(x, y, z)".
+std::string to_string(const Coord& c);
+std::string to_string(const Dims& d);
+
+/// Validate dims (positive extents) or throw ConfigError.
+void validate(const Dims& dims);
+
+}  // namespace bgl

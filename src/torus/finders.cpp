@@ -1,0 +1,166 @@
+#include "torus/finders.hpp"
+
+#include <algorithm>
+#include <tuple>
+
+namespace bgl {
+
+namespace {
+
+auto box_key(const Box& b) {
+  return std::make_tuple(b.shape.x, b.shape.y, b.shape.z, b.base.x, b.base.y, b.base.z);
+}
+
+/// Base-coordinate iteration bound: full-extent dimensions have one
+/// canonical base (0); others have dims.d bases.
+int base_bound(int extent, int dim) { return extent == dim ? 1 : dim; }
+
+/// Check freedom of a box by scanning every covered node.
+bool box_is_free(const Dims& dims, const NodeSet& occ, const Box& box) {
+  for (int dz = 0; dz < box.shape.z; ++dz) {
+    for (int dy = 0; dy < box.shape.y; ++dy) {
+      for (int dx = 0; dx < box.shape.x; ++dx) {
+        const Coord c = wrap(dims, box.base.x + dx, box.base.y + dy, box.base.z + dz);
+        if (occ.test(node_id(dims, c))) return false;
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+void sort_boxes(std::vector<Box>& boxes) {
+  std::sort(boxes.begin(), boxes.end(),
+            [](const Box& a, const Box& b) { return box_key(a) < box_key(b); });
+}
+
+std::vector<Box> find_free_all_naive(const Dims& dims, const NodeSet& occ) {
+  validate(dims);
+  std::vector<Box> out;
+  for (int sx = 1; sx <= dims.x; ++sx) {
+    for (int sy = 1; sy <= dims.y; ++sy) {
+      for (int sz = 1; sz <= dims.z; ++sz) {
+        for (int bx = 0; bx < base_bound(sx, dims.x); ++bx) {
+          for (int by = 0; by < base_bound(sy, dims.y); ++by) {
+            for (int bz = 0; bz < base_bound(sz, dims.z); ++bz) {
+              const Box box{Coord{bx, by, bz}, Triple{sx, sy, sz}};
+              if (box_is_free(dims, occ, box)) out.push_back(box);
+            }
+          }
+        }
+      }
+    }
+  }
+  sort_boxes(out);
+  return out;
+}
+
+std::vector<Box> find_free_naive(const Dims& dims, const NodeSet& occ, int s) {
+  std::vector<Box> all = find_free_all_naive(dims, occ);
+  std::vector<Box> out;
+  for (const Box& b : all) {
+    if (b.volume() == s) out.push_back(b);
+  }
+  return out;
+}
+
+std::vector<Box> find_free_pop(const Dims& dims, const NodeSet& occ, int s) {
+  validate(dims);
+  BGL_CHECK(s >= 1, "partition size must be positive");
+  std::vector<Box> out;
+
+  // proj[y][x] counts occupied nodes in the current z-slab column (x, y).
+  std::vector<int> proj(static_cast<std::size_t>(dims.x * dims.y), 0);
+  auto proj_at = [&](int x, int y) -> int& {
+    return proj[static_cast<std::size_t>(y * dims.x + x)];
+  };
+
+  for (int z0 = 0; z0 < dims.z; ++z0) {
+    std::fill(proj.begin(), proj.end(), 0);
+    for (int sz = 1; sz <= dims.z; ++sz) {
+      // Canonical z base: when sz spans the whole dimension only z0 == 0 counts.
+      const int z = (z0 + sz - 1) % dims.z;
+      for (int y = 0; y < dims.y; ++y) {
+        for (int x = 0; x < dims.x; ++x) {
+          if (occ.test(node_id(dims, Coord{x, y, z}))) ++proj_at(x, y);
+        }
+      }
+      if (sz == dims.z && z0 != 0) continue;
+      if (s % sz != 0) continue;
+      const int area = s / sz;
+      if (area > dims.x * dims.y) continue;
+      // Enumerate 2-D free rectangles of the required area on the projection.
+      for (int sx = 1; sx <= dims.x; ++sx) {
+        if (area % sx != 0) continue;
+        const int sy = area / sx;
+        if (sy > dims.y) continue;
+        for (int bx = 0; bx < base_bound(sx, dims.x); ++bx) {
+          for (int by = 0; by < base_bound(sy, dims.y); ++by) {
+            bool free = true;
+            for (int dy = 0; dy < sy && free; ++dy) {
+              for (int dx = 0; dx < sx; ++dx) {
+                if (proj_at((bx + dx) % dims.x, (by + dy) % dims.y) > 0) {
+                  free = false;
+                  break;
+                }
+              }
+            }
+            if (free) out.push_back(Box{Coord{bx, by, z0}, Triple{sx, sy, sz}});
+          }
+        }
+      }
+    }
+  }
+  sort_boxes(out);
+  return out;
+}
+
+std::vector<Box> find_free_divisor(const Dims& dims, const NodeSet& occ, int s) {
+  validate(dims);
+  BGL_CHECK(s >= 1, "partition size must be positive");
+  std::vector<Box> out;
+  const std::vector<Triple> shapes = divisor_triples(s, dims.x, dims.y, dims.z);
+  for (const Triple& shape : shapes) {
+    for (int bx = 0; bx < base_bound(shape.x, dims.x); ++bx) {
+      for (int by = 0; by < base_bound(shape.y, dims.y); ++by) {
+        // Scan z bases in increasing order; when the innermost check finds an
+        // occupied node at z-offset k we can skip every base that would still
+        // cover it (the paper's "no need to search further" optimisation).
+        int bz = 0;
+        const int bz_bound = base_bound(shape.z, dims.z);
+        while (bz < bz_bound) {
+          int blocked_offset = -1;
+          for (int dz = shape.z - 1; dz >= 0; --dz) {
+            bool plane_free = true;
+            for (int dy = 0; dy < shape.y && plane_free; ++dy) {
+              for (int dx = 0; dx < shape.x; ++dx) {
+                const Coord c = wrap(dims, bx + dx, by + dy, bz + dz);
+                if (occ.test(node_id(dims, c))) {
+                  plane_free = false;
+                  break;
+                }
+              }
+            }
+            if (!plane_free) {
+              blocked_offset = dz;
+              break;
+            }
+          }
+          if (blocked_offset < 0) {
+            out.push_back(Box{Coord{bx, by, bz}, Triple{shape.x, shape.y, shape.z}});
+            ++bz;
+          } else {
+            // The occupied plane is at absolute z (bz + blocked_offset); no
+            // base in (bz, bz + blocked_offset] can avoid it, so jump past.
+            bz += blocked_offset + 1;
+          }
+        }
+      }
+    }
+  }
+  sort_boxes(out);
+  return out;
+}
+
+}  // namespace bgl

@@ -1,0 +1,43 @@
+// Generic free-partition finder algorithms (Appendix 9 of the paper).
+//
+// Three algorithms for "find every free, contiguous, rectangular partition
+// of size s on a (possibly partially occupied) torus":
+//
+//   1. find_free_naive    — enumerate all boxes of every size, check each
+//                           node, filter by size. O(M^9) on an empty
+//                           M x M x M torus (the paper's strawman).
+//   2. find_free_pop      — Krevat et al.'s Projection-of-Partitions idea:
+//                           project z-slabs to 2-D occupancy incrementally
+//                           and enumerate free rectangles per slab. O(M^5).
+//   3. find_free_divisor  — the paper's Appendix-9 algorithm: enumerate only
+//                           divisor-triple shapes of s and skip occupied
+//                           stretches while scanning bases.
+//
+// All three return the identical canonical box set (property-tested); the
+// PartitionCatalog is the production path and is validated against them.
+#pragma once
+
+#include <vector>
+
+#include "torus/coords.hpp"
+#include "torus/nodeset.hpp"
+#include "torus/partition.hpp"
+
+namespace bgl {
+
+/// Deterministic ordering for finder results (so sets can be compared).
+void sort_boxes(std::vector<Box>& boxes);
+
+/// All canonical free boxes of every size. The naive algorithm's first phase.
+std::vector<Box> find_free_all_naive(const Dims& dims, const NodeSet& occ);
+
+/// Naive: all free boxes, then filter by volume == s.
+std::vector<Box> find_free_naive(const Dims& dims, const NodeSet& occ, int s);
+
+/// Projection-of-Partitions (POP): O(M^5)-family algorithm.
+std::vector<Box> find_free_pop(const Dims& dims, const NodeSet& occ, int s);
+
+/// Appendix-9 divisor-shape finder with occupied-stretch skipping.
+std::vector<Box> find_free_divisor(const Dims& dims, const NodeSet& occ, int s);
+
+}  // namespace bgl

@@ -1,0 +1,118 @@
+#include "torus/nodeset.hpp"
+
+#include <bit>
+
+#include "util/rng.hpp"
+
+namespace bgl {
+
+NodeSet::NodeSet(int bits) : bits_(bits), words_((bits + 63) / 64, 0) {
+  BGL_CHECK(bits >= 0, "NodeSet size must be non-negative");
+}
+
+int NodeSet::count() const {
+  int total = 0;
+  for (const std::uint64_t w : words_) total += std::popcount(w);
+  return total;
+}
+
+void NodeSet::set(int id) {
+  BGL_CHECK(id >= 0 && id < bits_, "NodeSet::set out of range");
+  words_[id >> 6] |= (1ULL << (id & 63));
+}
+
+void NodeSet::reset(int id) {
+  BGL_CHECK(id >= 0 && id < bits_, "NodeSet::reset out of range");
+  words_[id >> 6] &= ~(1ULL << (id & 63));
+}
+
+bool NodeSet::test(int id) const {
+  BGL_CHECK(id >= 0 && id < bits_, "NodeSet::test out of range");
+  return (words_[id >> 6] >> (id & 63)) & 1ULL;
+}
+
+void NodeSet::clear() {
+  for (std::uint64_t& w : words_) w = 0;
+}
+
+void NodeSet::fill() {
+  for (int id = 0; id < bits_; ++id) set(id);
+}
+
+bool NodeSet::intersects(const NodeSet& other) const {
+  check_compatible(other);
+  for (std::size_t i = 0; i < words_.size(); ++i) {
+    if (words_[i] & other.words_[i]) return true;
+  }
+  return false;
+}
+
+int NodeSet::intersect_count(const NodeSet& other) const {
+  check_compatible(other);
+  int total = 0;
+  for (std::size_t i = 0; i < words_.size(); ++i) {
+    total += std::popcount(words_[i] & other.words_[i]);
+  }
+  return total;
+}
+
+bool NodeSet::intersects_or(const NodeSet& a, const NodeSet& b) const {
+  check_compatible(a);
+  check_compatible(b);
+  for (std::size_t i = 0; i < words_.size(); ++i) {
+    if (words_[i] & (a.words_[i] | b.words_[i])) return true;
+  }
+  return false;
+}
+
+bool NodeSet::is_subset_of(const NodeSet& other) const {
+  check_compatible(other);
+  for (std::size_t i = 0; i < words_.size(); ++i) {
+    if (words_[i] & ~other.words_[i]) return false;
+  }
+  return true;
+}
+
+NodeSet& NodeSet::operator|=(const NodeSet& other) {
+  check_compatible(other);
+  for (std::size_t i = 0; i < words_.size(); ++i) words_[i] |= other.words_[i];
+  return *this;
+}
+
+NodeSet& NodeSet::operator&=(const NodeSet& other) {
+  check_compatible(other);
+  for (std::size_t i = 0; i < words_.size(); ++i) words_[i] &= other.words_[i];
+  return *this;
+}
+
+NodeSet& NodeSet::subtract(const NodeSet& other) {
+  check_compatible(other);
+  for (std::size_t i = 0; i < words_.size(); ++i) words_[i] &= ~other.words_[i];
+  return *this;
+}
+
+std::uint64_t NodeSet::hash() const {
+  std::uint64_t h = 0x2545f4914f6cdd1dULL ^ static_cast<std::uint64_t>(bits_);
+  for (const std::uint64_t w : words_) h = hash_combine(h, w);
+  return h;
+}
+
+std::vector<int> NodeSet::to_ids() const {
+  std::vector<int> ids;
+  ids.reserve(static_cast<std::size_t>(count()));
+  for (std::size_t wi = 0; wi < words_.size(); ++wi) {
+    std::uint64_t w = words_[wi];
+    while (w) {
+      const int bit = std::countr_zero(w);
+      ids.push_back(static_cast<int>(wi * 64) + bit);
+      w &= w - 1;
+    }
+  }
+  return ids;
+}
+
+void NodeSet::check_compatible(const NodeSet& other) const {
+  BGL_CHECK(bits_ == other.bits_, "NodeSet size mismatch");
+}
+
+}  // namespace bgl

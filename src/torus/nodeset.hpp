@@ -1,0 +1,68 @@
+// Dense bitset over torus nodes.
+//
+// The scheduler's hot loops are "is this partition free" tests, which reduce
+// to word-wise AND over at most a handful of 64-bit words (128 supernodes =
+// 2 words). NodeSet keeps the words in a small vector and exposes allocation-
+// free combined tests (intersects_or) so the partition catalog can test
+// (occupancy | candidate) against an entry mask without building temporaries.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace bgl {
+
+class NodeSet {
+ public:
+  NodeSet() = default;
+
+  /// An empty set over `bits` node ids.
+  explicit NodeSet(int bits);
+
+  int bits() const { return bits_; }
+  bool empty() const { return count() == 0; }
+  int count() const;
+
+  void set(int id);
+  void reset(int id);
+  bool test(int id) const;
+  void clear();
+  void fill();  ///< Set all `bits` bits.
+
+  /// True if this and other share any set bit.
+  bool intersects(const NodeSet& other) const;
+
+  /// Number of bits set in (this & other).
+  int intersect_count(const NodeSet& other) const;
+
+  /// True if this intersects (a | b); avoids materialising the union.
+  bool intersects_or(const NodeSet& a, const NodeSet& b) const;
+
+  /// True if every set bit of this is also set in other.
+  bool is_subset_of(const NodeSet& other) const;
+
+  NodeSet& operator|=(const NodeSet& other);
+  NodeSet& operator&=(const NodeSet& other);
+  NodeSet& subtract(const NodeSet& other);  ///< this &= ~other
+
+  friend bool operator==(const NodeSet&, const NodeSet&) = default;
+
+  /// Stable 64-bit hash for dedup containers.
+  std::uint64_t hash() const;
+
+  /// Set-bit node ids in ascending order.
+  std::vector<int> to_ids() const;
+
+  /// Direct word access for the catalog's fused-scan loops.
+  const std::vector<std::uint64_t>& words() const { return words_; }
+
+ private:
+  void check_compatible(const NodeSet& other) const;
+
+  int bits_ = 0;
+  std::vector<std::uint64_t> words_;
+};
+
+}  // namespace bgl

@@ -1,0 +1,57 @@
+#include "torus/occupancy.hpp"
+
+namespace bgl {
+
+TorusOccupancy::TorusOccupancy(const PartitionCatalog& catalog)
+    : catalog_(&catalog), occupied_(catalog.num_nodes()) {}
+
+bool TorusOccupancy::is_free(int entry_index) const {
+  BGL_CHECK(entry_index >= 0 && entry_index < catalog_->num_entries(),
+            "entry index out of range");
+  return !catalog_->entry(entry_index).mask.intersects(occupied_);
+}
+
+void TorusOccupancy::allocate(std::uint64_t alloc_id, int entry_index) {
+  BGL_CHECK(is_free(entry_index), "allocating an occupied partition");
+  BGL_CHECK(allocations_.find(alloc_id) == allocations_.end(),
+            "allocation id already in use");
+  allocations_.emplace(alloc_id, entry_index);
+  occupied_ |= catalog_->entry(entry_index).mask;
+}
+
+void TorusOccupancy::release(std::uint64_t alloc_id) {
+  const auto it = allocations_.find(alloc_id);
+  BGL_CHECK(it != allocations_.end(), "releasing unknown allocation id");
+  occupied_.subtract(catalog_->entry(it->second).mask);
+  allocations_.erase(it);
+}
+
+int TorusOccupancy::entry_of(std::uint64_t alloc_id) const {
+  const auto it = allocations_.find(alloc_id);
+  return it == allocations_.end() ? -1 : it->second;
+}
+
+std::vector<std::uint64_t> TorusOccupancy::allocations_containing(int node) const {
+  std::vector<std::uint64_t> ids;
+  for (const auto& [id, entry_index] : allocations_) {
+    if (catalog_->entry(entry_index).mask.test(node)) ids.push_back(id);
+  }
+  return ids;
+}
+
+std::vector<std::uint64_t> TorusOccupancy::allocation_ids() const {
+  std::vector<std::uint64_t> ids;
+  ids.reserve(allocations_.size());
+  for (const auto& [id, entry_index] : allocations_) {
+    (void)entry_index;
+    ids.push_back(id);
+  }
+  return ids;
+}
+
+void TorusOccupancy::clear() {
+  allocations_.clear();
+  occupied_.clear();
+}
+
+}  // namespace bgl

@@ -1,0 +1,54 @@
+// Allocation tracking on top of the partition catalog.
+//
+// TorusOccupancy owns the occupied-node bitset and the set of live
+// allocations (one per running job). Allocations are identified by caller-
+// chosen 64-bit ids (the simulator uses job ids).
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "torus/catalog.hpp"
+
+namespace bgl {
+
+class TorusOccupancy {
+ public:
+  explicit TorusOccupancy(const PartitionCatalog& catalog);
+
+  const PartitionCatalog& catalog() const { return *catalog_; }
+  const NodeSet& occupied() const { return occupied_; }
+  int free_nodes() const { return catalog_->num_nodes() - occupied_.count(); }
+  int busy_nodes() const { return occupied_.count(); }
+  std::size_t num_allocations() const { return allocations_.size(); }
+
+  /// True if catalog entry `entry_index` does not overlap any allocation.
+  bool is_free(int entry_index) const;
+
+  /// Allocate catalog entry `entry_index` to `alloc_id`. The entry must be
+  /// free and the id unused.
+  void allocate(std::uint64_t alloc_id, int entry_index);
+
+  /// Release the allocation; throws if the id is unknown.
+  void release(std::uint64_t alloc_id);
+
+  /// Catalog entry index held by `alloc_id`, or -1.
+  int entry_of(std::uint64_t alloc_id) const;
+
+  /// Ids of allocations whose partition contains `node`.
+  std::vector<std::uint64_t> allocations_containing(int node) const;
+
+  /// All live allocation ids (unordered).
+  std::vector<std::uint64_t> allocation_ids() const;
+
+  /// Drop all allocations (used by the migration re-packer on its scratch).
+  void clear();
+
+ private:
+  const PartitionCatalog* catalog_;
+  NodeSet occupied_;
+  std::unordered_map<std::uint64_t, int> allocations_;
+};
+
+}  // namespace bgl

@@ -1,0 +1,63 @@
+#include "torus/partition.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace bgl {
+
+std::vector<NodeId> box_nodes(const Dims& dims, const Box& box) {
+  BGL_CHECK(box_fits(dims, box), "box does not fit torus dimensions");
+  std::vector<NodeId> nodes;
+  nodes.reserve(static_cast<std::size_t>(box.volume()));
+  for (int dz = 0; dz < box.shape.z; ++dz) {
+    for (int dy = 0; dy < box.shape.y; ++dy) {
+      for (int dx = 0; dx < box.shape.x; ++dx) {
+        const Coord c = wrap(dims, box.base.x + dx, box.base.y + dy, box.base.z + dz);
+        nodes.push_back(node_id(dims, c));
+      }
+    }
+  }
+  std::sort(nodes.begin(), nodes.end());
+  return nodes;
+}
+
+NodeSet box_mask(const Dims& dims, const Box& box) {
+  NodeSet mask(dims.volume());
+  for (const NodeId id : box_nodes(dims, box)) mask.set(static_cast<int>(id));
+  return mask;
+}
+
+bool box_fits(const Dims& dims, const Box& box) {
+  return box.shape.x >= 1 && box.shape.y >= 1 && box.shape.z >= 1 &&
+         box.shape.x <= dims.x && box.shape.y <= dims.y && box.shape.z <= dims.z &&
+         box.base.x >= 0 && box.base.y >= 0 && box.base.z >= 0 &&
+         box.base.x < dims.x && box.base.y < dims.y && box.base.z < dims.z;
+}
+
+Box canonicalize(const Dims& dims, const Box& box) {
+  Box out = box;
+  if (out.shape.x == dims.x) out.base.x = 0;
+  if (out.shape.y == dims.y) out.base.y = 0;
+  if (out.shape.z == dims.z) out.base.z = 0;
+  return out;
+}
+
+bool box_contains(const Dims& dims, const Box& box, const Coord& node) {
+  auto in_range = [](int base, int extent, int dim, int v) {
+    // Offset of v from base along a wrapped dimension.
+    const int offset = (v - base + dim) % dim;
+    return offset < extent;
+  };
+  return in_range(box.base.x, box.shape.x, dims.x, node.x) &&
+         in_range(box.base.y, box.shape.y, dims.y, node.y) &&
+         in_range(box.base.z, box.shape.z, dims.z, node.z);
+}
+
+std::string to_string(const Box& box) {
+  std::ostringstream os;
+  os << "base" << to_string(box.base) << " shape " << box.shape.x << 'x'
+     << box.shape.y << 'x' << box.shape.z;
+  return os.str();
+}
+
+}  // namespace bgl

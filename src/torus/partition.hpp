@@ -1,0 +1,45 @@
+// Rectangular torus partitions ("boxes" with wrap-around).
+//
+// A partition is described by a base coordinate and a shape (extent in each
+// dimension); extents may span the whole dimension, in which case the base
+// along that dimension is redundant — canonicalise() fixes it to zero so a
+// node set has one canonical Box description.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "torus/coords.hpp"
+#include "torus/nodeset.hpp"
+#include "util/math.hpp"
+
+namespace bgl {
+
+/// A contiguous rectangular partition on the torus.
+struct Box {
+  Coord base;     ///< Lowest-coordinate corner (before wrap).
+  Triple shape;   ///< Extent per dimension; 1 <= shape.d <= dims.d.
+
+  int volume() const { return shape.x * shape.y * shape.z; }
+  friend bool operator==(const Box&, const Box&) = default;
+};
+
+/// Node ids covered by the box (with wrap-around), ascending order.
+std::vector<NodeId> box_nodes(const Dims& dims, const Box& box);
+
+/// Bitset of the nodes covered by the box.
+NodeSet box_mask(const Dims& dims, const Box& box);
+
+/// True if the box shape fits inside the torus dimensions.
+bool box_fits(const Dims& dims, const Box& box);
+
+/// Canonical form: along any dimension whose extent equals the torus extent
+/// the base coordinate is forced to zero (wrap makes all bases equivalent).
+Box canonicalize(const Dims& dims, const Box& box);
+
+/// True if `node` lies inside the (wrapped) box.
+bool box_contains(const Dims& dims, const Box& box, const Coord& node);
+
+std::string to_string(const Box& box);
+
+}  // namespace bgl

@@ -1,0 +1,15 @@
+#include "util/error.hpp"
+
+#include <sstream>
+
+namespace bgl::detail {
+
+void contract_failure(const char* expr, const char* file, int line,
+                      const std::string& message) {
+  std::ostringstream os;
+  os << "contract violation: " << expr << " at " << file << ':' << line;
+  if (!message.empty()) os << " — " << message;
+  throw ContractViolation(os.str());
+}
+
+}  // namespace bgl::detail

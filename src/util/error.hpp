@@ -1,0 +1,53 @@
+// Error handling primitives for the bgl library.
+//
+// Following the C++ Core Guidelines (E.2, E.3) we use exceptions for
+// genuinely exceptional conditions (malformed input files, impossible
+// configurations) and assertions/contract checks for programmer errors.
+// BGL_CHECK is active in all build types because simulator correctness
+// depends on these invariants holding in Release benchmarks too.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace bgl {
+
+/// Base class for all errors thrown by the bgl library.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Thrown when an input file (SWF log, failure trace, config) is malformed.
+class ParseError : public Error {
+ public:
+  explicit ParseError(const std::string& what) : Error(what) {}
+};
+
+/// Thrown when a configuration is internally inconsistent.
+class ConfigError : public Error {
+ public:
+  explicit ConfigError(const std::string& what) : Error(what) {}
+};
+
+/// Thrown by BGL_CHECK on contract violation.
+class ContractViolation : public Error {
+ public:
+  explicit ContractViolation(const std::string& what) : Error(what) {}
+};
+
+namespace detail {
+[[noreturn]] void contract_failure(const char* expr, const char* file, int line,
+                                   const std::string& message);
+}  // namespace detail
+
+}  // namespace bgl
+
+/// Contract check that stays on in Release builds. Use for invariants whose
+/// violation would silently corrupt simulation results.
+#define BGL_CHECK(expr, msg)                                             \
+  do {                                                                   \
+    if (!(expr)) {                                                       \
+      ::bgl::detail::contract_failure(#expr, __FILE__, __LINE__, (msg)); \
+    }                                                                    \
+  } while (false)

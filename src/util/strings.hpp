@@ -1,0 +1,36 @@
+// Small string helpers used by the SWF/trace parsers and table writers.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace bgl {
+
+/// Strip ASCII whitespace from both ends.
+std::string trim(std::string_view text);
+
+/// Lower-case ASCII copy.
+std::string to_lower(std::string_view text);
+
+/// Split on a single delimiter character; keeps empty fields.
+std::vector<std::string> split(std::string_view text, char delim);
+
+/// Split on runs of whitespace; drops empty fields (SWF-style tokenising).
+std::vector<std::string> split_ws(std::string_view text);
+
+/// True if `text` begins with `prefix`.
+bool starts_with(std::string_view text, std::string_view prefix);
+
+/// Strict numeric parsing: the full token must be consumed.
+std::optional<long long> parse_int(std::string_view token);
+std::optional<double> parse_double(std::string_view token);
+
+/// printf-like double formatting with fixed precision.
+std::string format_double(double value, int precision);
+
+/// Human-readable duration like "2d 03:04:05" for report output.
+std::string format_duration(double seconds);
+
+}  // namespace bgl

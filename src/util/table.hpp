@@ -1,0 +1,40 @@
+// Text-table and CSV output used by every bench binary so that all figures
+// print in a consistent, diffable format.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace bgl {
+
+/// A simple column-aligned text table with an optional title. Cells are
+/// strings; numeric helpers format with fixed precision.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Begin a new row; subsequent add_* calls append cells to it.
+  Table& add_row();
+  Table& add(std::string cell);
+  Table& add(double value, int precision = 3);
+  Table& add(long long value);
+  Table& add(int value) { return add(static_cast<long long>(value)); }
+  Table& add(std::size_t value) { return add(static_cast<long long>(value)); }
+
+  std::size_t rows() const { return rows_.size(); }
+
+  /// Render as an aligned ASCII table.
+  std::string render() const;
+
+  /// Render as CSV (RFC-4180-ish quoting for commas/quotes).
+  std::string to_csv() const;
+
+  /// Write the CSV rendering to a file; creates parent-less paths as given.
+  void write_csv(const std::string& path) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace bgl

@@ -1,0 +1,48 @@
+#include "workload/analysis.hpp"
+
+#include <sstream>
+
+#include "util/math.hpp"
+#include "util/strings.hpp"
+
+namespace bgl {
+
+WorkloadSummary summarize(const Workload& workload) {
+  WorkloadSummary s;
+  s.jobs = workload.jobs.size();
+  if (workload.jobs.empty()) return s;
+  s.span_seconds = workload.arrival_span();
+  std::size_t pow2 = 0;
+  double prev_arrival = workload.jobs.front().arrival;
+  for (const Job& j : workload.jobs) {
+    s.size.add(static_cast<double>(j.size));
+    s.runtime.add(j.runtime);
+    if (j.runtime > 0.0) s.estimate_factor.add(j.estimate / j.runtime);
+    if (is_pow2(j.size)) ++pow2;
+    s.interarrival.add(j.arrival - prev_arrival);
+    prev_arrival = j.arrival;
+  }
+  s.pow2_size_fraction = static_cast<double>(pow2) / static_cast<double>(s.jobs);
+  if (s.span_seconds > 0.0 && workload.machine_nodes > 0) {
+    s.offered_load = workload.total_work() /
+                     (static_cast<double>(workload.machine_nodes) * s.span_seconds);
+  }
+  return s;
+}
+
+std::string describe(const Workload& workload) {
+  const WorkloadSummary s = summarize(workload);
+  std::ostringstream os;
+  os << "workload '" << workload.name << "': " << s.jobs << " jobs on "
+     << workload.machine_nodes << " nodes over " << format_duration(s.span_seconds) << '\n';
+  os << "  offered load: " << format_double(s.offered_load, 3) << '\n';
+  os << "  sizes: mean " << format_double(s.size.mean(), 1) << ", max "
+     << format_double(s.size.max(), 0) << ", pow2 fraction "
+     << format_double(s.pow2_size_fraction, 2) << '\n';
+  os << "  runtimes: mean " << format_duration(s.runtime.mean()) << ", max "
+     << format_duration(s.runtime.max()) << '\n';
+  os << "  estimate factor: mean " << format_double(s.estimate_factor.mean(), 2) << '\n';
+  return os.str();
+}
+
+}  // namespace bgl

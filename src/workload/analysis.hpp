@@ -1,0 +1,28 @@
+// Workload statistics: used by tests (model calibration checks), examples,
+// and the experiment reports.
+#pragma once
+
+#include <string>
+
+#include "util/stats.hpp"
+#include "workload/job.hpp"
+
+namespace bgl {
+
+struct WorkloadSummary {
+  std::size_t jobs = 0;
+  double span_seconds = 0.0;
+  double offered_load = 0.0;       ///< sum(s*t) / (N * span)
+  double pow2_size_fraction = 0.0;
+  RunningStats size;
+  RunningStats runtime;
+  RunningStats estimate_factor;    ///< estimate / runtime
+  RunningStats interarrival;
+};
+
+WorkloadSummary summarize(const Workload& workload);
+
+/// Multi-line human-readable report.
+std::string describe(const Workload& workload);
+
+}  // namespace bgl

@@ -1,0 +1,59 @@
+#include "workload/job.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+#include "util/math.hpp"
+
+namespace bgl {
+
+double Workload::arrival_span() const {
+  if (jobs.empty()) return 0.0;
+  return jobs.back().arrival - jobs.front().arrival;
+}
+
+double Workload::total_work() const {
+  double work = 0.0;
+  for (const Job& j : jobs) work += static_cast<double>(j.size) * j.runtime;
+  return work;
+}
+
+void normalize(Workload& workload) {
+  for (const Job& j : workload.jobs) {
+    if (j.size < 1) throw ConfigError("job " + std::to_string(j.id) + " has size < 1");
+    if (j.arrival < 0.0 || j.runtime < 0.0 || j.estimate < 0.0) {
+      throw ConfigError("job " + std::to_string(j.id) + " has negative time field");
+    }
+  }
+  std::sort(workload.jobs.begin(), workload.jobs.end(), [](const Job& a, const Job& b) {
+    if (a.arrival != b.arrival) return a.arrival < b.arrival;
+    return a.id < b.id;
+  });
+}
+
+Workload scale_load(const Workload& workload, double c) {
+  BGL_CHECK(c > 0.0, "load scale coefficient must be positive");
+  Workload out = workload;
+  for (Job& j : out.jobs) {
+    j.runtime *= c;
+    j.estimate *= c;
+  }
+  return out;
+}
+
+Workload rescale_sizes(const Workload& workload, int target_nodes) {
+  BGL_CHECK(target_nodes > 0, "target machine size must be positive");
+  BGL_CHECK(workload.machine_nodes > 0, "workload has unknown machine size");
+  Workload out = workload;
+  if (workload.machine_nodes == target_nodes) return out;
+  for (Job& j : out.jobs) {
+    const long long scaled =
+        ceil_div(static_cast<long long>(j.size) * target_nodes, workload.machine_nodes);
+    j.size = static_cast<int>(std::clamp<long long>(scaled, 1, target_nodes));
+  }
+  out.machine_nodes = target_nodes;
+  return out;
+}
+
+}  // namespace bgl

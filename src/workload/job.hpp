@@ -1,0 +1,51 @@
+// Job and workload records.
+//
+// The scheduler consumes exactly the tuple the paper's simulator consumes:
+// arrival time, requested node count, actual runtime, and the user's runtime
+// estimate. A Workload is an arrival-sorted job list plus provenance.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace bgl {
+
+struct Job {
+  std::uint64_t id = 0;    ///< Stable id (log job number or generator index).
+  double arrival = 0.0;    ///< Seconds since the workload epoch.
+  double runtime = 0.0;    ///< Actual uninterrupted execution time (seconds).
+  double estimate = 0.0;   ///< User-supplied runtime estimate (>= 1 s).
+  int size = 1;            ///< Requested (super)nodes.
+};
+
+struct Workload {
+  std::string name;
+  int machine_nodes = 0;   ///< Node count of the machine the log targets.
+  std::vector<Job> jobs;   ///< Sorted by (arrival, id).
+
+  bool empty() const { return jobs.empty(); }
+  std::size_t size() const { return jobs.size(); }
+
+  /// Time span [first arrival, last arrival].
+  double arrival_span() const;
+
+  /// Total work (sum of size * runtime) in node-seconds.
+  double total_work() const;
+};
+
+/// Sort jobs by (arrival, id) and validate basic invariants (positive sizes,
+/// non-negative times). Throws ConfigError on violation.
+void normalize(Workload& workload);
+
+/// Apply the paper's load-scale coefficient c: multiply every runtime and
+/// estimate by c ("we also use a scaling factor c multiplied to each job's
+/// execution time", §6.2). Returns a scaled copy.
+Workload scale_load(const Workload& workload, double c);
+
+/// Rescale job sizes from the traced machine's node count onto a target
+/// machine size: size' = clamp(ceil(size * target / machine_nodes), 1,
+/// target). Identity when the counts already match (NASA/SDSC at 128).
+Workload rescale_sizes(const Workload& workload, int target_nodes);
+
+}  // namespace bgl

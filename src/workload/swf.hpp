@@ -1,0 +1,51 @@
+// Standard Workload Format (SWF) reader/writer.
+//
+// The Parallel Workloads Archive distributes the NASA iPSC/860, SDSC SP2
+// and LLNL Cray T3D logs the paper uses in SWF: one job per line with 18
+// whitespace-separated fields, '-1' for unknown, ';' comment headers. This
+// module parses the fields the simulator needs and can round-trip synthetic
+// workloads so users can swap in the real archive files.
+//
+// Field indices (1-based, per the SWF definition):
+//   1 job number, 2 submit time, 3 wait time, 4 run time,
+//   5 allocated processors, 6 average CPU time, 7 used memory,
+//   8 requested processors, 9 requested time, 10 requested memory,
+//   11 status, 12 user, 13 group, 14 application, 15 queue,
+//   16 partition, 17 preceding job, 18 think time.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "workload/job.hpp"
+
+namespace bgl {
+
+struct SwfOptions {
+  /// Use requested processors (field 8) when valid, else allocated (field 5).
+  bool prefer_requested_processors = false;
+  /// Use requested time (field 9) as the estimate; when missing, estimate is
+  /// estimate_fallback_factor * runtime.
+  double estimate_fallback_factor = 2.0;
+  /// Drop jobs whose status (field 11) is 0 (failed) — off by default; the
+  /// paper replays whatever the log contains.
+  bool drop_failed_status = false;
+  /// Clamp runtimes to at least this many seconds (zero-length log entries).
+  double min_runtime = 1.0;
+};
+
+/// Parse an SWF stream. `machine_nodes` may be 0 to auto-detect from the
+/// "; MaxProcs:" header or the maximum job size seen.
+Workload read_swf(std::istream& in, const std::string& name, int machine_nodes = 0,
+                  const SwfOptions& options = {});
+
+/// Parse an SWF file (throws Error if unreadable, ParseError if malformed).
+Workload read_swf_file(const std::string& path, int machine_nodes = 0,
+                       const SwfOptions& options = {});
+
+/// Write a workload as SWF (only the fields the simulator fills are
+/// meaningful; the rest are -1).
+void write_swf(std::ostream& out, const Workload& workload);
+void write_swf_file(const std::string& path, const Workload& workload);
+
+}  // namespace bgl

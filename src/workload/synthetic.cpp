@@ -1,0 +1,172 @@
+#include "workload/synthetic.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+#include "util/math.hpp"
+#include "util/rng.hpp"
+
+namespace bgl {
+
+SyntheticModel SyntheticModel::nasa() {
+  SyntheticModel m;
+  m.name = "nasa-ipsc860";
+  m.machine_nodes = 128;
+  m.reference_span_days = 92.0;  // Oct-Dec 1993
+  m.num_jobs = 6000;
+  m.pow2_fraction = 1.0;  // the iPSC/860 only ran power-of-two jobs
+  m.size_zipf_s = 1.1;
+  m.small_heavy = true;
+  m.runtime_mu = 5.3;   // exp(5.3) ≈ 3.3 min — the NASA log is short-job heavy
+  m.runtime_sigma = 1.7;
+  m.max_runtime = 12.0 * 3600.0;
+  m.exact_estimate_fraction = 0.25;
+  m.offered_load = 0.50;
+  return m;
+}
+
+SyntheticModel SyntheticModel::sdsc() {
+  SyntheticModel m;
+  m.name = "sdsc-sp2";
+  m.machine_nodes = 128;
+  m.reference_span_days = 730.0;  // 1998-2000
+  m.num_jobs = 8000;
+  m.pow2_fraction = 0.8;
+  m.size_zipf_s = 0.85;
+  m.small_heavy = true;
+  m.runtime_mu = 6.8;   // exp(6.8) ≈ 15 min body with a long tail
+  m.runtime_sigma = 2.0;
+  m.max_runtime = 36.0 * 3600.0;
+  m.exact_estimate_fraction = 0.10;
+  m.offered_load = 0.50;
+  return m;
+}
+
+SyntheticModel SyntheticModel::llnl() {
+  SyntheticModel m;
+  m.name = "llnl-t3d";
+  m.machine_nodes = 256;
+  m.reference_span_days = 360.0;  // 1996
+  m.num_jobs = 5000;
+  m.min_size = 8;
+  m.max_size = 256;
+  m.pow2_fraction = 1.0;  // T3D partitions were power-of-two
+  m.size_zipf_s = 0.4;    // flatter: mid/large jobs common
+  m.small_heavy = false;
+  m.runtime_mu = 6.5;
+  m.runtime_sigma = 1.6;
+  m.max_runtime = 24.0 * 3600.0;
+  m.exact_estimate_fraction = 0.15;
+  m.offered_load = 0.48;
+  return m;
+}
+
+namespace {
+
+int sample_size(const SyntheticModel& m, Rng& rng) {
+  const int k_min = static_cast<int>(std::floor(std::log2(static_cast<double>(m.min_size))));
+  const int k_max = static_cast<int>(std::floor(std::log2(static_cast<double>(m.max_size))));
+  const auto classes = static_cast<std::size_t>(k_max - k_min + 1);
+  std::size_t cls = rng.zipf(classes, m.size_zipf_s);
+  if (!m.small_heavy) cls = classes - 1 - cls;  // favour large classes
+  const int k = k_min + static_cast<int>(cls);
+  int size = 1 << k;
+  if (!rng.bernoulli(m.pow2_fraction) && size > 1) {
+    // Perturb off the power of two within the same binary class.
+    const int hi = std::min(m.max_size, (size << 1) - 1);
+    size = static_cast<int>(rng.uniform_int(static_cast<std::uint64_t>(size),
+                                            static_cast<std::uint64_t>(hi)));
+  }
+  return std::clamp(size, m.min_size, m.max_size);
+}
+
+double sample_runtime(const SyntheticModel& m, int size, Rng& rng) {
+  const double k_frac =
+      std::log2(static_cast<double>(std::max(size, 1))) /
+      std::max(1.0, std::log2(static_cast<double>(m.max_size)));
+  const double mu = m.runtime_mu + m.size_runtime_corr * k_frac;
+  const double t = rng.lognormal(mu, m.runtime_sigma);
+  return std::clamp(t, m.min_runtime, m.max_runtime);
+}
+
+double sample_estimate(const SyntheticModel& m, double runtime, Rng& rng) {
+  if (rng.bernoulli(m.exact_estimate_fraction)) return runtime;
+  // Users round up: multiplicative over-estimate, biased toward small factors.
+  const double factor = 1.0 + (m.max_overestimate - 1.0) * rng.uniform() * rng.uniform();
+  return std::min(runtime * factor, m.max_runtime * m.max_overestimate);
+}
+
+/// Relative arrival intensity at time t (seconds): day/night and weekday
+/// modulation, mean close to 1.
+double arrival_intensity(const SyntheticModel& m, double t) {
+  const double day_phase = 2.0 * M_PI * std::fmod(t, 86400.0) / 86400.0;
+  // Peak mid-day (phase shifted so t=0 is midnight).
+  double intensity = 1.0 + m.diurnal_amplitude * std::sin(day_phase - M_PI / 2.0);
+  const int day_index = static_cast<int>(std::floor(t / 86400.0));
+  const int weekday = ((day_index % 7) + 7) % 7;
+  if (weekday >= 5) intensity *= m.weekend_factor;
+  return std::max(intensity, 0.05);
+}
+
+}  // namespace
+
+Workload generate_workload(const SyntheticModel& model, std::uint64_t seed) {
+  BGL_CHECK(model.num_jobs > 0, "synthetic model needs at least one job");
+  BGL_CHECK(model.min_size >= 1 && model.min_size <= model.max_size &&
+                model.max_size <= model.machine_nodes,
+            "synthetic model size bounds invalid");
+  BGL_CHECK(model.offered_load > 0.0 && model.offered_load < 1.0,
+            "offered load must lie in (0, 1)");
+
+  Rng rng(hash_combine(seed, 0x776f726b6c6f6164ULL));  // "workload"
+
+  Workload workload;
+  workload.name = model.name;
+  workload.machine_nodes = model.machine_nodes;
+  workload.jobs.reserve(static_cast<std::size_t>(model.num_jobs));
+
+  // 1. Sizes, runtimes, estimates.
+  double total_work = 0.0;
+  for (int i = 0; i < model.num_jobs; ++i) {
+    Job job;
+    job.id = static_cast<std::uint64_t>(i + 1);
+    job.size = sample_size(model, rng);
+    job.runtime = sample_runtime(model, job.size, rng);
+    job.estimate = sample_estimate(model, job.runtime, rng);
+    total_work += static_cast<double>(job.size) * job.runtime;
+    workload.jobs.push_back(job);
+  }
+
+  // 2. Arrival process: thinned Poisson with diurnal/weekly modulation,
+  //    then a linear rescale so the span hits the offered-load target.
+  const double target_span =
+      total_work / (static_cast<double>(model.machine_nodes) * model.offered_load);
+  const double base_rate = static_cast<double>(model.num_jobs) / target_span;
+  double t = 0.0;
+  for (Job& job : workload.jobs) {
+    // Non-homogeneous Poisson by thinning against max intensity (1 + A).
+    const double max_intensity = (1.0 + model.diurnal_amplitude);
+    while (true) {
+      t += rng.exponential(base_rate * max_intensity);
+      if (rng.uniform() * max_intensity <= arrival_intensity(model, t)) break;
+    }
+    job.arrival = t;
+  }
+  double first = workload.jobs.front().arrival;
+  double last = first;
+  for (const Job& job : workload.jobs) {
+    first = std::min(first, job.arrival);
+    last = std::max(last, job.arrival);
+  }
+  const double raw_span = last - first;
+  if (raw_span > 0.0) {
+    const double scale = target_span / raw_span;
+    for (Job& job : workload.jobs) job.arrival = (job.arrival - first) * scale;
+  }
+
+  normalize(workload);
+  return workload;
+}
+
+}  // namespace bgl

@@ -1,0 +1,98 @@
+#include "workload/transform.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace bgl {
+
+namespace {
+/// Re-base arrivals so the earliest is 0, then normalise.
+void rebase(Workload& workload) {
+  if (!workload.jobs.empty()) {
+    double t0 = workload.jobs.front().arrival;
+    for (const Job& j : workload.jobs) t0 = std::min(t0, j.arrival);
+    for (Job& j : workload.jobs) j.arrival -= t0;
+  }
+  normalize(workload);
+}
+}  // namespace
+
+Workload filter_jobs(const Workload& workload,
+                     const std::function<bool(const Job&)>& keep) {
+  Workload out;
+  out.name = workload.name;
+  out.machine_nodes = workload.machine_nodes;
+  for (const Job& j : workload.jobs) {
+    if (keep(j)) out.jobs.push_back(j);
+  }
+  rebase(out);
+  return out;
+}
+
+Workload slice_time(const Workload& workload, double t0, double t1) {
+  BGL_CHECK(t1 >= t0, "slice interval must be non-degenerate");
+  return filter_jobs(workload,
+                     [&](const Job& j) { return j.arrival >= t0 && j.arrival < t1; });
+}
+
+Workload head_jobs(const Workload& workload, std::size_t count) {
+  Workload out = workload;
+  normalize(out);
+  if (out.jobs.size() > count) out.jobs.resize(count);
+  rebase(out);
+  return out;
+}
+
+Workload merge_workloads(const std::vector<Workload>& workloads) {
+  BGL_CHECK(!workloads.empty(), "merge requires at least one workload");
+  Workload out;
+  out.name = "merged";
+  for (const Workload& w : workloads) {
+    out.machine_nodes = std::max(out.machine_nodes, w.machine_nodes);
+    for (const Job& j : w.jobs) out.jobs.push_back(j);
+  }
+  // Renumber ids to keep them unique across the merged log.
+  std::sort(out.jobs.begin(), out.jobs.end(), [](const Job& a, const Job& b) {
+    if (a.arrival != b.arrival) return a.arrival < b.arrival;
+    return a.id < b.id;
+  });
+  for (std::size_t i = 0; i < out.jobs.size(); ++i) {
+    out.jobs[i].id = static_cast<std::uint64_t>(i + 1);
+  }
+  rebase(out);
+  return out;
+}
+
+Workload cap_estimates(const Workload& workload, double factor) {
+  BGL_CHECK(factor >= 1.0, "estimate cap factor must be >= 1");
+  Workload out = workload;
+  for (Job& j : out.jobs) {
+    j.estimate = std::min(j.estimate, j.runtime * factor);
+    j.estimate = std::max(j.estimate, j.runtime);
+  }
+  return out;
+}
+
+Workload exact_estimates(const Workload& workload) {
+  Workload out = workload;
+  for (Job& j : out.jobs) j.estimate = j.runtime;
+  return out;
+}
+
+Workload thin_workload(const Workload& workload, double keep_p, std::uint64_t seed) {
+  BGL_CHECK(keep_p >= 0.0 && keep_p <= 1.0, "keep probability must lie in [0, 1]");
+  Rng rng(hash_combine(seed, 0x7468696eULL));
+  Workload out;
+  out.name = workload.name;
+  out.machine_nodes = workload.machine_nodes;
+  for (const Job& j : workload.jobs) {
+    if (rng.bernoulli(keep_p)) out.jobs.push_back(j);
+  }
+  // Arrivals preserved (not re-based): thinning changes load, not timing.
+  normalize(out);
+  return out;
+}
+
+}  // namespace bgl

@@ -1,0 +1,72 @@
+#include "ckpt/checkpoint.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace bgl {
+namespace {
+
+CheckpointConfig enabled(double interval = 100.0, double overhead = 10.0,
+                         double restart = 5.0) {
+  CheckpointConfig c;
+  c.enabled = true;
+  c.interval = interval;
+  c.overhead = overhead;
+  c.restart_overhead = restart;
+  return c;
+}
+
+TEST(Checkpoint, DisabledIsIdentity) {
+  CheckpointConfig off;
+  EXPECT_EQ(checkpoint_count(1000.0, off), 0);
+  EXPECT_DOUBLE_EQ(walltime_for_work(1000.0, off), 1000.0);
+  EXPECT_DOUBLE_EQ(saved_work_at(500.0, 1000.0, off), 0.0);
+}
+
+TEST(Checkpoint, CountSkipsCheckpointAtExactCompletion) {
+  const auto c = enabled(100.0);
+  EXPECT_EQ(checkpoint_count(250.0, c), 2);   // at 100, 200
+  EXPECT_EQ(checkpoint_count(300.0, c), 2);   // at 100, 200; 300 == end skipped
+  EXPECT_EQ(checkpoint_count(301.0, c), 3);
+  EXPECT_EQ(checkpoint_count(99.0, c), 0);
+  EXPECT_EQ(checkpoint_count(100.0, c), 0);   // single checkpoint would land at end
+  EXPECT_EQ(checkpoint_count(0.0, c), 0);
+}
+
+TEST(Checkpoint, WalltimeAddsOverheadPerCheckpoint) {
+  const auto c = enabled(100.0, 10.0);
+  EXPECT_DOUBLE_EQ(walltime_for_work(250.0, c), 270.0);
+  EXPECT_DOUBLE_EQ(walltime_for_work(300.0, c), 320.0);
+  EXPECT_DOUBLE_EQ(walltime_for_work(50.0, c), 50.0);
+}
+
+TEST(Checkpoint, WalltimeRejectsNegativeWork) {
+  EXPECT_THROW(walltime_for_work(-1.0, enabled()), ContractViolation);
+}
+
+TEST(Checkpoint, SavedWorkAtSteps) {
+  const auto c = enabled(100.0, 10.0);
+  // Work 350 -> checkpoints complete at wall 110, 220, 330.
+  EXPECT_DOUBLE_EQ(saved_work_at(0.0, 350.0, c), 0.0);
+  EXPECT_DOUBLE_EQ(saved_work_at(109.0, 350.0, c), 0.0);
+  EXPECT_DOUBLE_EQ(saved_work_at(110.0, 350.0, c), 100.0);
+  EXPECT_DOUBLE_EQ(saved_work_at(219.0, 350.0, c), 100.0);
+  EXPECT_DOUBLE_EQ(saved_work_at(220.0, 350.0, c), 200.0);
+  EXPECT_DOUBLE_EQ(saved_work_at(330.0, 350.0, c), 300.0);
+  EXPECT_DOUBLE_EQ(saved_work_at(10000.0, 350.0, c), 300.0);
+}
+
+TEST(Checkpoint, SavedWorkNeverExceedsWork) {
+  const auto c = enabled(100.0, 0.0);
+  EXPECT_LE(saved_work_at(1e9, 250.0, c), 250.0);
+}
+
+TEST(Checkpoint, ZeroIntervalNeverCheckpoints) {
+  auto c = enabled(0.0);
+  EXPECT_EQ(checkpoint_count(1000.0, c), 0);
+  EXPECT_DOUBLE_EQ(saved_work_at(500.0, 1000.0, c), 0.0);
+}
+
+}  // namespace
+}  // namespace bgl

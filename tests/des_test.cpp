@@ -1,0 +1,131 @@
+#include "des/engine.hpp"
+#include "des/event_queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace bgl {
+namespace {
+
+TEST(EventQueue, PopsInTimeOrder) {
+  EventQueue q;
+  q.push(Event{5.0, EventType::kArrival, 1, 0, 0});
+  q.push(Event{1.0, EventType::kArrival, 2, 0, 0});
+  q.push(Event{3.0, EventType::kArrival, 3, 0, 0});
+  EXPECT_EQ(q.pop().id, 2u);
+  EXPECT_EQ(q.pop().id, 3u);
+  EXPECT_EQ(q.pop().id, 1u);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, SemanticTieBreakAtEqualTime) {
+  EventQueue q;
+  q.push(Event{2.0, EventType::kArrival, 1, 0, 0});
+  q.push(Event{2.0, EventType::kFailure, 2, 0, 0});
+  q.push(Event{2.0, EventType::kFinish, 3, 0, 0});
+  q.push(Event{2.0, EventType::kCheckpoint, 4, 0, 0});
+  EXPECT_EQ(q.pop().type, EventType::kFinish);
+  EXPECT_EQ(q.pop().type, EventType::kFailure);
+  EXPECT_EQ(q.pop().type, EventType::kArrival);
+  EXPECT_EQ(q.pop().type, EventType::kCheckpoint);
+}
+
+TEST(EventQueue, FifoWithinSameTimeAndType) {
+  EventQueue q;
+  for (std::uint64_t i = 0; i < 10; ++i) {
+    q.push(Event{1.0, EventType::kArrival, i, 0, 0});
+  }
+  for (std::uint64_t i = 0; i < 10; ++i) {
+    EXPECT_EQ(q.pop().id, i);
+  }
+}
+
+TEST(EventQueue, NowTracksLastPop) {
+  EventQueue q;
+  EXPECT_DOUBLE_EQ(q.now(), 0.0);
+  q.push(Event{4.5, EventType::kArrival, 1, 0, 0});
+  q.pop();
+  EXPECT_DOUBLE_EQ(q.now(), 4.5);
+}
+
+TEST(EventQueue, RejectsEventInThePast) {
+  EventQueue q;
+  q.push(Event{10.0, EventType::kArrival, 1, 0, 0});
+  q.pop();
+  EXPECT_THROW(q.push(Event{9.0, EventType::kArrival, 2, 0, 0}), ContractViolation);
+  EXPECT_NO_THROW(q.push(Event{10.0, EventType::kArrival, 3, 0, 0}));
+}
+
+TEST(EventQueue, PopOnEmptyThrows) {
+  EventQueue q;
+  EXPECT_THROW(q.pop(), ContractViolation);
+  EXPECT_THROW((void)q.top(), ContractViolation);
+}
+
+TEST(EventQueue, ClearResets) {
+  EventQueue q;
+  q.push(Event{3.0, EventType::kArrival, 1, 0, 0});
+  q.pop();
+  q.clear();
+  EXPECT_TRUE(q.empty());
+  EXPECT_DOUBLE_EQ(q.now(), 0.0);
+  EXPECT_NO_THROW(q.push(Event{1.0, EventType::kArrival, 2, 0, 0}));
+}
+
+TEST(Engine, DispatchesToRegisteredHandlers) {
+  Engine engine;
+  std::vector<std::uint64_t> arrivals;
+  engine.on(EventType::kArrival, [&](Engine&, const Event& e) {
+    arrivals.push_back(e.id);
+  });
+  engine.schedule(1.0, EventType::kArrival, 10);
+  engine.schedule(2.0, EventType::kArrival, 20);
+  engine.schedule(1.5, EventType::kFinish, 99);  // no handler: dropped
+  EXPECT_EQ(engine.run(), 3u);
+  EXPECT_EQ(arrivals, (std::vector<std::uint64_t>{10, 20}));
+}
+
+TEST(Engine, HandlersCanScheduleMoreEvents) {
+  Engine engine;
+  int count = 0;
+  engine.on(EventType::kCustom, [&](Engine& e, const Event& ev) {
+    ++count;
+    if (ev.id > 0) e.schedule(e.now() + 1.0, EventType::kCustom, ev.id - 1);
+  });
+  engine.schedule(0.0, EventType::kCustom, 4);
+  engine.run();
+  EXPECT_EQ(count, 5);
+  EXPECT_DOUBLE_EQ(engine.now(), 4.0);
+}
+
+TEST(Engine, StopHaltsDispatch) {
+  Engine engine;
+  int count = 0;
+  engine.on(EventType::kCustom, [&](Engine& e, const Event&) {
+    if (++count == 2) e.stop();
+  });
+  for (int i = 0; i < 5; ++i) engine.schedule(i, EventType::kCustom, 0);
+  engine.run();
+  EXPECT_EQ(count, 2);
+}
+
+TEST(Engine, MaxEventsBound) {
+  Engine engine;
+  int count = 0;
+  engine.on(EventType::kCustom, [&](Engine&, const Event&) { ++count; });
+  for (int i = 0; i < 10; ++i) engine.schedule(i, EventType::kCustom, 0);
+  EXPECT_EQ(engine.run(3), 3u);
+  EXPECT_EQ(count, 3);
+}
+
+TEST(EventTypeNames, AllNamed) {
+  EXPECT_STREQ(to_string(EventType::kArrival), "arrival");
+  EXPECT_STREQ(to_string(EventType::kFinish), "finish");
+  EXPECT_STREQ(to_string(EventType::kFailure), "failure");
+  EXPECT_STREQ(to_string(EventType::kCheckpoint), "checkpoint");
+  EXPECT_STREQ(to_string(EventType::kCustom), "custom");
+}
+
+}  // namespace
+}  // namespace bgl

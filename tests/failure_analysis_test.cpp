@@ -1,0 +1,75 @@
+#include "failure/analysis.hpp"
+
+#include <gtest/gtest.h>
+
+#include "failure/generator.hpp"
+
+namespace bgl {
+namespace {
+
+TEST(FailureAnalysis, EmptyTrace) {
+  const FailureSummary s = summarize_failures(FailureTrace({}, 16));
+  EXPECT_EQ(s.events, 0u);
+  EXPECT_DOUBLE_EQ(s.rate_per_day, 0.0);
+  EXPECT_EQ(s.distinct_nodes, 0);
+}
+
+TEST(FailureAnalysis, HandBuiltStatistics) {
+  // Two bursts of 3 and 2 events plus one isolated event.
+  const FailureTrace trace(
+      {
+          {0.0, 0}, {10.0, 1}, {20.0, 0},        // burst A
+          {10000.0, 2}, {10060.0, 2},            // burst B
+          {50000.0, 3},                          // isolated
+      },
+      8);
+  const FailureSummary s = summarize_failures(trace, /*burst_window=*/300.0);
+  EXPECT_EQ(s.events, 6u);
+  EXPECT_EQ(s.distinct_nodes, 4);
+  // Gaps: 10, 10, 9980, 60, 39940 -> 3 of 5 within 300 s.
+  EXPECT_NEAR(s.clustered_fraction, 3.0 / 5.0, 1e-12);
+  EXPECT_GT(s.gap_cv, 1.0);
+}
+
+TEST(FailureAnalysis, EpisodeSizes) {
+  const FailureTrace trace(
+      {
+          {0.0, 0}, {10.0, 1}, {20.0, 0},
+          {10000.0, 2}, {10060.0, 2},
+          {50000.0, 3},
+      },
+      8);
+  EXPECT_EQ(episode_sizes(trace, 300.0), (std::vector<std::size_t>{3, 2, 1}));
+  EXPECT_TRUE(episode_sizes(FailureTrace({}, 4)).empty());
+  // A window of 0 splits everything (all gaps are > 0): 6 singletons.
+  EXPECT_EQ(episode_sizes(trace, 0.0).size(), 6u);
+}
+
+TEST(FailureAnalysis, EpisodeSizesSumToEventCount) {
+  FailureModel model = FailureModel::bluegene_l(1500, 100.0 * 86400.0);
+  const FailureTrace trace = generate_failures(model, 3);
+  std::size_t total = 0;
+  for (const std::size_t s : episode_sizes(trace)) total += s;
+  EXPECT_EQ(total, trace.size());
+}
+
+TEST(FailureAnalysis, GeneratedTraceIsSkewedAndBursty) {
+  FailureModel model = FailureModel::bluegene_l(4000, 730.0 * 86400.0);
+  const FailureSummary s = summarize_failures(generate_failures(model, 7));
+  // Uniform flagging would give the top decile ~10% of events; the skewed
+  // generator concentrates far more.
+  EXPECT_GT(s.top_decile_share, 0.2);
+  EXPECT_GT(s.gap_cv, 1.5);
+  EXPECT_GT(s.clustered_fraction, 0.1);
+}
+
+TEST(FailureAnalysis, DescribeMentionsKeyNumbers) {
+  FailureModel model = FailureModel::bluegene_l(500, 50.0 * 86400.0);
+  const std::string text = describe_failures(generate_failures(model, 1));
+  EXPECT_NE(text.find("500 events"), std::string::npos);
+  EXPECT_NE(text.find("/day"), std::string::npos);
+  EXPECT_NE(text.find("gap CV"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace bgl

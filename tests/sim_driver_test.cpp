@@ -1,0 +1,266 @@
+// Scenario tests of the simulation driver with hand-built workloads and
+// scripted failure traces, where every metric can be checked in closed form.
+#include "sim/driver.hpp"
+
+#include <gtest/gtest.h>
+
+namespace bgl {
+namespace {
+
+Workload make_workload(std::vector<Job> jobs) {
+  Workload w;
+  w.name = "scripted";
+  w.machine_nodes = 128;
+  w.jobs = std::move(jobs);
+  normalize(w);
+  return w;
+}
+
+SimConfig base_config(SchedulerKind kind = SchedulerKind::kKrevat) {
+  SimConfig config;
+  config.scheduler = kind;
+  config.collect_outcomes = true;
+  return config;
+}
+
+TEST(Driver, SingleJobNoFailures) {
+  const Workload w = make_workload({Job{1, 0.0, 100.0, 100.0, 64}});
+  const FailureTrace trace({}, 128);
+  const SimResult r = run_simulation(w, trace, base_config());
+
+  EXPECT_EQ(r.jobs_completed, 1u);
+  EXPECT_EQ(r.job_kills, 0u);
+  EXPECT_DOUBLE_EQ(r.span, 100.0);
+  EXPECT_DOUBLE_EQ(r.avg_wait, 0.0);
+  EXPECT_DOUBLE_EQ(r.avg_response, 100.0);
+  EXPECT_DOUBLE_EQ(r.avg_bounded_slowdown, 1.0);
+  // util = 64*100 / (100*128) = 0.5; unused = (128-64)*100/(100*128) = 0.5.
+  EXPECT_NEAR(r.utilization, 0.5, 1e-12);
+  EXPECT_NEAR(r.unused, 0.5, 1e-12);
+  EXPECT_NEAR(r.lost, 0.0, 1e-12);
+}
+
+TEST(Driver, TwoJobsSequentialWhenMachineFull) {
+  const Workload w = make_workload({
+      Job{1, 0.0, 100.0, 100.0, 128},
+      Job{2, 0.0, 50.0, 50.0, 128},
+  });
+  const FailureTrace trace({}, 128);
+  const SimResult r = run_simulation(w, trace, base_config());
+
+  EXPECT_EQ(r.jobs_completed, 2u);
+  EXPECT_DOUBLE_EQ(r.span, 150.0);
+  ASSERT_EQ(r.outcomes.size(), 2u);
+  // FCFS: job 1 runs [0,100], job 2 runs [100,150].
+  const JobOutcome& j2 = r.outcomes[1];
+  EXPECT_EQ(j2.id, 2u);
+  EXPECT_DOUBLE_EQ(j2.last_start, 100.0);
+  EXPECT_DOUBLE_EQ(j2.wait(), 100.0);
+  EXPECT_DOUBLE_EQ(j2.response(), 150.0);
+  // Machine is always fully busy with queued demand: unused = 0, util = 1.
+  EXPECT_NEAR(r.utilization, 1.0, 1e-12);
+  EXPECT_NEAR(r.unused, 0.0, 1e-12);
+}
+
+TEST(Driver, ParallelJobsShareTorus) {
+  const Workload w = make_workload({
+      Job{1, 0.0, 100.0, 100.0, 64},
+      Job{2, 0.0, 100.0, 100.0, 64},
+  });
+  const FailureTrace trace({}, 128);
+  const SimResult r = run_simulation(w, trace, base_config());
+  EXPECT_DOUBLE_EQ(r.span, 100.0);  // both run concurrently
+  EXPECT_DOUBLE_EQ(r.avg_wait, 0.0);
+  EXPECT_NEAR(r.utilization, 1.0, 1e-12);
+}
+
+TEST(Driver, FailureKillsAndRestartsJob) {
+  // Job runs [0,100) on the full machine; node 0 fails at t=50; the job
+  // restarts from scratch and completes at 150.
+  const Workload w = make_workload({Job{1, 0.0, 100.0, 100.0, 128}});
+  const FailureTrace trace({{50.0, 0}}, 128);
+  const SimResult r = run_simulation(w, trace, base_config());
+
+  EXPECT_EQ(r.jobs_completed, 1u);
+  EXPECT_EQ(r.job_kills, 1u);
+  EXPECT_EQ(r.failures_hitting_jobs, 1u);
+  ASSERT_EQ(r.outcomes.size(), 1u);
+  EXPECT_EQ(r.outcomes[0].restarts, 1);
+  EXPECT_DOUBLE_EQ(r.outcomes[0].last_start, 50.0);
+  EXPECT_DOUBLE_EQ(r.outcomes[0].finish, 150.0);
+  EXPECT_DOUBLE_EQ(r.span, 150.0);
+  // 50 node-seconds * 128 nodes of work destroyed.
+  EXPECT_DOUBLE_EQ(r.work_lost_node_seconds, 50.0 * 128.0);
+  // util = 128*100/(150*128) = 2/3; lost = 1/3 (queue always demands full
+  // machine, so unused = 0).
+  EXPECT_NEAR(r.utilization, 2.0 / 3.0, 1e-12);
+  EXPECT_NEAR(r.lost, 1.0 / 3.0, 1e-12);
+}
+
+TEST(Driver, FailureOnIdleNodeHarmless) {
+  const Workload w = make_workload({Job{1, 10.0, 100.0, 100.0, 1}});
+  // Failures before arrival, on idle nodes, and after completion.
+  const FailureTrace trace({{5.0, 3}, {50.0, 100}, {500.0, 0}}, 128);
+  SimConfig config = base_config();
+  const SimResult r = run_simulation(w, trace, config);
+  EXPECT_EQ(r.job_kills, 0u);
+  ASSERT_EQ(r.outcomes.size(), 1u);
+  EXPECT_EQ(r.outcomes[0].restarts, 0);
+}
+
+TEST(Driver, BalancingWithPredictionAvoidsKill) {
+  // Two half-machine placements available; node 5 (in the z<4 half under
+  // the default catalog order) fails at t=50. With confidence 1.0 the
+  // balancing scheduler must place the job on nodes that exclude node 5 and
+  // avoid the kill entirely.
+  const Workload w = make_workload({Job{1, 0.0, 100.0, 100.0, 64}});
+  const FailureTrace trace({{50.0, 5}}, 128);
+
+  SimConfig unaware = base_config(SchedulerKind::kKrevat);
+  const SimResult r_unaware = run_simulation(w, trace, unaware);
+
+  SimConfig aware = base_config(SchedulerKind::kBalancing);
+  aware.alpha = 1.0;
+  const SimResult r_aware = run_simulation(w, trace, aware);
+
+  EXPECT_EQ(r_aware.job_kills, 0u);
+  EXPECT_DOUBLE_EQ(r_aware.span, 100.0);
+  // The fault-oblivious baseline happens to pick the doomed half here (its
+  // first candidate contains node 5) and pays a restart.
+  EXPECT_EQ(r_unaware.job_kills, 1u);
+  EXPECT_GT(r_unaware.span, r_aware.span);
+}
+
+TEST(Driver, TieBreakZeroAccuracyEqualsKrevat) {
+  const Workload w = make_workload({
+      Job{1, 0.0, 100.0, 100.0, 64},
+      Job{2, 10.0, 200.0, 200.0, 32},
+      Job{3, 20.0, 50.0, 80.0, 64},
+      Job{4, 30.0, 300.0, 300.0, 128},
+  });
+  const FailureTrace trace({{120.0, 17}, {340.0, 99}}, 128);
+
+  SimConfig krevat = base_config(SchedulerKind::kKrevat);
+  SimConfig tiebreak = base_config(SchedulerKind::kTieBreak);
+  tiebreak.alpha = 0.0;
+
+  const SimResult a = run_simulation(w, trace, krevat);
+  const SimResult b = run_simulation(w, trace, tiebreak);
+  EXPECT_DOUBLE_EQ(a.avg_response, b.avg_response);
+  EXPECT_DOUBLE_EQ(a.avg_wait, b.avg_wait);
+  EXPECT_EQ(a.job_kills, b.job_kills);
+}
+
+TEST(Driver, BalancingZeroConfidenceEqualsKrevat) {
+  const Workload w = make_workload({
+      Job{1, 0.0, 100.0, 100.0, 48},
+      Job{2, 5.0, 120.0, 150.0, 96},
+      Job{3, 9.0, 60.0, 60.0, 32},
+      Job{4, 14.0, 30.0, 40.0, 16},
+  });
+  const FailureTrace trace({{80.0, 2}, {90.0, 64}}, 128);
+
+  SimConfig krevat = base_config(SchedulerKind::kKrevat);
+  SimConfig balancing = base_config(SchedulerKind::kBalancing);
+  balancing.alpha = 0.0;
+
+  const SimResult a = run_simulation(w, trace, krevat);
+  const SimResult b = run_simulation(w, trace, balancing);
+  EXPECT_DOUBLE_EQ(a.avg_response, b.avg_response);
+  EXPECT_DOUBLE_EQ(a.avg_bounded_slowdown, b.avg_bounded_slowdown);
+  EXPECT_EQ(a.job_kills, b.job_kills);
+}
+
+TEST(Driver, KilledJobKeepsFcfsPriority) {
+  // Job 1 (full machine) is killed at t=50; job 2 arrived at t=1. After the
+  // kill, job 1 must still start before job 2 (original arrival order).
+  const Workload w = make_workload({
+      Job{1, 0.0, 100.0, 100.0, 128},
+      Job{2, 1.0, 10.0, 10.0, 128},
+  });
+  const FailureTrace trace({{50.0, 0}}, 128);
+  SimConfig config = base_config();
+  config.sched.backfill = BackfillMode::kNone;
+  const SimResult r = run_simulation(w, trace, config);
+  ASSERT_EQ(r.outcomes.size(), 2u);
+  // Outcomes are recorded in completion order: job 1 then job 2.
+  EXPECT_EQ(r.outcomes[0].id, 1u);
+  EXPECT_DOUBLE_EQ(r.outcomes[0].finish, 150.0);
+  EXPECT_EQ(r.outcomes[1].id, 2u);
+  EXPECT_DOUBLE_EQ(r.outcomes[1].last_start, 150.0);
+}
+
+TEST(Driver, CheckpointingReducesLostWork) {
+  const Workload w = make_workload({Job{1, 0.0, 100.0, 100.0, 128}});
+  const FailureTrace trace({{95.0, 0}}, 128);
+
+  SimConfig no_ckpt = base_config();
+  const SimResult r_plain = run_simulation(w, trace, no_ckpt);
+  // Killed at 95, restart from scratch: finish = 95 + 100 = 195.
+  EXPECT_DOUBLE_EQ(r_plain.outcomes[0].finish, 195.0);
+
+  SimConfig with_ckpt = base_config();
+  with_ckpt.ckpt.enabled = true;
+  with_ckpt.ckpt.interval = 30.0;
+  with_ckpt.ckpt.overhead = 1.0;
+  with_ckpt.ckpt.restart_overhead = 2.0;
+  const SimResult r_ckpt = run_simulation(w, trace, with_ckpt);
+  // Wall plan: work 100, 3 checkpoints (30/60/90) -> wall 103, ckpts done at
+  // wall 31, 62, 93. Killed at 95 -> saved 90, remaining 10 + 2 restart.
+  // Finish = 95 + 12 = 107.
+  EXPECT_EQ(r_ckpt.job_kills, 1u);
+  EXPECT_DOUBLE_EQ(r_ckpt.outcomes[0].finish, 107.0);
+  EXPECT_LT(r_ckpt.work_lost_node_seconds, r_plain.work_lost_node_seconds);
+}
+
+TEST(Driver, DownForSemanticsDelaysReuse) {
+  // Node 0 fails at t=10 and stays down 100 s. A 128-node job arriving at
+  // t=20 cannot start until t=110.
+  const Workload w = make_workload({Job{1, 20.0, 10.0, 10.0, 128}});
+  const FailureTrace trace({{10.0, 0}}, 128);
+  SimConfig config = base_config();
+  config.failure_semantics = FailureSemantics::kDownFor;
+  config.node_downtime = 100.0;
+  const SimResult r = run_simulation(w, trace, config);
+  ASSERT_EQ(r.outcomes.size(), 1u);
+  EXPECT_DOUBLE_EQ(r.outcomes[0].last_start, 110.0);
+
+  // Transient semantics: starts immediately.
+  SimConfig transient = base_config();
+  const SimResult r2 = run_simulation(w, trace, transient);
+  EXPECT_DOUBLE_EQ(r2.outcomes[0].last_start, 20.0);
+}
+
+TEST(Driver, EmptyWorkload) {
+  Workload w;
+  w.machine_nodes = 128;
+  const FailureTrace trace({}, 128);
+  const SimResult r = run_simulation(w, trace, base_config());
+  EXPECT_EQ(r.jobs_completed, 0u);
+  EXPECT_DOUBLE_EQ(r.span, 0.0);
+}
+
+TEST(Driver, SharedCatalogMatchesOwned) {
+  const Workload w = make_workload({
+      Job{1, 0.0, 100.0, 100.0, 37},
+      Job{2, 3.0, 40.0, 60.0, 64},
+  });
+  const FailureTrace trace({{25.0, 11}}, 128);
+  const SimConfig config = base_config();
+  const PartitionCatalog catalog(Dims::bluegene_l());
+  const SimResult a = run_simulation(w, trace, config);
+  const SimResult b = run_simulation(w, trace, config, &catalog);
+  EXPECT_DOUBLE_EQ(a.avg_response, b.avg_response);
+  EXPECT_DOUBLE_EQ(a.utilization, b.utilization);
+}
+
+TEST(Driver, OversizedJobClampedToMachine) {
+  const Workload w = make_workload({Job{1, 0.0, 10.0, 10.0, 200}});
+  const FailureTrace trace({}, 128);
+  const SimResult r = run_simulation(w, trace, base_config());
+  EXPECT_EQ(r.jobs_completed, 1u);
+  EXPECT_EQ(r.outcomes[0].size, 128);
+}
+
+}  // namespace
+}  // namespace bgl

@@ -1,0 +1,159 @@
+#include "sim/replay.hpp"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+
+#include "failure/generator.hpp"
+#include "sim/driver.hpp"
+#include "workload/synthetic.hpp"
+
+namespace bgl {
+namespace {
+
+const PartitionCatalog& catalog() {
+  static PartitionCatalog instance(Dims::bluegene_l());
+  return instance;
+}
+
+SimResult replay_run(SchedulerKind kind, double alpha, std::uint64_t seed) {
+  SyntheticModel model = SyntheticModel::sdsc();
+  model.num_jobs = 250;
+  Workload w = generate_workload(model, seed);
+  w = rescale_sizes(w, 128);
+  const double span = w.arrival_span() * 1.05 + 2.0 * 36.0 * 3600.0;
+  const FailureTrace trace = generate_failures(
+      FailureModel::bluegene_l(static_cast<std::size_t>(10.0 * span / 86400.0), span),
+      seed);
+  SimConfig config;
+  config.scheduler = kind;
+  config.alpha = alpha;
+  config.record_replay = true;
+  return run_simulation(w, trace, config, &catalog());
+}
+
+TEST(Replay, RecordedLogValidates) {
+  for (const SchedulerKind kind :
+       {SchedulerKind::kKrevat, SchedulerKind::kBalancing, SchedulerKind::kTieBreak}) {
+    const SimResult r = replay_run(kind, 0.5, 21);
+    ASSERT_FALSE(r.replay.empty());
+    const ReplayValidation v = validate_replay(r.replay, catalog());
+    EXPECT_TRUE(v.ok) << v.error;
+  }
+}
+
+TEST(Replay, LogStructureMatchesCounters) {
+  const SimResult r = replay_run(SchedulerKind::kBalancing, 0.1, 33);
+  std::size_t starts = 0;
+  std::size_t finishes = 0;
+  std::size_t kills = 0;
+  std::size_t arrivals = 0;
+  std::size_t failures = 0;
+  std::size_t migrations = 0;
+  for (const ReplayEvent& e : r.replay) {
+    switch (e.type) {
+      case ReplayEventType::kStart: ++starts; break;
+      case ReplayEventType::kFinish: ++finishes; break;
+      case ReplayEventType::kKill: ++kills; break;
+      case ReplayEventType::kArrival: ++arrivals; break;
+      case ReplayEventType::kNodeFailure: ++failures; break;
+      case ReplayEventType::kMigration: ++migrations; break;
+    }
+  }
+  EXPECT_EQ(arrivals, r.jobs_completed);
+  EXPECT_EQ(finishes, r.jobs_completed);
+  EXPECT_EQ(kills, r.job_kills);
+  EXPECT_EQ(starts, finishes + kills);  // every run segment ends exactly once
+  EXPECT_EQ(failures, r.failures_total);
+  EXPECT_EQ(migrations, r.migrations);
+}
+
+TEST(Replay, DeterministicAcrossRuns) {
+  const SimResult a = replay_run(SchedulerKind::kTieBreak, 0.5, 44);
+  const SimResult b = replay_run(SchedulerKind::kTieBreak, 0.5, 44);
+  EXPECT_EQ(a.replay, b.replay);
+}
+
+TEST(Replay, DisabledByDefault) {
+  SyntheticModel model = SyntheticModel::sdsc();
+  model.num_jobs = 50;
+  Workload w = generate_workload(model, 3);
+  w = rescale_sizes(w, 128);
+  SimConfig config;
+  const SimResult r = run_simulation(w, FailureTrace({}, 128), config, &catalog());
+  EXPECT_TRUE(r.replay.empty());
+}
+
+TEST(Replay, ValidatorRejectsOverlappingStarts) {
+  const auto [first, last] = catalog().size_range(128);
+  ASSERT_LT(first, last);
+  const std::vector<ReplayEvent> bad = {
+      {0.0, ReplayEventType::kStart, 1, -1, first},
+      {1.0, ReplayEventType::kStart, 2, -1, first},
+  };
+  const ReplayValidation v = validate_replay(bad, catalog());
+  EXPECT_FALSE(v.ok);
+  EXPECT_NE(v.error.find("overlaps"), std::string::npos);
+}
+
+TEST(Replay, ValidatorRejectsReleaseOfUnknownJob) {
+  const auto [first, last] = catalog().size_range(64);
+  const std::vector<ReplayEvent> bad = {
+      {0.0, ReplayEventType::kFinish, 9, -1, first},
+  };
+  EXPECT_FALSE(validate_replay(bad, catalog()).ok);
+}
+
+TEST(Replay, ValidatorRejectsBackwardsTime) {
+  const auto [first, last] = catalog().size_range(64);
+  const std::vector<ReplayEvent> bad = {
+      {10.0, ReplayEventType::kStart, 1, -1, first},
+      {5.0, ReplayEventType::kFinish, 1, -1, first},
+  };
+  EXPECT_FALSE(validate_replay(bad, catalog()).ok);
+}
+
+TEST(Replay, ValidatorAcceptsMigrationRotation) {
+  // Two jobs swap partitions at the same timestamp — legal because the
+  // driver releases all movers first.
+  const auto [f64, l64] = catalog().size_range(64);
+  ASSERT_GE(l64 - f64, 2);
+  // Find two disjoint 64-partitions.
+  int a = f64;
+  int b = -1;
+  for (int i = f64 + 1; i < l64; ++i) {
+    if (!catalog().entry(i).mask.intersects(catalog().entry(a).mask)) {
+      b = i;
+      break;
+    }
+  }
+  ASSERT_GE(b, 0);
+  const std::vector<ReplayEvent> log = {
+      {0.0, ReplayEventType::kStart, 1, -1, a},
+      {0.0, ReplayEventType::kStart, 2, -1, b},
+      {5.0, ReplayEventType::kMigration, 1, -1, b},
+      {5.0, ReplayEventType::kMigration, 2, -1, a},
+      {9.0, ReplayEventType::kFinish, 1, -1, b},
+      {9.5, ReplayEventType::kFinish, 2, -1, a},
+  };
+  const ReplayValidation v = validate_replay(log, catalog());
+  EXPECT_TRUE(v.ok) << v.error;
+}
+
+TEST(Replay, CsvWriterProducesHeaderAndRows) {
+  const SimResult r = replay_run(SchedulerKind::kKrevat, 0.0, 55);
+  const std::string path = testing::TempDir() + "/bgl_replay.csv";
+  write_replay_csv(path, r.replay, catalog());
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::string header;
+  std::getline(in, header);
+  EXPECT_EQ(header, "time,type,job,node,entry,base,shape");
+  std::size_t rows = 0;
+  std::string line;
+  while (std::getline(in, line)) ++rows;
+  EXPECT_EQ(rows, r.replay.size());
+}
+
+}  // namespace
+}  // namespace bgl

@@ -1,0 +1,68 @@
+#include "torus/coords.hpp"
+
+#include <gtest/gtest.h>
+
+namespace bgl {
+namespace {
+
+TEST(Coords, NodeIdRoundTrip) {
+  const Dims dims = Dims::bluegene_l();
+  for (int z = 0; z < dims.z; ++z) {
+    for (int y = 0; y < dims.y; ++y) {
+      for (int x = 0; x < dims.x; ++x) {
+        const Coord c{x, y, z};
+        const NodeId id = node_id(dims, c);
+        EXPECT_EQ(coord_of(dims, id), c);
+      }
+    }
+  }
+}
+
+TEST(Coords, NodeIdsAreDenseAndUnique) {
+  const Dims dims{3, 5, 2};
+  std::vector<bool> seen(static_cast<std::size_t>(dims.volume()), false);
+  for (int z = 0; z < dims.z; ++z) {
+    for (int y = 0; y < dims.y; ++y) {
+      for (int x = 0; x < dims.x; ++x) {
+        const NodeId id = node_id(dims, Coord{x, y, z});
+        ASSERT_GE(id, 0);
+        ASSERT_LT(id, dims.volume());
+        EXPECT_FALSE(seen[static_cast<std::size_t>(id)]);
+        seen[static_cast<std::size_t>(id)] = true;
+      }
+    }
+  }
+}
+
+TEST(Coords, BlueGeneLDims) {
+  const Dims dims = Dims::bluegene_l();
+  EXPECT_EQ(dims.x, 4);
+  EXPECT_EQ(dims.y, 4);
+  EXPECT_EQ(dims.z, 8);
+  EXPECT_EQ(dims.volume(), 128);
+}
+
+TEST(Coords, CubeDims) {
+  EXPECT_EQ(Dims::cube(6).volume(), 216);
+}
+
+TEST(Coords, WrapHandlesOverflow) {
+  const Dims dims{4, 4, 8};
+  EXPECT_EQ(wrap(dims, 4, 5, 9), (Coord{0, 1, 1}));
+  EXPECT_EQ(wrap(dims, 3, 3, 7), (Coord{3, 3, 7}));
+  EXPECT_EQ(wrap(dims, 7, 0, 15), (Coord{3, 0, 7}));
+}
+
+TEST(Coords, ToString) {
+  EXPECT_EQ(to_string(Coord{1, 2, 3}), "(1, 2, 3)");
+  EXPECT_EQ(to_string(Dims{4, 4, 8}), "4x4x8");
+}
+
+TEST(Coords, ValidateRejectsBadDims) {
+  EXPECT_THROW(validate(Dims{0, 4, 4}), ConfigError);
+  EXPECT_THROW(validate(Dims{4, -1, 4}), ConfigError);
+  EXPECT_NO_THROW(validate(Dims{1, 1, 1}));
+}
+
+}  // namespace
+}  // namespace bgl

@@ -1,0 +1,163 @@
+#include "torus/nodeset.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace bgl {
+namespace {
+
+TEST(NodeSet, SetResetTest) {
+  NodeSet s(128);
+  EXPECT_EQ(s.count(), 0);
+  s.set(0);
+  s.set(63);
+  s.set(64);
+  s.set(127);
+  EXPECT_EQ(s.count(), 4);
+  EXPECT_TRUE(s.test(63));
+  EXPECT_TRUE(s.test(64));
+  EXPECT_FALSE(s.test(1));
+  s.reset(64);
+  EXPECT_FALSE(s.test(64));
+  EXPECT_EQ(s.count(), 3);
+}
+
+TEST(NodeSet, OutOfRangeThrows) {
+  NodeSet s(10);
+  EXPECT_THROW(s.set(10), ContractViolation);
+  EXPECT_THROW(s.test(-1), ContractViolation);
+}
+
+TEST(NodeSet, FillAndClear) {
+  NodeSet s(70);
+  s.fill();
+  EXPECT_EQ(s.count(), 70);
+  s.clear();
+  EXPECT_EQ(s.count(), 0);
+  EXPECT_TRUE(s.empty());
+}
+
+TEST(NodeSet, Intersects) {
+  NodeSet a(128);
+  NodeSet b(128);
+  a.set(5);
+  b.set(6);
+  EXPECT_FALSE(a.intersects(b));
+  b.set(5);
+  EXPECT_TRUE(a.intersects(b));
+}
+
+TEST(NodeSet, IntersectCount) {
+  NodeSet a(128);
+  NodeSet b(128);
+  for (int i = 0; i < 128; i += 2) a.set(i);
+  for (int i = 0; i < 128; i += 3) b.set(i);
+  int expected = 0;
+  for (int i = 0; i < 128; i += 6) ++expected;
+  EXPECT_EQ(a.intersect_count(b), expected);
+}
+
+TEST(NodeSet, IntersectsOrAvoidsTemporary) {
+  NodeSet mask(128);
+  mask.set(100);
+  NodeSet a(128);
+  NodeSet b(128);
+  EXPECT_FALSE(mask.intersects_or(a, b));
+  b.set(100);
+  EXPECT_TRUE(mask.intersects_or(a, b));
+  b.reset(100);
+  a.set(100);
+  EXPECT_TRUE(mask.intersects_or(a, b));
+}
+
+TEST(NodeSet, SubsetRelation) {
+  NodeSet small(64);
+  NodeSet big(64);
+  small.set(3);
+  big.set(3);
+  big.set(9);
+  EXPECT_TRUE(small.is_subset_of(big));
+  EXPECT_FALSE(big.is_subset_of(small));
+  NodeSet empty(64);
+  EXPECT_TRUE(empty.is_subset_of(small));
+}
+
+TEST(NodeSet, UnionIntersectionSubtract) {
+  NodeSet a(64);
+  NodeSet b(64);
+  a.set(1);
+  a.set(2);
+  b.set(2);
+  b.set(3);
+  NodeSet u = a;
+  u |= b;
+  EXPECT_EQ(u.count(), 3);
+  NodeSet i = a;
+  i &= b;
+  EXPECT_EQ(i.count(), 1);
+  EXPECT_TRUE(i.test(2));
+  NodeSet d = a;
+  d.subtract(b);
+  EXPECT_EQ(d.count(), 1);
+  EXPECT_TRUE(d.test(1));
+}
+
+TEST(NodeSet, SizeMismatchThrows) {
+  NodeSet a(64);
+  NodeSet b(65);
+  EXPECT_THROW((void)a.intersects(b), ContractViolation);
+}
+
+TEST(NodeSet, ToIdsAscending) {
+  NodeSet s(128);
+  s.set(127);
+  s.set(0);
+  s.set(64);
+  EXPECT_EQ(s.to_ids(), (std::vector<int>{0, 64, 127}));
+}
+
+TEST(NodeSet, HashDistinguishesSets) {
+  NodeSet a(128);
+  NodeSet b(128);
+  a.set(1);
+  b.set(2);
+  EXPECT_NE(a.hash(), b.hash());
+  NodeSet c(128);
+  c.set(1);
+  EXPECT_EQ(a.hash(), c.hash());
+}
+
+TEST(NodeSet, EqualityIsStructural) {
+  NodeSet a(32);
+  NodeSet b(32);
+  EXPECT_EQ(a, b);
+  a.set(5);
+  EXPECT_NE(a, b);
+  b.set(5);
+  EXPECT_EQ(a, b);
+}
+
+TEST(NodeSet, RandomizedCountMatchesReference) {
+  Rng rng(4242);
+  NodeSet s(200);
+  std::vector<bool> ref(200, false);
+  for (int step = 0; step < 1000; ++step) {
+    const int id = static_cast<int>(rng.uniform_int(0, 199));
+    if (rng.bernoulli(0.5)) {
+      s.set(id);
+      ref[static_cast<std::size_t>(id)] = true;
+    } else {
+      s.reset(id);
+      ref[static_cast<std::size_t>(id)] = false;
+    }
+  }
+  int expected = 0;
+  for (const bool v : ref) expected += v ? 1 : 0;
+  EXPECT_EQ(s.count(), expected);
+  for (int i = 0; i < 200; ++i) EXPECT_EQ(s.test(i), ref[static_cast<std::size_t>(i)]);
+}
+
+}  // namespace
+}  // namespace bgl

@@ -1,0 +1,85 @@
+#include "torus/partition.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace bgl {
+namespace {
+
+const Dims kBgl = Dims::bluegene_l();
+
+TEST(Partition, BoxNodesCountMatchesVolume) {
+  const Box box{Coord{1, 2, 3}, Triple{2, 2, 4}};
+  const auto nodes = box_nodes(kBgl, box);
+  EXPECT_EQ(nodes.size(), 16u);
+  // All unique.
+  EXPECT_EQ(std::set<NodeId>(nodes.begin(), nodes.end()).size(), 16u);
+}
+
+TEST(Partition, BoxNodesWrapAround) {
+  // Base at the far corner with extent 2 in every dimension wraps in all.
+  const Box box{Coord{3, 3, 7}, Triple{2, 2, 2}};
+  const auto nodes = box_nodes(kBgl, box);
+  ASSERT_EQ(nodes.size(), 8u);
+  // The wrapped corner (0,0,0) must be included.
+  EXPECT_NE(std::find(nodes.begin(), nodes.end(), node_id(kBgl, Coord{0, 0, 0})),
+            nodes.end());
+  EXPECT_NE(std::find(nodes.begin(), nodes.end(), node_id(kBgl, Coord{3, 3, 7})),
+            nodes.end());
+}
+
+TEST(Partition, BoxMaskMatchesNodes) {
+  const Box box{Coord{0, 0, 0}, Triple{4, 4, 8}};
+  const NodeSet mask = box_mask(kBgl, box);
+  EXPECT_EQ(mask.count(), 128);
+}
+
+TEST(Partition, BoxFits) {
+  EXPECT_TRUE(box_fits(kBgl, Box{Coord{0, 0, 0}, Triple{4, 4, 8}}));
+  EXPECT_FALSE(box_fits(kBgl, Box{Coord{0, 0, 0}, Triple{5, 1, 1}}));
+  EXPECT_FALSE(box_fits(kBgl, Box{Coord{4, 0, 0}, Triple{1, 1, 1}}));
+  EXPECT_FALSE(box_fits(kBgl, Box{Coord{0, 0, 0}, Triple{0, 1, 1}}));
+}
+
+TEST(Partition, CanonicalizeFixesFullExtentBase) {
+  const Box box{Coord{2, 3, 5}, Triple{4, 2, 8}};
+  const Box canon = canonicalize(kBgl, box);
+  EXPECT_EQ(canon.base.x, 0);   // full x extent
+  EXPECT_EQ(canon.base.y, 3);   // partial extent keeps base
+  EXPECT_EQ(canon.base.z, 0);   // full z extent
+}
+
+TEST(Partition, CanonicalFormPreservesNodeSet) {
+  const Box box{Coord{2, 1, 5}, Triple{4, 2, 8}};
+  const Box canon = canonicalize(kBgl, box);
+  EXPECT_EQ(box_mask(kBgl, box), box_mask(kBgl, canon));
+}
+
+TEST(Partition, BoxContainsWithWrap) {
+  const Box box{Coord{3, 0, 6}, Triple{2, 1, 3}};
+  EXPECT_TRUE(box_contains(kBgl, box, Coord{3, 0, 6}));
+  EXPECT_TRUE(box_contains(kBgl, box, Coord{0, 0, 0}));  // wrapped in x and z
+  EXPECT_FALSE(box_contains(kBgl, box, Coord{1, 0, 0}));
+  EXPECT_FALSE(box_contains(kBgl, box, Coord{3, 1, 6}));
+}
+
+TEST(Partition, BoxContainsAgreesWithBoxNodes) {
+  const Box box{Coord{2, 3, 5}, Triple{3, 2, 4}};
+  const auto nodes = box_nodes(kBgl, box);
+  const std::set<NodeId> node_set(nodes.begin(), nodes.end());
+  for (int id = 0; id < kBgl.volume(); ++id) {
+    const bool in_list = node_set.count(static_cast<NodeId>(id)) > 0;
+    EXPECT_EQ(box_contains(kBgl, box, coord_of(kBgl, static_cast<NodeId>(id))), in_list)
+        << "node " << id;
+  }
+}
+
+TEST(Partition, ToStringIsReadable) {
+  const std::string text = to_string(Box{Coord{1, 2, 3}, Triple{2, 2, 2}});
+  EXPECT_NE(text.find("(1, 2, 3)"), std::string::npos);
+  EXPECT_NE(text.find("2x2x2"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace bgl

@@ -1,0 +1,78 @@
+#include "util/logging.hpp"
+
+#include <gtest/gtest.h>
+
+namespace bgl {
+namespace {
+
+class LoggingTest : public ::testing::Test {
+ protected:
+  void SetUp() override { previous_ = log_level(); }
+  void TearDown() override { set_log_level(previous_); }
+  LogLevel previous_ = LogLevel::kWarn;
+};
+
+TEST_F(LoggingTest, ParseLevelNames) {
+  EXPECT_EQ(parse_log_level("debug"), LogLevel::kDebug);
+  EXPECT_EQ(parse_log_level("INFO"), LogLevel::kInfo);
+  EXPECT_EQ(parse_log_level(" warn "), LogLevel::kWarn);
+  EXPECT_EQ(parse_log_level("warning"), LogLevel::kWarn);
+  EXPECT_EQ(parse_log_level("Error"), LogLevel::kError);
+  EXPECT_EQ(parse_log_level("off"), LogLevel::kOff);
+  EXPECT_EQ(parse_log_level("none"), LogLevel::kOff);
+  // Unknown falls back to the default threshold.
+  EXPECT_EQ(parse_log_level("garbage"), LogLevel::kWarn);
+}
+
+TEST_F(LoggingTest, SetAndGetLevel) {
+  set_log_level(LogLevel::kDebug);
+  EXPECT_EQ(log_level(), LogLevel::kDebug);
+  set_log_level(LogLevel::kOff);
+  EXPECT_EQ(log_level(), LogLevel::kOff);
+}
+
+TEST_F(LoggingTest, MacroRespectsThreshold) {
+  // The macro must not evaluate its stream expression below the threshold.
+  set_log_level(LogLevel::kError);
+  int evaluations = 0;
+  auto observe = [&]() {
+    ++evaluations;
+    return "x";
+  };
+  BGL_DEBUG(observe());
+  BGL_INFO(observe());
+  BGL_WARN(observe());
+  EXPECT_EQ(evaluations, 0);
+
+  set_log_level(LogLevel::kOff);
+  BGL_ERROR(observe());
+  EXPECT_EQ(evaluations, 0);
+}
+
+TEST_F(LoggingTest, MacroEvaluatesAtOrAboveThreshold) {
+  set_log_level(LogLevel::kDebug);
+  int evaluations = 0;
+  auto observe = [&]() {
+    ++evaluations;
+    return "payload";
+  };
+  ::testing::internal::CaptureStderr();
+  BGL_DEBUG(observe());
+  BGL_ERROR(observe());
+  const std::string text = ::testing::internal::GetCapturedStderr();
+  EXPECT_EQ(evaluations, 2);
+  EXPECT_NE(text.find("DEBUG"), std::string::npos);
+  EXPECT_NE(text.find("ERROR"), std::string::npos);
+  EXPECT_NE(text.find("payload"), std::string::npos);
+}
+
+TEST_F(LoggingTest, InitFromEnvIsIdempotent) {
+  // Whatever BGL_LOG is, calling twice must not crash or change semantics.
+  init_logging_from_env();
+  const LogLevel first = log_level();
+  init_logging_from_env();
+  EXPECT_EQ(log_level(), first);
+}
+
+}  // namespace
+}  // namespace bgl

@@ -1,0 +1,71 @@
+#include "util/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+
+#include "util/error.hpp"
+
+namespace bgl {
+namespace {
+
+TEST(Table, RenderAlignsColumns) {
+  Table t({"name", "value"});
+  t.add_row().add("x").add(1.5, 1);
+  t.add_row().add("longer").add(2LL);
+  const std::string text = t.render();
+  EXPECT_NE(text.find("name"), std::string::npos);
+  EXPECT_NE(text.find("longer"), std::string::npos);
+  EXPECT_NE(text.find("1.5"), std::string::npos);
+  // Header separator line present.
+  EXPECT_NE(text.find("---"), std::string::npos);
+}
+
+TEST(Table, CsvEscapesSpecialCharacters) {
+  Table t({"a", "b"});
+  t.add_row().add("plain").add("with,comma");
+  t.add_row().add("with\"quote").add("x");
+  const std::string csv = t.to_csv();
+  EXPECT_NE(csv.find("\"with,comma\""), std::string::npos);
+  EXPECT_NE(csv.find("\"with\"\"quote\""), std::string::npos);
+}
+
+TEST(Table, TooManyCellsThrows) {
+  Table t({"only"});
+  t.add_row().add("ok");
+  EXPECT_THROW(t.add("overflow"), ContractViolation);
+}
+
+TEST(Table, CellBeforeRowThrows) {
+  Table t({"c"});
+  EXPECT_THROW(t.add("x"), ContractViolation);
+}
+
+TEST(Table, EmptyHeaderThrows) {
+  EXPECT_THROW(Table(std::vector<std::string>{}), ContractViolation);
+}
+
+TEST(Table, RowCount) {
+  Table t({"c"});
+  EXPECT_EQ(t.rows(), 0u);
+  t.add_row().add("1");
+  t.add_row().add("2");
+  EXPECT_EQ(t.rows(), 2u);
+}
+
+TEST(Table, WriteCsvRoundTrip) {
+  Table t({"k", "v"});
+  t.add_row().add("alpha").add(3LL);
+  const std::string path = testing::TempDir() + "/bgl_table_test.csv";
+  t.write_csv(path);
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::string line;
+  std::getline(in, line);
+  EXPECT_EQ(line, "k,v");
+  std::getline(in, line);
+  EXPECT_EQ(line, "alpha,3");
+}
+
+}  // namespace
+}  // namespace bgl

@@ -1,0 +1,184 @@
+#include "workload/swf.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "util/error.hpp"
+#include "workload/analysis.hpp"
+
+namespace bgl {
+namespace {
+
+constexpr const char* kSampleSwf =
+    "; Computer: Test Machine\n"
+    "; MaxProcs: 128\n"
+    "\n"
+    "1 0 10 300 16 -1 -1 16 600 -1 1 3 1 -1 1 -1 -1 -1\n"
+    "2 60 -1 100 8 -1 -1 8 -1 -1 1 3 1 -1 1 -1 -1 -1\n"
+    "3 120 -1 50 -1 -1 -1 32 120 -1 0 3 1 -1 1 -1 -1 -1\n"
+    "4 180 -1 -1 4 -1 -1 4 100 -1 1 3 1 -1 1 -1 -1 -1\n";
+
+TEST(Swf, ParsesBasicFields) {
+  std::istringstream in(kSampleSwf);
+  const Workload w = read_swf(in, "test");
+  ASSERT_EQ(w.jobs.size(), 3u);  // job 4 dropped: unknown runtime
+  EXPECT_EQ(w.machine_nodes, 128);
+  EXPECT_EQ(w.name, "test");
+
+  const Job& j1 = w.jobs[0];
+  EXPECT_EQ(j1.id, 1u);
+  EXPECT_DOUBLE_EQ(j1.arrival, 0.0);
+  EXPECT_DOUBLE_EQ(j1.runtime, 300.0);
+  EXPECT_EQ(j1.size, 16);
+  EXPECT_DOUBLE_EQ(j1.estimate, 600.0);
+}
+
+TEST(Swf, MissingEstimateUsesFallbackFactor) {
+  std::istringstream in(kSampleSwf);
+  SwfOptions options;
+  options.estimate_fallback_factor = 3.0;
+  const Workload w = read_swf(in, "test", 0, options);
+  const Job& j2 = w.jobs[1];
+  EXPECT_EQ(j2.id, 2u);
+  EXPECT_DOUBLE_EQ(j2.estimate, 300.0);  // 100 * 3
+}
+
+TEST(Swf, EstimateNeverBelowRuntime) {
+  // Job 3 requests 120 s but ran 50 s... wait: runtime 50, request 120. Make
+  // a case where the request is below the runtime instead.
+  std::istringstream in(
+      "1 0 -1 500 8 -1 -1 8 100 -1 1 -1 -1 -1 -1 -1 -1 -1\n");
+  const Workload w = read_swf(in, "test", 128);
+  ASSERT_EQ(w.jobs.size(), 1u);
+  EXPECT_GE(w.jobs[0].estimate, w.jobs[0].runtime);
+}
+
+TEST(Swf, UsesAllocatedWhenRequestedMissing) {
+  std::istringstream in("1 0 -1 10 24 -1 -1 -1 60 -1 1 -1 -1 -1 -1 -1 -1 -1\n");
+  const Workload w = read_swf(in, "test", 128);
+  ASSERT_EQ(w.jobs.size(), 1u);
+  EXPECT_EQ(w.jobs[0].size, 24);
+}
+
+TEST(Swf, PreferRequestedProcessorsOption) {
+  std::istringstream in("1 0 -1 10 24 -1 -1 32 60 -1 1 -1 -1 -1 -1 -1 -1 -1\n");
+  SwfOptions options;
+  options.prefer_requested_processors = true;
+  const Workload w = read_swf(in, "test", 128, options);
+  EXPECT_EQ(w.jobs[0].size, 32);
+}
+
+TEST(Swf, DropFailedStatusOption) {
+  std::istringstream in(kSampleSwf);
+  SwfOptions options;
+  options.drop_failed_status = true;
+  const Workload w = read_swf(in, "test", 0, options);
+  EXPECT_EQ(w.jobs.size(), 2u);  // job 3 has status 0
+}
+
+TEST(Swf, ArrivalsShiftedToZero) {
+  std::istringstream in(
+      "5 1000 -1 10 1 -1 -1 1 20 -1 1 -1 -1 -1 -1 -1 -1 -1\n"
+      "6 1300 -1 10 1 -1 -1 1 20 -1 1 -1 -1 -1 -1 -1 -1 -1\n");
+  const Workload w = read_swf(in, "test", 128);
+  EXPECT_DOUBLE_EQ(w.jobs[0].arrival, 0.0);
+  EXPECT_DOUBLE_EQ(w.jobs[1].arrival, 300.0);
+}
+
+TEST(Swf, MalformedLineThrows) {
+  std::istringstream in("1 2 3\n");
+  EXPECT_THROW(read_swf(in, "bad"), ParseError);
+}
+
+TEST(Swf, BadNumberThrows) {
+  std::istringstream in("1 0 -1 xx 8 -1 -1 8 60 -1 1 -1 -1 -1 -1 -1 -1 -1\n");
+  EXPECT_THROW(read_swf(in, "bad"), ParseError);
+}
+
+TEST(Swf, MachineSizeAutoDetectedFromJobs) {
+  std::istringstream in("1 0 -1 10 96 -1 -1 96 60 -1 1 -1 -1 -1 -1 -1 -1 -1\n");
+  const Workload w = read_swf(in, "test");
+  EXPECT_EQ(w.machine_nodes, 96);
+}
+
+TEST(Swf, WriteReadRoundTrip) {
+  Workload original;
+  original.name = "round-trip";
+  original.machine_nodes = 128;
+  original.jobs = {
+      Job{1, 0.0, 120.0, 240.0, 8},
+      Job{2, 300.0, 60.0, 60.0, 32},
+      Job{3, 301.0, 3600.0, 7200.0, 128},
+  };
+  std::ostringstream out;
+  write_swf(out, original);
+  std::istringstream in(out.str());
+  const Workload parsed = read_swf(in, "round-trip");
+  ASSERT_EQ(parsed.jobs.size(), original.jobs.size());
+  EXPECT_EQ(parsed.machine_nodes, 128);
+  for (std::size_t i = 0; i < original.jobs.size(); ++i) {
+    EXPECT_EQ(parsed.jobs[i].id, original.jobs[i].id);
+    EXPECT_DOUBLE_EQ(parsed.jobs[i].arrival, original.jobs[i].arrival);
+    EXPECT_DOUBLE_EQ(parsed.jobs[i].runtime, original.jobs[i].runtime);
+    EXPECT_DOUBLE_EQ(parsed.jobs[i].estimate, original.jobs[i].estimate);
+    EXPECT_EQ(parsed.jobs[i].size, original.jobs[i].size);
+  }
+}
+
+TEST(JobHelpers, ScaleLoadMultipliesTimes) {
+  Workload w;
+  w.machine_nodes = 128;
+  w.jobs = {Job{1, 0.0, 100.0, 200.0, 8}};
+  const Workload scaled = scale_load(w, 1.2);
+  EXPECT_DOUBLE_EQ(scaled.jobs[0].runtime, 120.0);
+  EXPECT_DOUBLE_EQ(scaled.jobs[0].estimate, 240.0);
+  EXPECT_DOUBLE_EQ(scaled.jobs[0].arrival, 0.0);  // arrivals untouched
+}
+
+TEST(JobHelpers, RescaleSizesHalvesLlnlStyleLog) {
+  Workload w;
+  w.machine_nodes = 256;
+  w.jobs = {Job{1, 0.0, 10.0, 10.0, 256}, Job{2, 1.0, 10.0, 10.0, 1},
+            Job{3, 2.0, 10.0, 10.0, 100}};
+  const Workload scaled = rescale_sizes(w, 128);
+  EXPECT_EQ(scaled.jobs[0].size, 128);
+  EXPECT_EQ(scaled.jobs[1].size, 1);
+  EXPECT_EQ(scaled.jobs[2].size, 50);
+  EXPECT_EQ(scaled.machine_nodes, 128);
+}
+
+TEST(JobHelpers, NormalizeSortsAndValidates) {
+  Workload w;
+  w.machine_nodes = 4;
+  w.jobs = {Job{2, 10.0, 1.0, 1.0, 1}, Job{1, 5.0, 1.0, 1.0, 1}};
+  normalize(w);
+  EXPECT_EQ(w.jobs[0].id, 1u);
+  w.jobs.push_back(Job{3, 1.0, 1.0, 1.0, 0});
+  EXPECT_THROW(normalize(w), ConfigError);
+}
+
+TEST(JobHelpers, WorkAndSpan) {
+  Workload w;
+  w.machine_nodes = 128;
+  w.jobs = {Job{1, 0.0, 100.0, 100.0, 4}, Job{2, 50.0, 10.0, 10.0, 2}};
+  EXPECT_DOUBLE_EQ(w.total_work(), 420.0);
+  EXPECT_DOUBLE_EQ(w.arrival_span(), 50.0);
+}
+
+TEST(Analysis, SummaryFields) {
+  Workload w;
+  w.name = "summary";
+  w.machine_nodes = 128;
+  w.jobs = {Job{1, 0.0, 100.0, 200.0, 4}, Job{2, 100.0, 300.0, 300.0, 7}};
+  const WorkloadSummary s = summarize(w);
+  EXPECT_EQ(s.jobs, 2u);
+  EXPECT_DOUBLE_EQ(s.span_seconds, 100.0);
+  EXPECT_DOUBLE_EQ(s.pow2_size_fraction, 0.5);
+  EXPECT_DOUBLE_EQ(s.size.mean(), 5.5);
+  const std::string text = describe(w);
+  EXPECT_NE(text.find("summary"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace bgl

@@ -1,0 +1,133 @@
+#include "workload/synthetic.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+#include "util/math.hpp"
+#include "workload/analysis.hpp"
+
+namespace bgl {
+namespace {
+
+TEST(Synthetic, DeterministicInSeed) {
+  SyntheticModel model = SyntheticModel::sdsc();
+  model.num_jobs = 500;
+  const Workload a = generate_workload(model, 42);
+  const Workload b = generate_workload(model, 42);
+  ASSERT_EQ(a.jobs.size(), b.jobs.size());
+  for (std::size_t i = 0; i < a.jobs.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.jobs[i].arrival, b.jobs[i].arrival);
+    EXPECT_DOUBLE_EQ(a.jobs[i].runtime, b.jobs[i].runtime);
+    EXPECT_EQ(a.jobs[i].size, b.jobs[i].size);
+  }
+}
+
+TEST(Synthetic, DifferentSeedsDiffer) {
+  SyntheticModel model = SyntheticModel::sdsc();
+  model.num_jobs = 200;
+  const Workload a = generate_workload(model, 1);
+  const Workload b = generate_workload(model, 2);
+  int differing = 0;
+  for (std::size_t i = 0; i < a.jobs.size(); ++i) {
+    if (a.jobs[i].runtime != b.jobs[i].runtime) ++differing;
+  }
+  EXPECT_GT(differing, 100);
+}
+
+TEST(Synthetic, OfferedLoadHitsTarget) {
+  for (const auto& model :
+       {SyntheticModel::nasa(), SyntheticModel::sdsc(), SyntheticModel::llnl()}) {
+    SyntheticModel m = model;
+    m.num_jobs = 2000;
+    const Workload w = generate_workload(m, 7);
+    const WorkloadSummary s = summarize(w);
+    // The affine rescale targets the load exactly up to the open last gap.
+    EXPECT_NEAR(s.offered_load, m.offered_load, 0.05) << m.name;
+  }
+}
+
+TEST(Synthetic, SizesRespectBounds) {
+  SyntheticModel model = SyntheticModel::llnl();
+  model.num_jobs = 2000;
+  const Workload w = generate_workload(model, 3);
+  for (const Job& j : w.jobs) {
+    EXPECT_GE(j.size, model.min_size);
+    EXPECT_LE(j.size, model.max_size);
+  }
+}
+
+TEST(Synthetic, NasaIsPurePowerOfTwo) {
+  SyntheticModel model = SyntheticModel::nasa();
+  model.num_jobs = 2000;
+  const Workload w = generate_workload(model, 11);
+  for (const Job& j : w.jobs) EXPECT_TRUE(is_pow2(j.size)) << j.size;
+}
+
+TEST(Synthetic, SdscHasNonPowerOfTwoJobs) {
+  SyntheticModel model = SyntheticModel::sdsc();
+  model.num_jobs = 3000;
+  const Workload w = generate_workload(model, 13);
+  const WorkloadSummary s = summarize(w);
+  EXPECT_LT(s.pow2_size_fraction, 0.95);
+  EXPECT_GT(s.pow2_size_fraction, 0.6);
+}
+
+TEST(Synthetic, RuntimesWithinModelBounds) {
+  SyntheticModel model = SyntheticModel::sdsc();
+  model.num_jobs = 2000;
+  const Workload w = generate_workload(model, 17);
+  for (const Job& j : w.jobs) {
+    EXPECT_GE(j.runtime, model.min_runtime);
+    EXPECT_LE(j.runtime, model.max_runtime);
+  }
+}
+
+TEST(Synthetic, EstimatesAreUpperBounds) {
+  SyntheticModel model = SyntheticModel::sdsc();
+  model.num_jobs = 2000;
+  const Workload w = generate_workload(model, 19);
+  std::size_t exact = 0;
+  for (const Job& j : w.jobs) {
+    EXPECT_GE(j.estimate, j.runtime);
+    if (j.estimate == j.runtime) ++exact;
+  }
+  // A point mass of exact estimates exists.
+  EXPECT_GT(exact, w.jobs.size() / 20);
+  EXPECT_LT(exact, w.jobs.size() / 2);
+}
+
+TEST(Synthetic, ArrivalsSortedAndStartAtZero) {
+  SyntheticModel model = SyntheticModel::nasa();
+  model.num_jobs = 1000;
+  const Workload w = generate_workload(model, 23);
+  EXPECT_DOUBLE_EQ(w.jobs.front().arrival, 0.0);
+  for (std::size_t i = 1; i < w.jobs.size(); ++i) {
+    EXPECT_GE(w.jobs[i].arrival, w.jobs[i - 1].arrival);
+  }
+}
+
+TEST(Synthetic, LlnlIsLargeJobHeavy) {
+  SyntheticModel llnl = SyntheticModel::llnl();
+  SyntheticModel nasa = SyntheticModel::nasa();
+  llnl.num_jobs = 2000;
+  nasa.num_jobs = 2000;
+  const WorkloadSummary sl = summarize(generate_workload(llnl, 29));
+  const WorkloadSummary sn = summarize(generate_workload(nasa, 29));
+  // Relative to machine size, LLNL jobs are bigger on average.
+  EXPECT_GT(sl.size.mean() / 256.0, sn.size.mean() / 128.0);
+}
+
+TEST(Synthetic, ModelValidation) {
+  SyntheticModel model = SyntheticModel::sdsc();
+  model.num_jobs = 0;
+  EXPECT_THROW(generate_workload(model, 1), ContractViolation);
+  model = SyntheticModel::sdsc();
+  model.min_size = 200;  // > max_size
+  EXPECT_THROW(generate_workload(model, 1), ContractViolation);
+  model = SyntheticModel::sdsc();
+  model.offered_load = 1.5;
+  EXPECT_THROW(generate_workload(model, 1), ContractViolation);
+}
+
+}  // namespace
+}  // namespace bgl

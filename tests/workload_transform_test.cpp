@@ -1,0 +1,123 @@
+#include "workload/transform.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+#include "workload/synthetic.hpp"
+
+namespace bgl {
+namespace {
+
+Workload sample() {
+  Workload w;
+  w.name = "sample";
+  w.machine_nodes = 128;
+  w.jobs = {
+      Job{1, 0.0, 100.0, 200.0, 8},
+      Job{2, 50.0, 300.0, 300.0, 64},
+      Job{3, 120.0, 30.0, 600.0, 1},
+      Job{4, 400.0, 1000.0, 1500.0, 32},
+  };
+  normalize(w);
+  return w;
+}
+
+TEST(Transform, FilterJobsKeepsMatchingAndRebases) {
+  const Workload w = sample();
+  const Workload big = filter_jobs(w, [](const Job& j) { return j.size >= 32; });
+  ASSERT_EQ(big.jobs.size(), 2u);
+  EXPECT_EQ(big.jobs[0].id, 2u);
+  EXPECT_DOUBLE_EQ(big.jobs[0].arrival, 0.0);  // re-based from 50
+  EXPECT_DOUBLE_EQ(big.jobs[1].arrival, 350.0);
+}
+
+TEST(Transform, FilterAllKeepsEverything) {
+  const Workload w = sample();
+  const Workload all = filter_jobs(w, [](const Job&) { return true; });
+  EXPECT_EQ(all.jobs.size(), w.jobs.size());
+}
+
+TEST(Transform, SliceTimeHalfOpen) {
+  const Workload w = sample();
+  const Workload mid = slice_time(w, 50.0, 400.0);
+  ASSERT_EQ(mid.jobs.size(), 2u);  // jobs 2 and 3; job 4 at 400 excluded
+  EXPECT_EQ(mid.jobs[0].id, 2u);
+  EXPECT_EQ(mid.jobs[1].id, 3u);
+}
+
+TEST(Transform, SliceValidatesInterval) {
+  EXPECT_THROW(slice_time(sample(), 100.0, 50.0), ContractViolation);
+}
+
+TEST(Transform, HeadJobs) {
+  const Workload w = sample();
+  const Workload first2 = head_jobs(w, 2);
+  ASSERT_EQ(first2.jobs.size(), 2u);
+  EXPECT_EQ(first2.jobs[0].id, 1u);
+  EXPECT_EQ(first2.jobs[1].id, 2u);
+  EXPECT_EQ(head_jobs(w, 100).jobs.size(), 4u);
+}
+
+TEST(Transform, MergeInterleavesAndRenumbers) {
+  Workload a = sample();
+  Workload b;
+  b.name = "other";
+  b.machine_nodes = 256;
+  b.jobs = {Job{1, 25.0, 10.0, 10.0, 200}};
+  normalize(b);
+
+  const Workload merged = merge_workloads({a, b});
+  ASSERT_EQ(merged.jobs.size(), 5u);
+  EXPECT_EQ(merged.machine_nodes, 256);
+  // Renumbered 1..5, arrival-sorted; the b-job lands second.
+  for (std::size_t i = 0; i < merged.jobs.size(); ++i) {
+    EXPECT_EQ(merged.jobs[i].id, i + 1);
+  }
+  EXPECT_EQ(merged.jobs[1].size, 200);
+  EXPECT_DOUBLE_EQ(merged.jobs[1].arrival, 25.0);
+}
+
+TEST(Transform, MergeRequiresInput) {
+  EXPECT_THROW(merge_workloads({}), ContractViolation);
+}
+
+TEST(Transform, CapEstimates) {
+  const Workload w = sample();
+  const Workload capped = cap_estimates(w, 1.5);
+  for (std::size_t i = 0; i < w.jobs.size(); ++i) {
+    EXPECT_LE(capped.jobs[i].estimate, w.jobs[i].runtime * 1.5 + 1e-12);
+    EXPECT_GE(capped.jobs[i].estimate, capped.jobs[i].runtime);
+  }
+  // Job 3 had estimate 600 = 20x runtime: now 45.
+  EXPECT_DOUBLE_EQ(capped.jobs[2].estimate, 45.0);
+  EXPECT_THROW(cap_estimates(w, 0.5), ContractViolation);
+}
+
+TEST(Transform, ExactEstimates) {
+  const Workload w = exact_estimates(sample());
+  for (const Job& j : w.jobs) EXPECT_DOUBLE_EQ(j.estimate, j.runtime);
+}
+
+TEST(Transform, ThinKeepsApproximateFractionAndTiming) {
+  SyntheticModel model = SyntheticModel::sdsc();
+  model.num_jobs = 4000;
+  const Workload w = generate_workload(model, 5);
+  const Workload thin = thin_workload(w, 0.5, 9);
+  const double fraction =
+      static_cast<double>(thin.jobs.size()) / static_cast<double>(w.jobs.size());
+  EXPECT_NEAR(fraction, 0.5, 0.04);
+  // Arrival times preserved (not re-based): load really halves.
+  EXPECT_GT(thin.jobs.front().arrival, 0.0);
+  // Deterministic.
+  EXPECT_EQ(thin_workload(w, 0.5, 9).jobs.size(), thin.jobs.size());
+  EXPECT_THROW(thin_workload(w, 1.5, 9), ContractViolation);
+}
+
+TEST(Transform, ThinExtremes) {
+  const Workload w = sample();
+  EXPECT_TRUE(thin_workload(w, 0.0, 1).jobs.empty());
+  EXPECT_EQ(thin_workload(w, 1.0, 1).jobs.size(), w.jobs.size());
+}
+
+}  // namespace
+}  // namespace bgl
