@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_utilization_vs_accuracy_llnl.dir/bench_fig10_utilization_vs_accuracy_llnl.cpp.o"
+  "CMakeFiles/bench_fig10_utilization_vs_accuracy_llnl.dir/bench_fig10_utilization_vs_accuracy_llnl.cpp.o.d"
+  "bench_fig10_utilization_vs_accuracy_llnl"
+  "bench_fig10_utilization_vs_accuracy_llnl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_utilization_vs_accuracy_llnl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_slowdown_vs_confidence.dir/bench_fig6_slowdown_vs_confidence.cpp.o"
+  "CMakeFiles/bench_fig6_slowdown_vs_confidence.dir/bench_fig6_slowdown_vs_confidence.cpp.o.d"
+  "bench_fig6_slowdown_vs_confidence"
+  "bench_fig6_slowdown_vs_confidence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_slowdown_vs_confidence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_utilization_vs_confidence_sdsc.dir/bench_fig7_utilization_vs_confidence_sdsc.cpp.o"
+  "CMakeFiles/bench_fig7_utilization_vs_confidence_sdsc.dir/bench_fig7_utilization_vs_confidence_sdsc.cpp.o.d"
+  "bench_fig7_utilization_vs_confidence_sdsc"
+  "bench_fig7_utilization_vs_confidence_sdsc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_utilization_vs_confidence_sdsc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

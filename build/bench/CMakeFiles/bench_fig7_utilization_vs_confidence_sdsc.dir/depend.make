@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig7_utilization_vs_confidence_sdsc.
+# This may be replaced when dependencies are built.

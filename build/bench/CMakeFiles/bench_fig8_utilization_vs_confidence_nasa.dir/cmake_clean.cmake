@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_utilization_vs_confidence_nasa.dir/bench_fig8_utilization_vs_confidence_nasa.cpp.o"
+  "CMakeFiles/bench_fig8_utilization_vs_confidence_nasa.dir/bench_fig8_utilization_vs_confidence_nasa.cpp.o.d"
+  "bench_fig8_utilization_vs_confidence_nasa"
+  "bench_fig8_utilization_vs_confidence_nasa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_utilization_vs_confidence_nasa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

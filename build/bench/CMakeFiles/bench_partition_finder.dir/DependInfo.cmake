@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_partition_finder.cpp" "bench/CMakeFiles/bench_partition_finder.dir/bench_partition_finder.cpp.o" "gcc" "bench/CMakeFiles/bench_partition_finder.dir/bench_partition_finder.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/bgl_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/des/CMakeFiles/bgl_des.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/bgl_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/bgl_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/predict/CMakeFiles/bgl_predict.dir/DependInfo.cmake"
+  "/root/repo/build/src/failure/CMakeFiles/bgl_failure.dir/DependInfo.cmake"
+  "/root/repo/build/src/torus/CMakeFiles/bgl_torus.dir/DependInfo.cmake"
+  "/root/repo/build/src/ckpt/CMakeFiles/bgl_ckpt.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/bgl_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_partition_finder.dir/bench_partition_finder.cpp.o"
+  "CMakeFiles/bench_partition_finder.dir/bench_partition_finder.cpp.o.d"
+  "bench_partition_finder"
+  "bench_partition_finder.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_partition_finder.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bgl_bench_common.dir/common/bench_common.cpp.o"
+  "CMakeFiles/bgl_bench_common.dir/common/bench_common.cpp.o.d"
+  "libbgl_bench_common.a"
+  "libbgl_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bgl_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libbgl_bench_common.a"
+)

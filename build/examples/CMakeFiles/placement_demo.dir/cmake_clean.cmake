@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/placement_demo.dir/placement_demo.cpp.o"
+  "CMakeFiles/placement_demo.dir/placement_demo.cpp.o.d"
+  "placement_demo"
+  "placement_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/placement_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

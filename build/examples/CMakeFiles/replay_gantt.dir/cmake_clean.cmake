@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/replay_gantt.dir/replay_gantt.cpp.o"
+  "CMakeFiles/replay_gantt.dir/replay_gantt.cpp.o.d"
+  "replay_gantt"
+  "replay_gantt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/replay_gantt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

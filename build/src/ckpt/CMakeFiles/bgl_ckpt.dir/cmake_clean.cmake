@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bgl_ckpt.dir/checkpoint.cpp.o"
+  "CMakeFiles/bgl_ckpt.dir/checkpoint.cpp.o.d"
+  "libbgl_ckpt.a"
+  "libbgl_ckpt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bgl_ckpt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

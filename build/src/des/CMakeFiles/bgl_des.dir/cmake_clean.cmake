@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bgl_des.dir/engine.cpp.o"
+  "CMakeFiles/bgl_des.dir/engine.cpp.o.d"
+  "CMakeFiles/bgl_des.dir/event_queue.cpp.o"
+  "CMakeFiles/bgl_des.dir/event_queue.cpp.o.d"
+  "libbgl_des.a"
+  "libbgl_des.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bgl_des.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/failure/analysis.cpp" "src/failure/CMakeFiles/bgl_failure.dir/analysis.cpp.o" "gcc" "src/failure/CMakeFiles/bgl_failure.dir/analysis.cpp.o.d"
+  "/root/repo/src/failure/generator.cpp" "src/failure/CMakeFiles/bgl_failure.dir/generator.cpp.o" "gcc" "src/failure/CMakeFiles/bgl_failure.dir/generator.cpp.o.d"
+  "/root/repo/src/failure/trace.cpp" "src/failure/CMakeFiles/bgl_failure.dir/trace.cpp.o" "gcc" "src/failure/CMakeFiles/bgl_failure.dir/trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/bgl_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/torus/CMakeFiles/bgl_torus.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

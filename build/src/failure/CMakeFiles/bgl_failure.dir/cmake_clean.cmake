@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bgl_failure.dir/analysis.cpp.o"
+  "CMakeFiles/bgl_failure.dir/analysis.cpp.o.d"
+  "CMakeFiles/bgl_failure.dir/generator.cpp.o"
+  "CMakeFiles/bgl_failure.dir/generator.cpp.o.d"
+  "CMakeFiles/bgl_failure.dir/trace.cpp.o"
+  "CMakeFiles/bgl_failure.dir/trace.cpp.o.d"
+  "libbgl_failure.a"
+  "libbgl_failure.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bgl_failure.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bgl_predict.dir/predictor.cpp.o"
+  "CMakeFiles/bgl_predict.dir/predictor.cpp.o.d"
+  "libbgl_predict.a"
+  "libbgl_predict.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bgl_predict.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

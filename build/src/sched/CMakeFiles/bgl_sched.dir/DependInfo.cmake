@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sched/backfill.cpp" "src/sched/CMakeFiles/bgl_sched.dir/backfill.cpp.o" "gcc" "src/sched/CMakeFiles/bgl_sched.dir/backfill.cpp.o.d"
+  "/root/repo/src/sched/migration.cpp" "src/sched/CMakeFiles/bgl_sched.dir/migration.cpp.o" "gcc" "src/sched/CMakeFiles/bgl_sched.dir/migration.cpp.o.d"
+  "/root/repo/src/sched/policy.cpp" "src/sched/CMakeFiles/bgl_sched.dir/policy.cpp.o" "gcc" "src/sched/CMakeFiles/bgl_sched.dir/policy.cpp.o.d"
+  "/root/repo/src/sched/scheduler.cpp" "src/sched/CMakeFiles/bgl_sched.dir/scheduler.cpp.o" "gcc" "src/sched/CMakeFiles/bgl_sched.dir/scheduler.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/bgl_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/torus/CMakeFiles/bgl_torus.dir/DependInfo.cmake"
+  "/root/repo/build/src/predict/CMakeFiles/bgl_predict.dir/DependInfo.cmake"
+  "/root/repo/build/src/failure/CMakeFiles/bgl_failure.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

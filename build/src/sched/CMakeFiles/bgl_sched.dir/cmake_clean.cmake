@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bgl_sched.dir/backfill.cpp.o"
+  "CMakeFiles/bgl_sched.dir/backfill.cpp.o.d"
+  "CMakeFiles/bgl_sched.dir/migration.cpp.o"
+  "CMakeFiles/bgl_sched.dir/migration.cpp.o.d"
+  "CMakeFiles/bgl_sched.dir/policy.cpp.o"
+  "CMakeFiles/bgl_sched.dir/policy.cpp.o.d"
+  "CMakeFiles/bgl_sched.dir/scheduler.cpp.o"
+  "CMakeFiles/bgl_sched.dir/scheduler.cpp.o.d"
+  "libbgl_sched.a"
+  "libbgl_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bgl_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bgl_sim.dir/driver.cpp.o"
+  "CMakeFiles/bgl_sim.dir/driver.cpp.o.d"
+  "CMakeFiles/bgl_sim.dir/experiment.cpp.o"
+  "CMakeFiles/bgl_sim.dir/experiment.cpp.o.d"
+  "CMakeFiles/bgl_sim.dir/metrics.cpp.o"
+  "CMakeFiles/bgl_sim.dir/metrics.cpp.o.d"
+  "CMakeFiles/bgl_sim.dir/replay.cpp.o"
+  "CMakeFiles/bgl_sim.dir/replay.cpp.o.d"
+  "libbgl_sim.a"
+  "libbgl_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bgl_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

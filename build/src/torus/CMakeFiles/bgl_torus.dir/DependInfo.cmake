@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/torus/catalog.cpp" "src/torus/CMakeFiles/bgl_torus.dir/catalog.cpp.o" "gcc" "src/torus/CMakeFiles/bgl_torus.dir/catalog.cpp.o.d"
+  "/root/repo/src/torus/coords.cpp" "src/torus/CMakeFiles/bgl_torus.dir/coords.cpp.o" "gcc" "src/torus/CMakeFiles/bgl_torus.dir/coords.cpp.o.d"
+  "/root/repo/src/torus/finders.cpp" "src/torus/CMakeFiles/bgl_torus.dir/finders.cpp.o" "gcc" "src/torus/CMakeFiles/bgl_torus.dir/finders.cpp.o.d"
+  "/root/repo/src/torus/nodeset.cpp" "src/torus/CMakeFiles/bgl_torus.dir/nodeset.cpp.o" "gcc" "src/torus/CMakeFiles/bgl_torus.dir/nodeset.cpp.o.d"
+  "/root/repo/src/torus/occupancy.cpp" "src/torus/CMakeFiles/bgl_torus.dir/occupancy.cpp.o" "gcc" "src/torus/CMakeFiles/bgl_torus.dir/occupancy.cpp.o.d"
+  "/root/repo/src/torus/partition.cpp" "src/torus/CMakeFiles/bgl_torus.dir/partition.cpp.o" "gcc" "src/torus/CMakeFiles/bgl_torus.dir/partition.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/bgl_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bgl_torus.dir/catalog.cpp.o"
+  "CMakeFiles/bgl_torus.dir/catalog.cpp.o.d"
+  "CMakeFiles/bgl_torus.dir/coords.cpp.o"
+  "CMakeFiles/bgl_torus.dir/coords.cpp.o.d"
+  "CMakeFiles/bgl_torus.dir/finders.cpp.o"
+  "CMakeFiles/bgl_torus.dir/finders.cpp.o.d"
+  "CMakeFiles/bgl_torus.dir/nodeset.cpp.o"
+  "CMakeFiles/bgl_torus.dir/nodeset.cpp.o.d"
+  "CMakeFiles/bgl_torus.dir/occupancy.cpp.o"
+  "CMakeFiles/bgl_torus.dir/occupancy.cpp.o.d"
+  "CMakeFiles/bgl_torus.dir/partition.cpp.o"
+  "CMakeFiles/bgl_torus.dir/partition.cpp.o.d"
+  "libbgl_torus.a"
+  "libbgl_torus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bgl_torus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

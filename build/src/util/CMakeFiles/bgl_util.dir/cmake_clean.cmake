@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bgl_util.dir/error.cpp.o"
+  "CMakeFiles/bgl_util.dir/error.cpp.o.d"
+  "CMakeFiles/bgl_util.dir/logging.cpp.o"
+  "CMakeFiles/bgl_util.dir/logging.cpp.o.d"
+  "CMakeFiles/bgl_util.dir/math.cpp.o"
+  "CMakeFiles/bgl_util.dir/math.cpp.o.d"
+  "CMakeFiles/bgl_util.dir/rng.cpp.o"
+  "CMakeFiles/bgl_util.dir/rng.cpp.o.d"
+  "CMakeFiles/bgl_util.dir/stats.cpp.o"
+  "CMakeFiles/bgl_util.dir/stats.cpp.o.d"
+  "CMakeFiles/bgl_util.dir/strings.cpp.o"
+  "CMakeFiles/bgl_util.dir/strings.cpp.o.d"
+  "CMakeFiles/bgl_util.dir/table.cpp.o"
+  "CMakeFiles/bgl_util.dir/table.cpp.o.d"
+  "libbgl_util.a"
+  "libbgl_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bgl_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/analysis.cpp" "src/workload/CMakeFiles/bgl_workload.dir/analysis.cpp.o" "gcc" "src/workload/CMakeFiles/bgl_workload.dir/analysis.cpp.o.d"
+  "/root/repo/src/workload/job.cpp" "src/workload/CMakeFiles/bgl_workload.dir/job.cpp.o" "gcc" "src/workload/CMakeFiles/bgl_workload.dir/job.cpp.o.d"
+  "/root/repo/src/workload/swf.cpp" "src/workload/CMakeFiles/bgl_workload.dir/swf.cpp.o" "gcc" "src/workload/CMakeFiles/bgl_workload.dir/swf.cpp.o.d"
+  "/root/repo/src/workload/synthetic.cpp" "src/workload/CMakeFiles/bgl_workload.dir/synthetic.cpp.o" "gcc" "src/workload/CMakeFiles/bgl_workload.dir/synthetic.cpp.o.d"
+  "/root/repo/src/workload/transform.cpp" "src/workload/CMakeFiles/bgl_workload.dir/transform.cpp.o" "gcc" "src/workload/CMakeFiles/bgl_workload.dir/transform.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/bgl_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

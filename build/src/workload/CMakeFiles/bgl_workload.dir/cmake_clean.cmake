@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bgl_workload.dir/analysis.cpp.o"
+  "CMakeFiles/bgl_workload.dir/analysis.cpp.o.d"
+  "CMakeFiles/bgl_workload.dir/job.cpp.o"
+  "CMakeFiles/bgl_workload.dir/job.cpp.o.d"
+  "CMakeFiles/bgl_workload.dir/swf.cpp.o"
+  "CMakeFiles/bgl_workload.dir/swf.cpp.o.d"
+  "CMakeFiles/bgl_workload.dir/synthetic.cpp.o"
+  "CMakeFiles/bgl_workload.dir/synthetic.cpp.o.d"
+  "CMakeFiles/bgl_workload.dir/transform.cpp.o"
+  "CMakeFiles/bgl_workload.dir/transform.cpp.o.d"
+  "libbgl_workload.a"
+  "libbgl_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bgl_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,61 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/ckpt_test.cpp" "tests/CMakeFiles/bgl_tests.dir/ckpt_test.cpp.o" "gcc" "tests/CMakeFiles/bgl_tests.dir/ckpt_test.cpp.o.d"
+  "/root/repo/tests/des_test.cpp" "tests/CMakeFiles/bgl_tests.dir/des_test.cpp.o" "gcc" "tests/CMakeFiles/bgl_tests.dir/des_test.cpp.o.d"
+  "/root/repo/tests/failure_analysis_test.cpp" "tests/CMakeFiles/bgl_tests.dir/failure_analysis_test.cpp.o" "gcc" "tests/CMakeFiles/bgl_tests.dir/failure_analysis_test.cpp.o.d"
+  "/root/repo/tests/failure_test.cpp" "tests/CMakeFiles/bgl_tests.dir/failure_test.cpp.o" "gcc" "tests/CMakeFiles/bgl_tests.dir/failure_test.cpp.o.d"
+  "/root/repo/tests/predict_statistics_test.cpp" "tests/CMakeFiles/bgl_tests.dir/predict_statistics_test.cpp.o" "gcc" "tests/CMakeFiles/bgl_tests.dir/predict_statistics_test.cpp.o.d"
+  "/root/repo/tests/predict_test.cpp" "tests/CMakeFiles/bgl_tests.dir/predict_test.cpp.o" "gcc" "tests/CMakeFiles/bgl_tests.dir/predict_test.cpp.o.d"
+  "/root/repo/tests/sched_backfill_test.cpp" "tests/CMakeFiles/bgl_tests.dir/sched_backfill_test.cpp.o" "gcc" "tests/CMakeFiles/bgl_tests.dir/sched_backfill_test.cpp.o.d"
+  "/root/repo/tests/sched_invariants_test.cpp" "tests/CMakeFiles/bgl_tests.dir/sched_invariants_test.cpp.o" "gcc" "tests/CMakeFiles/bgl_tests.dir/sched_invariants_test.cpp.o.d"
+  "/root/repo/tests/sched_migration_test.cpp" "tests/CMakeFiles/bgl_tests.dir/sched_migration_test.cpp.o" "gcc" "tests/CMakeFiles/bgl_tests.dir/sched_migration_test.cpp.o.d"
+  "/root/repo/tests/sched_policy_test.cpp" "tests/CMakeFiles/bgl_tests.dir/sched_policy_test.cpp.o" "gcc" "tests/CMakeFiles/bgl_tests.dir/sched_policy_test.cpp.o.d"
+  "/root/repo/tests/sched_scheduler_test.cpp" "tests/CMakeFiles/bgl_tests.dir/sched_scheduler_test.cpp.o" "gcc" "tests/CMakeFiles/bgl_tests.dir/sched_scheduler_test.cpp.o.d"
+  "/root/repo/tests/sim_driver_test.cpp" "tests/CMakeFiles/bgl_tests.dir/sim_driver_test.cpp.o" "gcc" "tests/CMakeFiles/bgl_tests.dir/sim_driver_test.cpp.o.d"
+  "/root/repo/tests/sim_experiment_test.cpp" "tests/CMakeFiles/bgl_tests.dir/sim_experiment_test.cpp.o" "gcc" "tests/CMakeFiles/bgl_tests.dir/sim_experiment_test.cpp.o.d"
+  "/root/repo/tests/sim_extensions_test.cpp" "tests/CMakeFiles/bgl_tests.dir/sim_extensions_test.cpp.o" "gcc" "tests/CMakeFiles/bgl_tests.dir/sim_extensions_test.cpp.o.d"
+  "/root/repo/tests/sim_integration_test.cpp" "tests/CMakeFiles/bgl_tests.dir/sim_integration_test.cpp.o" "gcc" "tests/CMakeFiles/bgl_tests.dir/sim_integration_test.cpp.o.d"
+  "/root/repo/tests/sim_metrics_test.cpp" "tests/CMakeFiles/bgl_tests.dir/sim_metrics_test.cpp.o" "gcc" "tests/CMakeFiles/bgl_tests.dir/sim_metrics_test.cpp.o.d"
+  "/root/repo/tests/sim_outcomes_test.cpp" "tests/CMakeFiles/bgl_tests.dir/sim_outcomes_test.cpp.o" "gcc" "tests/CMakeFiles/bgl_tests.dir/sim_outcomes_test.cpp.o.d"
+  "/root/repo/tests/sim_replay_test.cpp" "tests/CMakeFiles/bgl_tests.dir/sim_replay_test.cpp.o" "gcc" "tests/CMakeFiles/bgl_tests.dir/sim_replay_test.cpp.o.d"
+  "/root/repo/tests/torus_canonical_test.cpp" "tests/CMakeFiles/bgl_tests.dir/torus_canonical_test.cpp.o" "gcc" "tests/CMakeFiles/bgl_tests.dir/torus_canonical_test.cpp.o.d"
+  "/root/repo/tests/torus_catalog_test.cpp" "tests/CMakeFiles/bgl_tests.dir/torus_catalog_test.cpp.o" "gcc" "tests/CMakeFiles/bgl_tests.dir/torus_catalog_test.cpp.o.d"
+  "/root/repo/tests/torus_coords_test.cpp" "tests/CMakeFiles/bgl_tests.dir/torus_coords_test.cpp.o" "gcc" "tests/CMakeFiles/bgl_tests.dir/torus_coords_test.cpp.o.d"
+  "/root/repo/tests/torus_finders_test.cpp" "tests/CMakeFiles/bgl_tests.dir/torus_finders_test.cpp.o" "gcc" "tests/CMakeFiles/bgl_tests.dir/torus_finders_test.cpp.o.d"
+  "/root/repo/tests/torus_mfp_reference_test.cpp" "tests/CMakeFiles/bgl_tests.dir/torus_mfp_reference_test.cpp.o" "gcc" "tests/CMakeFiles/bgl_tests.dir/torus_mfp_reference_test.cpp.o.d"
+  "/root/repo/tests/torus_nodeset_test.cpp" "tests/CMakeFiles/bgl_tests.dir/torus_nodeset_test.cpp.o" "gcc" "tests/CMakeFiles/bgl_tests.dir/torus_nodeset_test.cpp.o.d"
+  "/root/repo/tests/torus_partition_test.cpp" "tests/CMakeFiles/bgl_tests.dir/torus_partition_test.cpp.o" "gcc" "tests/CMakeFiles/bgl_tests.dir/torus_partition_test.cpp.o.d"
+  "/root/repo/tests/util_logging_test.cpp" "tests/CMakeFiles/bgl_tests.dir/util_logging_test.cpp.o" "gcc" "tests/CMakeFiles/bgl_tests.dir/util_logging_test.cpp.o.d"
+  "/root/repo/tests/util_math_test.cpp" "tests/CMakeFiles/bgl_tests.dir/util_math_test.cpp.o" "gcc" "tests/CMakeFiles/bgl_tests.dir/util_math_test.cpp.o.d"
+  "/root/repo/tests/util_rng_test.cpp" "tests/CMakeFiles/bgl_tests.dir/util_rng_test.cpp.o" "gcc" "tests/CMakeFiles/bgl_tests.dir/util_rng_test.cpp.o.d"
+  "/root/repo/tests/util_stats_test.cpp" "tests/CMakeFiles/bgl_tests.dir/util_stats_test.cpp.o" "gcc" "tests/CMakeFiles/bgl_tests.dir/util_stats_test.cpp.o.d"
+  "/root/repo/tests/util_strings_test.cpp" "tests/CMakeFiles/bgl_tests.dir/util_strings_test.cpp.o" "gcc" "tests/CMakeFiles/bgl_tests.dir/util_strings_test.cpp.o.d"
+  "/root/repo/tests/util_table_test.cpp" "tests/CMakeFiles/bgl_tests.dir/util_table_test.cpp.o" "gcc" "tests/CMakeFiles/bgl_tests.dir/util_table_test.cpp.o.d"
+  "/root/repo/tests/workload_swf_test.cpp" "tests/CMakeFiles/bgl_tests.dir/workload_swf_test.cpp.o" "gcc" "tests/CMakeFiles/bgl_tests.dir/workload_swf_test.cpp.o.d"
+  "/root/repo/tests/workload_synthetic_test.cpp" "tests/CMakeFiles/bgl_tests.dir/workload_synthetic_test.cpp.o" "gcc" "tests/CMakeFiles/bgl_tests.dir/workload_synthetic_test.cpp.o.d"
+  "/root/repo/tests/workload_transform_test.cpp" "tests/CMakeFiles/bgl_tests.dir/workload_transform_test.cpp.o" "gcc" "tests/CMakeFiles/bgl_tests.dir/workload_transform_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/bgl_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/des/CMakeFiles/bgl_des.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/bgl_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/bgl_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/predict/CMakeFiles/bgl_predict.dir/DependInfo.cmake"
+  "/root/repo/build/src/failure/CMakeFiles/bgl_failure.dir/DependInfo.cmake"
+  "/root/repo/build/src/torus/CMakeFiles/bgl_torus.dir/DependInfo.cmake"
+  "/root/repo/build/src/ckpt/CMakeFiles/bgl_ckpt.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/bgl_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
