@@ -2,6 +2,7 @@
 
 #include <cstdlib>
 #include <filesystem>
+#include <fstream>
 #include <iostream>
 
 #include "failure/generator.hpp"
@@ -29,6 +30,11 @@ const PartitionCatalog& shared_catalog() {
   return catalog;
 }
 }  // namespace
+
+obs::CounterRegistry& bench_counters() {
+  static obs::CounterRegistry registry;
+  return registry;
+}
 
 SyntheticModel bench_nasa() { return sized(SyntheticModel::nasa(), 1100); }
 SyntheticModel bench_sdsc() { return sized(SyntheticModel::sdsc(), 1200); }
@@ -62,6 +68,7 @@ RunSummary run_point(const SyntheticModel& model, double load_scale,
     config.scheduler = kind;
     config.alpha = alpha;
     config.seed = trace_seed ^ 0x7365656473ULL;
+    config.obs.counters = &bench_counters();
 
     // The shared catalog is the default torus one; mesh-topology protos
     // build their own.
@@ -104,6 +111,16 @@ void write_csv(const Table& table, const std::string& name) {
     std::cout << "[csv] " << path << "\n";
   } catch (const std::exception& e) {
     std::cout << "[csv] skipped (" << e.what() << ")\n";
+  }
+
+  const std::string stats_path = dir + "/" + name + ".stats.json";
+  std::ofstream stats(stats_path, std::ios::trunc);
+  if (stats) {
+    bench_counters().write_json(stats);
+    stats << '\n';
+    std::cout << "[stats] " << stats_path << "\n";
+  } else {
+    std::cout << "[stats] skipped (" << stats_path << " not writable)\n";
   }
 }
 

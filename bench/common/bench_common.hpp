@@ -14,6 +14,7 @@
 #include <cstdint>
 #include <string>
 
+#include "obs/counters.hpp"
 #include "sim/driver.hpp"
 #include "sim/experiment.hpp"
 #include "util/strings.hpp"
@@ -60,8 +61,15 @@ RunSummary run_point(const SyntheticModel& model, double load_scale,
                      std::size_t nominal_failures, SchedulerKind kind, double alpha,
                      const SimConfig* proto = nullptr, int min_seeds = 1);
 
+/// Process-wide counter registry. Every simulation run_point() launches
+/// feeds it, so after a sweep it holds the aggregate hot-path statistics
+/// (decisions, scans, predictor traffic, decision latency) of the whole
+/// figure. write_csv() dumps it next to the CSV as <name>.stats.json.
+obs::CounterRegistry& bench_counters();
+
 /// Write a table to ${BGL_BENCH_OUT:-bench_out}/<name>.csv (best effort;
-/// prints a note on failure instead of aborting the bench).
+/// prints a note on failure instead of aborting the bench), plus the
+/// bench_counters() dump as <name>.stats.json.
 void write_csv(const Table& table, const std::string& name);
 
 /// Percent improvement of `value` relative to `baseline` (positive = better

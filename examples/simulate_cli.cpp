@@ -16,11 +16,18 @@
 //     --ckpt-interval S   enable checkpointing with this interval (seconds)
 //     --downtime S        nodes stay down S seconds after failing
 //     --seed N            master seed (default 42)
+//     --trace-out PATH    write a structured JSONL event trace (see
+//                         docs/OBSERVABILITY.md for the schema)
+//     --stats-out PATH    write hot-path counters + result metrics as JSON
+#include <fstream>
 #include <iostream>
+#include <memory>
 #include <optional>
 #include <string>
 
 #include "failure/generator.hpp"
+#include "obs/counters.hpp"
+#include "obs/trace.hpp"
 #include "sim/driver.hpp"
 #include "sim/experiment.hpp"
 #include "util/strings.hpp"
@@ -46,6 +53,8 @@ struct Options {
   double ckpt_interval = 0.0;
   double downtime = 0.0;
   std::uint64_t seed = 42;
+  std::optional<std::string> trace_out;
+  std::optional<std::string> stats_out;
 };
 
 int usage() {
@@ -94,6 +103,10 @@ std::optional<Options> parse(int argc, char** argv) {
     } else if (arg == "--seed") {
       if (auto v = next()) o.seed = static_cast<std::uint64_t>(parse_int(*v).value_or(42));
       else return std::nullopt;
+    } else if (arg == "--trace-out") {
+      if (auto v = next()) o.trace_out = *v; else return std::nullopt;
+    } else if (arg == "--stats-out") {
+      if (auto v = next()) o.stats_out = *v; else return std::nullopt;
     } else {
       std::cerr << "unknown option: " << arg << '\n';
       return std::nullopt;
@@ -164,7 +177,36 @@ int main(int argc, char** argv) {
       config.node_downtime = o.downtime;
     }
 
+    // Observability: a JSONL trace and/or a counter registry, both optional.
+    obs::CounterRegistry counters;
+    std::unique_ptr<obs::TraceSink> sink;
+    if (o.trace_out) {
+      sink = obs::TraceSink::open(*o.trace_out);
+      sink->set_counters(&counters);
+      config.obs.trace = sink.get();
+    }
+    if (o.trace_out || o.stats_out) config.obs.counters = &counters;
+
     const SimResult r = run_simulation(workload, trace, config);
+
+    if (sink) {
+      std::cout << "[trace] " << *o.trace_out << " (" << sink->events_written()
+                << " events)\n";
+    }
+    if (o.stats_out) {
+      std::ofstream stats(*o.stats_out, std::ios::trunc);
+      if (!stats) {
+        std::cerr << "error: cannot open stats output file: " << *o.stats_out
+                  << '\n';
+        return 1;
+      }
+      stats << "{\"observability\":";
+      counters.write_json(stats);
+      stats << ",\"result\":";
+      write_result_json(stats, r);
+      stats << "}\n";
+      std::cout << "[stats] " << *o.stats_out << "\n";
+    }
 
     Table table({"metric", "value"});
     table.add_row().add("scheduler").add(std::string(to_string(config.scheduler)));

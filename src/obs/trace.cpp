@@ -1,0 +1,130 @@
+#include "obs/trace.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <ostream>
+
+#include "obs/counters.hpp"
+#include "util/error.hpp"
+
+namespace bgl::obs {
+
+TraceSink::TraceSink(std::ostream& out)
+    : out_(&out), epoch_(std::chrono::steady_clock::now()) {
+  line_.reserve(256);
+}
+
+std::unique_ptr<TraceSink> TraceSink::open(const std::string& path) {
+  auto file = std::make_unique<std::ofstream>(path, std::ios::trunc);
+  if (!*file) throw Error("cannot open trace output file: " + path);
+  auto sink = std::make_unique<TraceSink>(*file);
+  sink->owned_ = std::move(file);
+  return sink;
+}
+
+TraceSink::~TraceSink() {
+  if (out_ != nullptr) out_->flush();
+}
+
+void TraceSink::flush() { out_->flush(); }
+
+void TraceSink::append_key(std::string_view key) {
+  line_ += ',';
+  line_ += '"';
+  line_ += key;  // keys are compile-time literals; no escaping needed
+  line_ += "\":";
+}
+
+void TraceSink::append_escaped(std::string_view text) {
+  line_ += '"';
+  for (const char c : text) {
+    switch (c) {
+      case '"': line_ += "\\\""; break;
+      case '\\': line_ += "\\\\"; break;
+      case '\n': line_ += "\\n"; break;
+      case '\r': line_ += "\\r"; break;
+      case '\t': line_ += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          line_ += buf;
+        } else {
+          line_ += c;
+        }
+    }
+  }
+  line_ += '"';
+}
+
+void TraceSink::finish_line() {
+  line_ += '\n';
+  out_->write(line_.data(), static_cast<std::streamsize>(line_.size()));
+  ++events_written_;
+  if (counters_ != nullptr) counters_->add(Counter::kTraceEvents);
+}
+
+void TraceSink::append_double(double value) {
+  char buf[32];
+  const int n = std::snprintf(buf, sizeof(buf), "%.10g", value);
+  line_.append(buf, static_cast<std::size_t>(n));
+}
+
+TraceSink::Event TraceSink::event(std::string_view type, double sim_time) {
+  BGL_CHECK(line_.empty(), "previous trace event still under construction");
+  if (!any_event_ || sim_time > max_sim_time_) max_sim_time_ = sim_time;
+  any_event_ = true;
+
+  const auto wall = std::chrono::duration_cast<std::chrono::microseconds>(
+                        std::chrono::steady_clock::now() - epoch_)
+                        .count();
+  line_ += "{\"type\":";
+  append_escaped(type);
+  append_key("t");
+  append_double(sim_time);
+  append_key("wall_us");
+  line_ += std::to_string(wall);
+  return Event(this);
+}
+
+TraceSink::Event& TraceSink::Event::field(std::string_view key,
+                                          std::string_view value) {
+  sink_->append_key(key);
+  sink_->append_escaped(value);
+  return *this;
+}
+
+TraceSink::Event& TraceSink::Event::field(std::string_view key, double value) {
+  sink_->append_key(key);
+  sink_->append_double(value);
+  return *this;
+}
+
+TraceSink::Event& TraceSink::Event::field(std::string_view key,
+                                          std::uint64_t value) {
+  sink_->append_key(key);
+  sink_->line_ += std::to_string(value);
+  return *this;
+}
+
+TraceSink::Event& TraceSink::Event::field(std::string_view key,
+                                          std::int64_t value) {
+  sink_->append_key(key);
+  sink_->line_ += std::to_string(value);
+  return *this;
+}
+
+TraceSink::Event& TraceSink::Event::field(std::string_view key, bool value) {
+  sink_->append_key(key);
+  sink_->line_ += value ? "true" : "false";
+  return *this;
+}
+
+TraceSink::Event::~Event() {
+  sink_->line_ += '}';
+  sink_->finish_line();
+  sink_->line_.clear();
+}
+
+}  // namespace bgl::obs

@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "obs/counters.hpp"
 #include "util/error.hpp"
 
 namespace bgl {
@@ -10,10 +11,29 @@ namespace {
 /// MFP size after hypothetically placing candidate `entry_index`.
 int mfp_after(const PlacementContext& ctx, int entry_index) {
   const auto& entry = ctx.catalog->entry(entry_index);
+  if (ctx.counters != nullptr) ctx.counters->add(obs::Counter::kMfpEvaluations);
   // Adding nodes can only shrink the MFP, so resume the size-descending scan
   // at the index of the pre-placement MFP.
   const int hint = ctx.mfp_before_index < 0 ? 0 : ctx.mfp_before_index;
   return ctx.catalog->mfp_with(*ctx.occupied, entry.mask, hint);
+}
+
+/// Fill `explain` for the chosen candidate. The loss terms are recomputed
+/// here (once, off the comparison loop) so the disabled-tracing hot path
+/// pays nothing.
+void explain_choice(const PlacementContext& ctx, int chosen, int chosen_mfp,
+                    PlacementExplain* explain) {
+  if (explain == nullptr) return;
+  explain->mfp_after = chosen_mfp;
+  explain->l_mfp = static_cast<double>(ctx.mfp_before_size - chosen_mfp);
+  explain->flags =
+      ctx.flagged == nullptr
+          ? 0
+          : ctx.catalog->entry(chosen).mask.intersect_count(*ctx.flagged);
+  const double p_f =
+      partition_failure_probability(explain->flags, ctx.confidence, ctx.pf_rule);
+  explain->l_pf = p_f * static_cast<double>(ctx.job_size);
+  explain->e_loss = explain->l_mfp + explain->l_pf;
 }
 }  // namespace
 
@@ -31,7 +51,8 @@ double partition_failure_probability(int flagged_in_partition, double confidence
 }
 
 int MfpLossPolicy::choose(const PlacementContext& ctx,
-                          const std::vector<int>& candidates) const {
+                          const std::vector<int>& candidates,
+                          PlacementExplain* explain) const {
   BGL_CHECK(!candidates.empty(), "policy invoked with no candidates");
   int best = candidates.front();
   int best_mfp = -1;
@@ -42,11 +63,13 @@ int MfpLossPolicy::choose(const PlacementContext& ctx,
       best = c;
     }
   }
+  explain_choice(ctx, best, best_mfp, explain);
   return best;
 }
 
 int BalancingPolicy::choose(const PlacementContext& ctx,
-                            const std::vector<int>& candidates) const {
+                            const std::vector<int>& candidates,
+                            PlacementExplain* explain) const {
   BGL_CHECK(!candidates.empty(), "policy invoked with no candidates");
   BGL_CHECK(ctx.flagged != nullptr, "balancing policy requires predictor flags");
   int best = candidates.front();
@@ -71,11 +94,13 @@ int BalancingPolicy::choose(const PlacementContext& ctx,
       first = false;
     }
   }
+  explain_choice(ctx, best, best_mfp, explain);
   return best;
 }
 
 int TieBreakPolicy::choose(const PlacementContext& ctx,
-                           const std::vector<int>& candidates) const {
+                           const std::vector<int>& candidates,
+                           PlacementExplain* explain) const {
   BGL_CHECK(!candidates.empty(), "policy invoked with no candidates");
   BGL_CHECK(ctx.flagged != nullptr, "tie-break policy requires predictor flags");
   // Pass 1: the optimal (maximal) resulting MFP, exactly as Krevat's policy.
@@ -91,9 +116,13 @@ int TieBreakPolicy::choose(const PlacementContext& ctx,
   for (std::size_t i = 0; i < candidates.size(); ++i) {
     if (mfps[i] != best_mfp) continue;
     const auto& entry = ctx.catalog->entry(candidates[i]);
-    if (!entry.mask.intersects(*ctx.flagged)) return candidates[i];
+    if (!entry.mask.intersects(*ctx.flagged)) {
+      explain_choice(ctx, candidates[i], best_mfp, explain);
+      return candidates[i];
+    }
     if (fallback < 0) fallback = candidates[i];
   }
+  explain_choice(ctx, fallback, best_mfp, explain);
   return fallback;
 }
 

@@ -27,6 +27,10 @@
 
 namespace bgl {
 
+namespace obs {
+class CounterRegistry;
+}
+
 struct PlacementContext {
   const PartitionCatalog* catalog = nullptr;
   const NodeSet* occupied = nullptr;   ///< Current occupancy (scratch view).
@@ -36,6 +40,20 @@ struct PlacementContext {
   double confidence = 0.0;             ///< Per-node probability of flags.
   PartitionFailureRule pf_rule = PartitionFailureRule::kProduct;
   int job_size = 1;                    ///< s_j (requested, not rounded).
+  obs::CounterRegistry* counters = nullptr;  ///< Hot-path stats (nullable).
+};
+
+/// Why a policy chose the candidate it chose: the loss terms of the chosen
+/// partition under the balancing decomposition E_loss = L_MFP + L_PF (§5.2).
+/// Policies that do not score a term report it as 0 (e.g. L_PF under the
+/// fault-unaware MFP-loss policy). Consumed by the `sched_decision` trace
+/// event (docs/OBSERVABILITY.md).
+struct PlacementExplain {
+  double l_mfp = 0.0;   ///< MFP shrinkage (nodes) caused by the placement.
+  double l_pf = 0.0;    ///< Expected failure loss P_f * s_j.
+  double e_loss = 0.0;  ///< The value the policy minimised.
+  int mfp_after = 0;    ///< MFP size after the hypothetical placement.
+  int flags = 0;        ///< Predictor-flagged nodes inside the chosen mask.
 };
 
 class PlacementPolicy {
@@ -43,30 +61,33 @@ class PlacementPolicy {
   virtual ~PlacementPolicy() = default;
 
   /// Pick one of `candidates` (catalog entry indices, all free, non-empty).
+  /// When `explain` is non-null, fill it for the chosen candidate (tracing
+  /// path only; a null explain must not change the choice or its cost).
   virtual int choose(const PlacementContext& ctx,
-                     const std::vector<int>& candidates) const = 0;
+                     const std::vector<int>& candidates,
+                     PlacementExplain* explain = nullptr) const = 0;
 
   virtual std::string name() const = 0;
 };
 
 class MfpLossPolicy final : public PlacementPolicy {
  public:
-  int choose(const PlacementContext& ctx,
-             const std::vector<int>& candidates) const override;
+  int choose(const PlacementContext& ctx, const std::vector<int>& candidates,
+             PlacementExplain* explain = nullptr) const override;
   std::string name() const override { return "mfp-loss"; }
 };
 
 class BalancingPolicy final : public PlacementPolicy {
  public:
-  int choose(const PlacementContext& ctx,
-             const std::vector<int>& candidates) const override;
+  int choose(const PlacementContext& ctx, const std::vector<int>& candidates,
+             PlacementExplain* explain = nullptr) const override;
   std::string name() const override { return "balancing"; }
 };
 
 class TieBreakPolicy final : public PlacementPolicy {
  public:
-  int choose(const PlacementContext& ctx,
-             const std::vector<int>& candidates) const override;
+  int choose(const PlacementContext& ctx, const std::vector<int>& candidates,
+             PlacementExplain* explain = nullptr) const override;
   std::string name() const override { return "tie-break"; }
 };
 

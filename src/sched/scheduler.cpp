@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/counters.hpp"
+#include "obs/trace.hpp"
 #include "sched/backfill.hpp"
 #include "sched/migration.hpp"
 #include "util/error.hpp"
@@ -41,12 +43,19 @@ PlacementContext Scheduler::make_context(const NodeSet& occ, const NodeSet& flag
   ctx.confidence = predictor_->confidence();
   ctx.pf_rule = config_.pf_rule;
   ctx.job_size = job_size;
+  ctx.counters = obs_.counters;
   return ctx;
 }
 
 SchedulingDecision Scheduler::schedule(double now, const std::vector<WaitingJob>& queue,
                                        const std::vector<RunningJob>& running,
                                        const NodeSet& occupied) const {
+  obs::ScopedTimer decision_timer(obs_.counters, obs::Counter::kSchedDecisionNanos);
+  if (obs_.counters != nullptr) {
+    obs_.counters->add(obs::Counter::kSchedInvocations);
+  }
+  const bool tracing = obs_.trace != nullptr;
+
   SchedulingDecision decision;
   NodeSet occ = occupied;
   std::vector<RunningJob> live = running;
@@ -54,8 +63,39 @@ SchedulingDecision Scheduler::schedule(double now, const std::vector<WaitingJob>
   std::vector<int> candidates;
   bool migration_tried = false;
 
+  // Consult the predictor for a job's execution window, accounting the
+  // query (and its verdict size) to the observer.
+  auto query_predictor = [&](const WaitingJob& job) {
+    NodeSet flagged = predictor_->flagged_nodes(now, now + job.estimate, job.id);
+    if (obs_.counters != nullptr || tracing) {
+      const int n_flagged = flagged.count();
+      if (obs_.counters != nullptr) {
+        obs_.counters->add(obs::Counter::kPredictorQueries);
+        obs_.counters->add(obs::Counter::kPredictorNodesFlagged,
+                           static_cast<std::uint64_t>(n_flagged));
+      }
+      if (tracing) {
+        decision.predictor_queries.push_back(
+            PredictorQueryRecord{job.id, now, now + job.estimate, n_flagged});
+      }
+    }
+    return flagged;
+  };
+
+  // Account one catalog free-list scan for partitions of `alloc_size` that
+  // offered `found` candidates.
+  auto note_scan = [&](int alloc_size, std::size_t found) {
+    if (obs_.counters == nullptr) return;
+    const auto [first, last] = catalog_->size_range(alloc_size);
+    obs_.counters->add(obs::Counter::kPartitionsScanned,
+                       static_cast<std::uint64_t>(last - first));
+    obs_.counters->add(obs::Counter::kCandidatesConsidered,
+                       static_cast<std::uint64_t>(found));
+  };
+
   auto start_job = [&](const WaitingJob& job, int entry_index, const NodeSet& flagged,
-                       const std::vector<int>& considered) {
+                       const std::vector<int>& considered,
+                       const PlacementExplain& explain, bool backfill) {
     decision.starts.push_back(Start{job.id, entry_index});
     if (catalog_->entry(entry_index).mask.intersects(flagged)) {
       ++decision.starts_on_flagged;
@@ -68,6 +108,16 @@ SchedulingDecision Scheduler::schedule(double now, const std::vector<WaitingJob>
     }
     occ |= catalog_->entry(entry_index).mask;
     live.push_back(RunningJob{job.id, entry_index, now + job.estimate});
+    if (obs_.counters != nullptr) {
+      obs_.counters->add(obs::Counter::kSchedStarts);
+      if (backfill) obs_.counters->add(obs::Counter::kSchedBackfillStarts);
+    }
+    if (tracing) {
+      decision.placements.push_back(PlacementRecord{
+          job.id, entry_index, static_cast<int>(considered.size()),
+          explain.flags, explain.l_mfp, explain.l_pf, explain.e_loss,
+          explain.mfp_after, backfill});
+    }
   };
 
   std::size_t head = 0;
@@ -82,11 +132,14 @@ SchedulingDecision Scheduler::schedule(double now, const std::vector<WaitingJob>
 
     candidates.clear();
     catalog_->free_entries_of_size(occ, job.alloc_size, candidates);
+    note_scan(job.alloc_size, candidates.size());
     if (!candidates.empty()) {
-      const NodeSet flagged =
-          predictor_->flagged_nodes(now, now + job.estimate, job.id);
+      const NodeSet flagged = query_predictor(job);
       const PlacementContext ctx = make_context(occ, flagged, job.size);
-      start_job(job, policy_->choose(ctx, candidates), flagged, candidates);
+      PlacementExplain explain;
+      const int chosen =
+          policy_->choose(ctx, candidates, tracing ? &explain : nullptr);
+      start_job(job, chosen, flagged, candidates, explain, /*backfill=*/false);
       placed[head] = true;
       ++head;
       continue;
@@ -158,6 +211,7 @@ SchedulingDecision Scheduler::schedule(double now, const std::vector<WaitingJob>
         const WaitingJob& filler = queue[j];
         candidates.clear();
         catalog_->free_entries_of_size(occ, filler.alloc_size, candidates);
+        note_scan(filler.alloc_size, candidates.size());
         if (candidates.empty()) continue;
         std::vector<int> allowed;
         for (const int c : candidates) {
@@ -166,16 +220,22 @@ SchedulingDecision Scheduler::schedule(double now, const std::vector<WaitingJob>
           }
         }
         if (allowed.empty()) continue;
-        const NodeSet flagged =
-            predictor_->flagged_nodes(now, now + filler.estimate, filler.id);
+        const NodeSet flagged = query_predictor(filler);
         const PlacementContext ctx = make_context(occ, flagged, filler.size);
-        start_job(filler, policy_->choose(ctx, allowed), flagged, allowed);
+        PlacementExplain explain;
+        const int chosen =
+            policy_->choose(ctx, allowed, tracing ? &explain : nullptr);
+        start_job(filler, chosen, flagged, allowed, explain, /*backfill=*/true);
         placed[j] = true;
       }
     }
     break;  // FCFS: the head job stays first in line
   }
 
+  if (obs_.counters != nullptr) {
+    obs_.counters->add(obs::Counter::kSchedMigrations,
+                       static_cast<std::uint64_t>(decision.migrations.size()));
+  }
   return decision;
 }
 

@@ -18,6 +18,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/observer.hpp"
 #include "predict/predictor.hpp"
 #include "sched/policy.hpp"
 #include "sched/types.hpp"
@@ -41,6 +42,12 @@ class Scheduler {
   const SchedulerConfig& config() const { return config_; }
   std::string name() const { return policy_->name(); }
 
+  /// Attach observability hooks (nullable; see src/obs/observer.hpp). With
+  /// the default (disabled) observer, schedule() behaves and costs exactly
+  /// as if this call never happened. The counters must outlive the engine.
+  void set_observer(const obs::Observer& obs) { obs_ = obs; }
+  const obs::Observer& observer() const { return obs_; }
+
  private:
   PlacementContext make_context(const NodeSet& occ, const NodeSet& flagged,
                                 int job_size) const;
@@ -49,6 +56,7 @@ class Scheduler {
   std::unique_ptr<PlacementPolicy> policy_;
   const FaultPredictor* predictor_;
   SchedulerConfig config_;
+  obs::Observer obs_{};
 };
 
 /// Factory helpers for the three paper schedulers.

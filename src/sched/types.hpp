@@ -42,6 +42,29 @@ struct Migration {
   int to_entry = -1;
 };
 
+/// Decision audit record for one placement, captured only when tracing is
+/// enabled (obs::Observer::trace). Field semantics match the
+/// `sched_decision` trace event in docs/OBSERVABILITY.md.
+struct PlacementRecord {
+  std::uint64_t id = 0;       ///< Scheduler-facing job id.
+  int entry_index = -1;       ///< Chosen catalog entry.
+  int candidates = 0;         ///< Free candidates offered to the policy.
+  int flags_in_chosen = 0;    ///< Predictor-flagged nodes in the chosen mask.
+  double l_mfp = 0.0;         ///< MFP shrinkage caused by the placement.
+  double l_pf = 0.0;          ///< Expected failure loss P_f * s_j.
+  double e_loss = 0.0;        ///< Combined loss the policy minimised.
+  int mfp_after = 0;          ///< MFP size after the placement.
+  bool backfill = false;      ///< Placed by the backfill pass.
+};
+
+/// One predictor consultation, captured only when tracing is enabled.
+struct PredictorQueryRecord {
+  std::uint64_t id = 0;        ///< Job the query was made for.
+  double window_start = 0.0;   ///< Query window (t0, t1].
+  double window_end = 0.0;
+  int nodes_flagged = 0;
+};
+
 struct SchedulingDecision {
   std::vector<Migration> migrations;  ///< Applied before the starts.
   std::vector<Start> starts;
@@ -49,6 +72,10 @@ struct SchedulingDecision {
   // Placement diagnostics (filled by the engine, aggregated by the driver).
   int starts_on_flagged = 0;       ///< Chosen partition contained a flagged node.
   int flagged_with_alternative = 0;  ///< ... although a flag-free candidate existed.
+
+  // Decision audit trail; empty unless the scheduler's observer traces.
+  std::vector<PlacementRecord> placements;
+  std::vector<PredictorQueryRecord> predictor_queries;
 
   bool empty() const { return migrations.empty() && starts.empty(); }
 };

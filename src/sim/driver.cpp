@@ -5,6 +5,8 @@
 #include <unordered_map>
 
 #include "des/event_queue.hpp"
+#include "obs/counters.hpp"
+#include "obs/trace.hpp"
 #include "predict/predictor.hpp"
 #include "sim/replay.hpp"
 #include "sched/scheduler.hpp"
@@ -75,7 +77,9 @@ class Driver {
         torus_(*catalog_),
         trace_(&trace),
         down_(config.dims.volume()),
-        down_until_(static_cast<std::size_t>(config.dims.volume()), 0.0) {
+        down_until_(static_cast<std::size_t>(config.dims.volume()), 0.0),
+        tr_(config.obs.trace),
+        ct_(config.obs.counters) {
     BGL_CHECK(catalog_->dims() == config.dims, "shared catalog dims mismatch");
     BGL_CHECK(catalog_->topology() == config.topology,
               "shared catalog topology mismatch");
@@ -119,6 +123,9 @@ class Driver {
 
   NodeSet down_;                     ///< Nodes currently down (kDownFor).
   std::vector<double> down_until_;
+
+  obs::TraceSink* tr_;               ///< Borrowed; null when tracing is off.
+  obs::CounterRegistry* ct_;         ///< Borrowed; null when counting is off.
 };
 
 void Driver::build_jobs(const Workload& workload) {
@@ -184,6 +191,7 @@ void Driver::build_scheduler() {
       scheduler_ = make_tiebreak_scheduler(*catalog_, *predictor_, config_.sched);
       break;
   }
+  scheduler_->set_observer(config_.obs);
 }
 
 NodeSet Driver::scheduling_occupancy() const {
@@ -253,6 +261,16 @@ void Driver::invoke_scheduler(double now) {
   const NodeSet occ = scheduling_occupancy();
   const SchedulingDecision decision = scheduler_->schedule(now, waiting, running, occ);
 
+  if (tr_ != nullptr) {
+    for (const PredictorQueryRecord& q : decision.predictor_queries) {
+      tr_->event("predictor_query", now)
+          .field("job", jobs_[static_cast<std::size_t>(q.id)].job.id)
+          .field("window_start", q.window_start)
+          .field("window_end", q.window_end)
+          .field("nodes_flagged", q.nodes_flagged);
+    }
+  }
+
   // Apply migrations in two phases: jobs may rotate into one another's old
   // partitions, so every mover must release before any re-allocates.
   for (const Migration& m : decision.migrations) {
@@ -270,9 +288,23 @@ void Driver::invoke_scheduler(double now) {
       result_.replay.push_back(ReplayEvent{now, ReplayEventType::kMigration,
                                            s.job.id, -1, m.to_entry});
     }
+    if (tr_ != nullptr) {
+      tr_->event("migration", now)
+          .field("job", s.job.id)
+          .field("from_entry", m.from_entry)
+          .field("to_entry", m.to_entry);
+    }
   }
 
-  for (const Start& start : decision.starts) {
+  // When tracing, starts and placement records were appended pairwise by
+  // the engine, so placements[i] explains starts[i]. (A compaction in the
+  // same pass may have rewritten the start's final entry; the record keeps
+  // the policy's original choice.)
+  BGL_CHECK(tr_ == nullptr || decision.placements.size() == decision.starts.size(),
+            "placement audit records out of sync with starts");
+
+  for (std::size_t start_i = 0; start_i < decision.starts.size(); ++start_i) {
+    const Start& start = decision.starts[start_i];
     const std::size_t idx = static_cast<std::size_t>(start.id);
     BGL_CHECK(idx < jobs_.size(), "start refers to unknown job");
     JobState& s = jobs_[idx];
@@ -297,6 +329,26 @@ void Driver::invoke_scheduler(double now) {
       result_.replay.push_back(ReplayEvent{now, ReplayEventType::kStart, s.job.id,
                                            -1, start.entry_index});
     }
+    if (tr_ != nullptr) {
+      const PlacementRecord& p = decision.placements[start_i];
+      tr_->event("sched_decision", now)
+          .field("job", s.job.id)
+          .field("policy", scheduler_->name())
+          .field("entry", p.entry_index)
+          .field("candidates", p.candidates)
+          .field("l_mfp", p.l_mfp)
+          .field("l_pf", p.l_pf)
+          .field("e_loss", p.e_loss)
+          .field("mfp_after", p.mfp_after)
+          .field("flags_in_chosen", p.flags_in_chosen)
+          .field("backfill", p.backfill);
+      tr_->event("job_start", now)
+          .field("job", s.job.id)
+          .field("entry", start.entry_index)
+          .field("alloc_size", s.alloc_size)
+          .field("wait_so_far", now - s.job.arrival)
+          .field("restarts", s.restarts);
+    }
   }
 
   result_.starts_on_flagged += static_cast<std::size_t>(decision.starts_on_flagged);
@@ -314,9 +366,17 @@ void Driver::kill_job(std::size_t index, double now) {
   const double elapsed = now - s.last_start;
   const double saved = saved_work_at(elapsed, s.remaining_work, config_.ckpt);
   if (config_.ckpt.enabled) {
-    result_.checkpoints_taken +=
+    const std::size_t taken =
         static_cast<std::size_t>(checkpoint_count(saved, config_.ckpt)) +
         (saved > 0.0 ? 1u : 0u);
+    result_.checkpoints_taken += taken;
+    if (ct_ != nullptr) ct_->add(obs::Counter::kDriverCheckpoints, taken);
+    if (tr_ != nullptr && taken > 0) {
+      tr_->event("checkpoint", now)
+          .field("job", s.job.id)
+          .field("count", static_cast<std::int64_t>(taken))
+          .field("work_saved", saved);
+    }
   }
   const double wasted = std::max(0.0, std::min(elapsed, s.remaining_work) - saved);
   result_.work_lost_node_seconds += wasted * static_cast<double>(s.job.size);
@@ -330,6 +390,16 @@ void Driver::kill_job(std::size_t index, double now) {
   if (config_.record_replay) {
     result_.replay.push_back(ReplayEvent{now, ReplayEventType::kKill, s.job.id, -1,
                                          s.entry_index});
+  }
+  if (ct_ != nullptr) ct_->add(obs::Counter::kDriverKills);
+  if (tr_ != nullptr) {
+    tr_->event("job_kill", now)
+        .field("job", s.job.id)
+        .field("entry", s.entry_index)
+        .field("elapsed", elapsed)
+        .field("work_lost", wasted)
+        .field("work_saved", saved)
+        .field("restarts", s.restarts);
   }
 
   torus_.release(static_cast<std::uint64_t>(index));
@@ -345,8 +415,16 @@ void Driver::finish_job(std::size_t index, double now) {
   JobState& s = jobs_[index];
   BGL_CHECK(s.phase == JobPhase::kRunning, "finishing a non-running job");
   if (config_.ckpt.enabled) {
-    result_.checkpoints_taken +=
+    const std::size_t taken =
         static_cast<std::size_t>(checkpoint_count(s.remaining_work, config_.ckpt));
+    result_.checkpoints_taken += taken;
+    if (ct_ != nullptr) ct_->add(obs::Counter::kDriverCheckpoints, taken);
+    if (tr_ != nullptr && taken > 0) {
+      tr_->event("checkpoint", now)
+          .field("job", s.job.id)
+          .field("count", static_cast<std::int64_t>(taken))
+          .field("work_saved", s.remaining_work);
+    }
   }
   s.phase = JobPhase::kDone;
   s.finish_time = now;
@@ -376,27 +454,56 @@ void Driver::finish_job(std::size_t index, double now) {
 
   result_.wait_stats.add(outcome.wait());
   result_.response_stats.add(outcome.response());
-  result_.slowdown_stats.add(bounded_slowdown(outcome, config_.metrics));
+  const double slowdown = bounded_slowdown(outcome, config_.metrics);
+  result_.slowdown_stats.add(slowdown);
   if (config_.collect_outcomes) result_.outcomes.push_back(outcome);
+
+  if (tr_ != nullptr) {
+    tr_->event("job_finish", now)
+        .field("job", s.job.id)
+        .field("entry", s.entry_index)
+        .field("wait", outcome.wait())
+        .field("response", outcome.response())
+        .field("bounded_slowdown", slowdown)
+        .field("restarts", s.restarts);
+  }
 }
 
 SimResult Driver::run() {
   if (jobs_.empty()) return result_;
 
   min_arrival_ = jobs_.front().job.arrival;
+  double first_event = jobs_.front().job.arrival;
   for (std::size_t i = 0; i < jobs_.size(); ++i) {
     min_arrival_ = std::min(min_arrival_, jobs_[i].job.arrival);
     events_.push(Event{jobs_[i].job.arrival, EventType::kArrival,
                        static_cast<std::uint64_t>(i), 0, 0});
   }
   for (const FailureEvent& f : trace_->events()) {
+    first_event = std::min(first_event, f.time);
     events_.push(Event{f.time, EventType::kFailure,
                        static_cast<std::uint64_t>(f.node), 0, 0});
   }
   integrator_.start(min_arrival_, catalog_->num_nodes(), 0);
 
+  if (tr_ != nullptr) {
+    tr_->event("sim_begin", std::min(first_event, min_arrival_))
+        .field("machine", to_string(config_.dims))
+        .field("nodes", catalog_->num_nodes())
+        .field("topology", to_string(config_.topology))
+        .field("scheduler", to_string(config_.scheduler))
+        .field("policy", scheduler_->name())
+        .field("predictor", to_string(config_.predictor_model))
+        .field("alpha", config_.alpha)
+        .field("backfill", to_string(config_.sched.backfill))
+        .field("migration", config_.sched.migration)
+        .field("jobs", static_cast<std::int64_t>(jobs_.size()))
+        .field("failure_events", static_cast<std::int64_t>(trace_->size()));
+  }
+
   while (!events_.empty() && jobs_done_ < jobs_.size()) {
     const Event e = events_.pop();
+    if (ct_ != nullptr) ct_->add(obs::Counter::kDriverEvents);
     // Failure events may precede the first arrival; the capacity integral's
     // lower bound is min(t_a) (§6.1), so only advance from there on. State
     // changes they cause (e.g. a node going down) still update f(t) below.
@@ -404,11 +511,19 @@ SimResult Driver::run() {
 
     switch (e.type) {
       case EventType::kArrival: {
+        const JobState& s = jobs_[static_cast<std::size_t>(e.id)];
         enqueue_job(static_cast<std::size_t>(e.id));
         if (config_.record_replay) {
           result_.replay.push_back(
-              ReplayEvent{e.time, ReplayEventType::kArrival,
-                          jobs_[static_cast<std::size_t>(e.id)].job.id, -1, -1});
+              ReplayEvent{e.time, ReplayEventType::kArrival, s.job.id, -1, -1});
+        }
+        if (tr_ != nullptr) {
+          tr_->event("job_submit", e.time)
+              .field("job", s.job.id)
+              .field("size", s.job.size)
+              .field("alloc_size", s.alloc_size)
+              .field("estimate", s.job.estimate)
+              .field("runtime", s.job.runtime);
         }
         invoke_scheduler(e.time);
         break;
@@ -426,11 +541,21 @@ SimResult Driver::run() {
       case EventType::kFailure: {
         const int node = static_cast<int>(e.id);
         ++result_.failures_total;
+        if (ct_ != nullptr) ct_->add(obs::Counter::kDriverFailures);
         if (config_.record_replay) {
           result_.replay.push_back(
               ReplayEvent{e.time, ReplayEventType::kNodeFailure, 0, node, -1});
         }
         const std::vector<std::uint64_t> victims = torus_.allocations_containing(node);
+        if (tr_ != nullptr) {
+          tr_->event("node_failure", e.time)
+              .field("node", node)
+              .field("victims", static_cast<std::int64_t>(victims.size()))
+              .field("down_for",
+                     config_.failure_semantics == FailureSemantics::kDownFor
+                         ? config_.node_downtime
+                         : 0.0);
+        }
         if (config_.failure_semantics == FailureSemantics::kDownFor &&
             config_.node_downtime > 0.0) {
           down_.set(node);
@@ -485,6 +610,21 @@ SimResult Driver::run() {
     result_.utilization = useful / tn;
     result_.unused = integrator_.unused_integral() / tn;
     result_.lost = 1.0 - result_.utilization - result_.unused;
+  }
+
+  if (tr_ != nullptr) {
+    tr_->event("sim_end", max_finish_)
+        .field("jobs_completed", static_cast<std::int64_t>(result_.jobs_completed))
+        .field("span", result_.span)
+        .field("avg_wait", result_.avg_wait)
+        .field("avg_response", result_.avg_response)
+        .field("avg_bounded_slowdown", result_.avg_bounded_slowdown)
+        .field("utilization", result_.utilization)
+        .field("unused", result_.unused)
+        .field("lost", result_.lost)
+        .field("job_kills", static_cast<std::int64_t>(result_.job_kills))
+        .field("migrations", static_cast<std::int64_t>(result_.migrations));
+    tr_->flush();
   }
   return result_;
 }

@@ -21,6 +21,7 @@
 
 #include "ckpt/checkpoint.hpp"
 #include "failure/trace.hpp"
+#include "obs/observer.hpp"
 #include "sched/types.hpp"
 #include "sim/metrics.hpp"
 #include "torus/catalog.hpp"
@@ -90,6 +91,11 @@ struct SimConfig {
   /// Record a structured event log (SimResult::replay) for offline
   /// validation, visualisation, or regression diffing (src/sim/replay.hpp).
   bool record_replay = false;
+
+  /// Observability hooks (JSONL trace sink and/or counter registry, both
+  /// borrowed and nullable — see src/obs/ and docs/OBSERVABILITY.md). The
+  /// default disables all tracing/counting at zero cost.
+  obs::Observer obs;
 };
 
 /// Run one simulation. Job sizes must already fit config.dims (use

@@ -1,8 +1,10 @@
 #include "sim/metrics.hpp"
 
 #include <algorithm>
+#include <ostream>
 
 #include "util/error.hpp"
+#include "util/strings.hpp"
 
 namespace bgl {
 
@@ -15,6 +17,52 @@ double bounded_slowdown(const JobOutcome& job, const MetricsConfig& config) {
       config.use_paper_min_denominator ? std::min(base, gamma) : std::max(base, gamma);
   BGL_CHECK(denominator > 0.0, "slowdown denominator must be positive");
   return std::max(job.response(), gamma) / denominator;
+}
+
+namespace {
+void json_number(std::ostream& out, const char* key, double value, bool* first) {
+  if (!*first) out << ',';
+  *first = false;
+  out << '"' << key << "\":" << format_double(value, 6);
+}
+void json_count(std::ostream& out, const char* key, std::size_t value, bool* first) {
+  if (!*first) out << ',';
+  *first = false;
+  out << '"' << key << "\":" << value;
+}
+void json_stats(std::ostream& out, const char* key, const RunningStats& s,
+                bool* first) {
+  if (!*first) out << ',';
+  *first = false;
+  out << '"' << key << "\":{\"mean\":" << format_double(s.mean(), 6)
+      << ",\"stddev\":" << format_double(s.stddev(), 6)
+      << ",\"min\":" << format_double(s.min(), 6)
+      << ",\"max\":" << format_double(s.max(), 6) << '}';
+}
+}  // namespace
+
+void write_result_json(std::ostream& out, const SimResult& result) {
+  bool first = true;
+  out << '{';
+  json_count(out, "jobs_completed", result.jobs_completed, &first);
+  json_number(out, "span", result.span, &first);
+  json_number(out, "utilization", result.utilization, &first);
+  json_number(out, "unused", result.unused, &first);
+  json_number(out, "lost", result.lost, &first);
+  json_number(out, "work_lost_node_seconds", result.work_lost_node_seconds, &first);
+  json_count(out, "failures_total", result.failures_total, &first);
+  json_count(out, "failures_hitting_jobs", result.failures_hitting_jobs, &first);
+  json_count(out, "job_kills", result.job_kills, &first);
+  json_count(out, "avoidable_kills", result.avoidable_kills, &first);
+  json_count(out, "starts_on_flagged", result.starts_on_flagged, &first);
+  json_count(out, "flagged_with_alternative", result.flagged_with_alternative,
+             &first);
+  json_count(out, "migrations", result.migrations, &first);
+  json_count(out, "checkpoints_taken", result.checkpoints_taken, &first);
+  json_stats(out, "wait", result.wait_stats, &first);
+  json_stats(out, "response", result.response_stats, &first);
+  json_stats(out, "bounded_slowdown", result.slowdown_stats, &first);
+  out << '}';
 }
 
 void CapacityIntegrator::start(double t0, int free_nodes, long long queued_demand) {

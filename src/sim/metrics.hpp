@@ -19,6 +19,7 @@
 #pragma once
 
 #include <cstdint>
+#include <iosfwd>
 #include <vector>
 
 #include "sim/replay.hpp"
@@ -106,5 +107,10 @@ struct SimResult {
   std::vector<JobOutcome> outcomes;  ///< Filled when requested.
   std::vector<ReplayEvent> replay;   ///< Filled when record_replay is set.
 };
+
+/// One JSON object with the scalar metrics of `result` plus spread
+/// (stddev/min/max) for the per-job timing distributions. Composed with the
+/// counter dump into the CLI's --stats-out file (docs/OBSERVABILITY.md).
+void write_result_json(std::ostream& out, const SimResult& result);
 
 }  // namespace bgl
