@@ -3,17 +3,33 @@
 //   naive    — enumerate all boxes of all sizes then filter: O(M^9) empty-torus
 //   pop      — Krevat's Projection of Partitions: O(M^5) family
 //   divisor  — the paper's divisor-shape finder with base skipping
-//   catalog  — this library's production path (precomputed masks; the build
-//              cost is amortised across a whole simulation, queries are
-//              word-ops)
+//   catalog  — this library's production scan path (precomputed masks; the
+//              build cost is amortised across a whole simulation, queries
+//              are word-ops)
+//   index    — FreePartitionIndex, the incremental occupancy-aware view the
+//              simulator actually schedules with (src/torus/index.hpp)
 //
 // Run on empty and half-occupied M x M x M tori for growing M; the paper's
 // claim is the divisor finder's "significant performance improvement over
 // the naive algorithm and POP-based partition finder".
+//
+// `--perf-smoke` bypasses Google Benchmark and runs a fixed scheduler-shaped
+// query mix (deltas + MFP + candidate enumeration + per-candidate overlay
+// MFP) twice — once through catalog scans, once through the index — checks
+// the answers agree bit-for-bit, prints the speedup, and exits non-zero if
+// the index is slower than the scan baseline. CI runs this in Release mode.
 #include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <array>
+#include <chrono>
+#include <cstdio>
+#include <string_view>
+#include <vector>
 
 #include "torus/catalog.hpp"
 #include "torus/finders.hpp"
+#include "torus/index.hpp"
 #include "util/rng.hpp"
 
 namespace {
@@ -97,6 +113,255 @@ void BM_CatalogMfp(benchmark::State& state) {
   }
 }
 
+// ---------------------------------------------------------------------------
+// FreePartitionIndex vs the catalog scans it replaces, at matched density.
+
+void BM_IndexMfp(benchmark::State& state) {
+  const PartitionCatalog catalog(Dims::bluegene_l());
+  FreePartitionIndex index(catalog);
+  index.reset(occupancy(Dims::bluegene_l(),
+                        static_cast<double>(state.range(0)) / 100.0, 7));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(index.mfp());
+  }
+}
+
+/// The policy loop's inner query: MFP after overlaying one candidate mask.
+/// Scan version rescans the catalog (fused OR) from the hint; the index only
+/// tests entries already free under the base occupancy.
+void BM_CatalogMfpWith(benchmark::State& state) {
+  const PartitionCatalog catalog(Dims::bluegene_l());
+  const NodeSet occ = occupancy(Dims::bluegene_l(),
+                                static_cast<double>(state.range(0)) / 100.0, 7);
+  const int hint = catalog.first_free_index(occ);
+  const NodeSet& extra = catalog.entry(hint < 0 ? 0 : hint).mask;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(catalog.mfp_with(occ, extra, hint < 0 ? 0 : hint));
+  }
+}
+
+void BM_IndexMfpWith(benchmark::State& state) {
+  const PartitionCatalog catalog(Dims::bluegene_l());
+  FreePartitionIndex index(catalog);
+  index.reset(occupancy(Dims::bluegene_l(),
+                        static_cast<double>(state.range(0)) / 100.0, 7));
+  const int hint = index.first_free_index();
+  const NodeSet& extra = catalog.entry(hint < 0 ? 0 : hint).mask;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(index.mfp_with(extra, hint < 0 ? 0 : hint));
+  }
+}
+
+void BM_IndexFreeOfSize(benchmark::State& state) {
+  const PartitionCatalog catalog(Dims::bluegene_l());
+  FreePartitionIndex index(catalog);
+  index.reset(occupancy(Dims::bluegene_l(),
+                        static_cast<double>(state.range(0)) / 100.0, 7));
+  const int s = catalog.allocatable_size(8);
+  std::vector<int> out;
+  for (auto _ : state) {
+    out.clear();
+    index.free_entries_of_size(s, out);
+    benchmark::DoNotOptimize(out);
+  }
+}
+
+/// Cost of keeping the index current: occupy + release one partition mask.
+void BM_IndexUpdate(benchmark::State& state) {
+  const PartitionCatalog catalog(Dims::bluegene_l());
+  FreePartitionIndex index(catalog);
+  index.reset(occupancy(Dims::bluegene_l(),
+                        static_cast<double>(state.range(0)) / 100.0, 7));
+  const int e = index.first_free_index();
+  const NodeSet& mask = catalog.entry(e < 0 ? 0 : e).mask;
+  for (auto _ : state) {
+    index.occupy(mask);
+    index.release(mask);
+    benchmark::DoNotOptimize(index.mfp());
+  }
+}
+
+void BM_IndexBuild(benchmark::State& state) {
+  const PartitionCatalog catalog(Dims::bluegene_l());
+  for (auto _ : state) {
+    FreePartitionIndex index(catalog);
+    benchmark::DoNotOptimize(index.mfp());
+  }
+}
+
+// ---------------------------------------------------------------------------
+// --perf-smoke: differential timing of the scheduler-shaped query mix.
+
+struct SmokeOp {
+  bool is_occupy;          ///< else release
+  int entry;               ///< catalog entry whose mask is the delta
+  std::array<int, 3> query_sizes;  ///< job sizes scheduled after the delta
+};
+
+/// Scripted mixed-occupancy churn shaped like the simulator's steady state:
+/// pack random non-overlapping partitions until the torus is mostly full,
+/// release random live ones, and after every delta run a scheduler-pass-like
+/// query mix (head job + backfill depth = several sizes, each with a
+/// policy loop evaluating the overlay MFP per candidate). The script is
+/// generated once so both timed passes replay identical work.
+std::vector<SmokeOp> make_smoke_script(const PartitionCatalog& catalog,
+                                       int steps) {
+  Rng rng(2024);
+  NodeSet occ(catalog.num_nodes());
+  std::vector<int> live;
+  std::vector<SmokeOp> script;
+  script.reserve(static_cast<std::size_t>(steps));
+  for (int t = 0; t < steps; ++t) {
+    SmokeOp op{};
+    // Many tries: keeps the torus packed (~high occupancy), the regime the
+    // paper's schedulers actually operate in and where MFP scans go deep.
+    const int tries = 64;
+    int chosen = -1;
+    for (int k = 0; k < tries; ++k) {
+      const int e = static_cast<int>(
+          rng.uniform_int(0, static_cast<std::uint64_t>(catalog.num_entries() - 1)));
+      if (!catalog.entry(e).mask.intersects(occ)) {
+        chosen = e;
+        break;
+      }
+    }
+    if (chosen >= 0 && (live.empty() || rng.bernoulli(0.7))) {
+      op.is_occupy = true;
+      op.entry = chosen;
+      occ |= catalog.entry(chosen).mask;
+      live.push_back(chosen);
+    } else if (!live.empty()) {
+      const std::size_t i = static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<std::uint64_t>(live.size() - 1)));
+      op.is_occupy = false;
+      op.entry = live[i];
+      occ.subtract(catalog.entry(live[i]).mask);
+      live[i] = live.back();
+      live.pop_back();
+    } else {
+      continue;  // nothing free to occupy and nothing live to release
+    }
+    for (int& s : op.query_sizes) {
+      s = catalog.allocatable_size(static_cast<int>(
+          rng.uniform_int(1, static_cast<std::uint64_t>(catalog.num_nodes()))));
+    }
+    script.push_back(op);
+  }
+  return script;
+}
+
+constexpr int kSmokeCandidates = 32;  ///< overlay MFPs per size (policy loop)
+
+std::uint64_t mix(std::uint64_t h, std::uint64_t v) {
+  return h * 1315423911ull + v + 1;
+}
+
+/// One replay through catalog scans. Returns a checksum over every answer.
+std::uint64_t run_smoke_scan(const PartitionCatalog& catalog,
+                             const std::vector<SmokeOp>& script) {
+  NodeSet occ(catalog.num_nodes());
+  std::vector<int> cand;
+  std::uint64_t h = 0;
+  for (const SmokeOp& op : script) {
+    if (op.is_occupy) {
+      occ |= catalog.entry(op.entry).mask;
+    } else {
+      occ.subtract(catalog.entry(op.entry).mask);
+    }
+    const int mfp_index = catalog.first_free_index(occ);
+    h = mix(h, static_cast<std::uint64_t>(mfp_index + 1));
+    h = mix(h, static_cast<std::uint64_t>(catalog.mfp(occ)));
+    const int hint = mfp_index < 0 ? 0 : mfp_index;
+    for (const int s : op.query_sizes) {
+      cand.clear();
+      catalog.free_entries_of_size(occ, s, cand);
+      h = mix(h, cand.size());
+      const int n = static_cast<int>(cand.size()) < kSmokeCandidates
+                        ? static_cast<int>(cand.size())
+                        : kSmokeCandidates;
+      for (int i = 0; i < n; ++i) {
+        h = mix(h, static_cast<std::uint64_t>(
+                       catalog.mfp_with(occ, catalog.entry(cand[i]).mask, hint)));
+      }
+    }
+  }
+  return h;
+}
+
+/// The same replay through the incremental index.
+std::uint64_t run_smoke_index(const PartitionCatalog& catalog,
+                              FreePartitionIndex& index,
+                              const std::vector<SmokeOp>& script) {
+  index.reset();
+  std::vector<int> cand;
+  std::uint64_t h = 0;
+  for (const SmokeOp& op : script) {
+    if (op.is_occupy) {
+      index.occupy(catalog.entry(op.entry).mask);
+    } else {
+      index.release(catalog.entry(op.entry).mask);
+    }
+    const int mfp_index = index.first_free_index();
+    h = mix(h, static_cast<std::uint64_t>(mfp_index + 1));
+    h = mix(h, static_cast<std::uint64_t>(index.mfp()));
+    const int hint = mfp_index < 0 ? 0 : mfp_index;
+    for (const int s : op.query_sizes) {
+      cand.clear();
+      index.free_entries_of_size(s, cand);
+      h = mix(h, cand.size());
+      const int n = static_cast<int>(cand.size()) < kSmokeCandidates
+                        ? static_cast<int>(cand.size())
+                        : kSmokeCandidates;
+      for (int i = 0; i < n; ++i) {
+        h = mix(h, static_cast<std::uint64_t>(
+                       index.mfp_with(catalog.entry(cand[i]).mask, hint)));
+      }
+    }
+  }
+  return h;
+}
+
+int run_perf_smoke() {
+  const PartitionCatalog catalog(Dims::bluegene_l());
+  FreePartitionIndex index(catalog);
+  const std::vector<SmokeOp> script = make_smoke_script(catalog, 2000);
+  std::printf("perf-smoke: %zu deltas on the %d-entry BlueGene/L catalog\n",
+              script.size(), catalog.num_entries());
+
+  using clock = std::chrono::steady_clock;
+  constexpr int kReps = 3;  // best-of to shave scheduler noise
+  double scan_s = 1e100, index_s = 1e100;
+  std::uint64_t scan_h = 0, index_h = 0;
+  for (int r = 0; r < kReps; ++r) {
+    const auto t0 = clock::now();
+    scan_h = run_smoke_scan(catalog, script);
+    const auto t1 = clock::now();
+    index_h = run_smoke_index(catalog, index, script);
+    const auto t2 = clock::now();
+    scan_s = std::min(scan_s, std::chrono::duration<double>(t1 - t0).count());
+    index_s = std::min(index_s, std::chrono::duration<double>(t2 - t1).count());
+  }
+
+  if (scan_h != index_h) {
+    std::printf("perf-smoke: FAIL — index answers diverge from catalog scans "
+                "(checksum %llx vs %llx)\n",
+                static_cast<unsigned long long>(scan_h),
+                static_cast<unsigned long long>(index_h));
+    return 2;
+  }
+  const double speedup = scan_s / index_s;
+  std::printf("perf-smoke: agreement OK (checksum %llx)\n",
+              static_cast<unsigned long long>(scan_h));
+  std::printf("perf-smoke: scan %.3f ms, index %.3f ms, speedup %.1fx %s\n",
+              scan_s * 1e3, index_s * 1e3, speedup,
+              speedup >= 5.0 ? "(>=5x target met)" : "(below 5x target)");
+  if (speedup < 1.0) {
+    std::printf("perf-smoke: FAIL — index slower than the scan baseline\n");
+    return 1;
+  }
+  return 0;
+}
+
 }  // namespace
 
 // Empty (density 0) and fragmented (density 50) tori, growing M. The naive
@@ -107,5 +372,20 @@ BENCHMARK(BM_FinderDivisor)->Args({4, 0})->Args({4, 50})->Args({6, 0})->Args({6,
 BENCHMARK(BM_CatalogQuery)->Args({4, 0})->Args({4, 50})->Args({6, 0})->Args({6, 50})->Args({8, 0})->Args({8, 50})->Unit(benchmark::kMicrosecond);
 BENCHMARK(BM_CatalogBuild)->Arg(4)->Arg(6)->Arg(8)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_CatalogMfp)->Arg(0)->Arg(30)->Arg(60)->Arg(90)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_IndexMfp)->Arg(0)->Arg(30)->Arg(60)->Arg(90)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_CatalogMfpWith)->Arg(0)->Arg(30)->Arg(60)->Arg(90)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_IndexMfpWith)->Arg(0)->Arg(30)->Arg(60)->Arg(90)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_IndexFreeOfSize)->Arg(0)->Arg(30)->Arg(60)->Arg(90)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_IndexUpdate)->Arg(0)->Arg(30)->Arg(60)->Arg(90)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_IndexBuild)->Unit(benchmark::kMillisecond);
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::string_view(argv[i]) == "--perf-smoke") return run_perf_smoke();
+  }
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

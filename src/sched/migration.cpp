@@ -9,7 +9,8 @@ namespace bgl {
 
 std::optional<RepackResult> try_repack(const PartitionCatalog& catalog,
                                        const std::vector<RunningJob>& running,
-                                       int head_alloc_size) {
+                                       int head_alloc_size,
+                                       const NodeSet* obstacles) {
   std::vector<RunningJob> order = running;
   std::sort(order.begin(), order.end(), [&](const RunningJob& a, const RunningJob& b) {
     const int sa = catalog.entry(a.entry_index).size;
@@ -20,7 +21,13 @@ std::optional<RepackResult> try_repack(const PartitionCatalog& catalog,
   });
 
   RepackResult result;
-  result.occupied_after = NodeSet(catalog.num_nodes());
+  if (obstacles != nullptr) {
+    BGL_CHECK(obstacles->bits() == catalog.num_nodes(),
+              "obstacle set width must match the machine");
+    result.occupied_after = *obstacles;
+  } else {
+    result.occupied_after = NodeSet(catalog.num_nodes());
+  }
   result.running_after.reserve(order.size());
 
   MfpLossPolicy packer;

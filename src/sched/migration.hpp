@@ -23,9 +23,14 @@ struct RepackResult {
 };
 
 /// Attempt a compaction that frees a partition of `head_alloc_size` nodes.
+/// `obstacles`, when non-null, marks nodes that are busy for reasons other
+/// than a running job — failed nodes still inside their downtime window —
+/// and that the packer must route around; they are seeded into the scratch
+/// occupancy and carried through into `occupied_after`.
 /// Returns nullopt if the greedy packing fails or still leaves no room.
 std::optional<RepackResult> try_repack(const PartitionCatalog& catalog,
                                        const std::vector<RunningJob>& running,
-                                       int head_alloc_size);
+                                       int head_alloc_size,
+                                       const NodeSet* obstacles = nullptr);
 
 }  // namespace bgl

@@ -1,5 +1,6 @@
 #include "sched/policy.hpp"
 
+#include <algorithm>
 #include <cmath>
 
 #include "obs/counters.hpp"
@@ -15,7 +16,17 @@ int mfp_after(const PlacementContext& ctx, int entry_index) {
   // Adding nodes can only shrink the MFP, so resume the size-descending scan
   // at the index of the pre-placement MFP.
   const int hint = ctx.mfp_before_index < 0 ? 0 : ctx.mfp_before_index;
+  if (ctx.index != nullptr) return ctx.index->mfp_with(entry.mask, hint);
   return ctx.catalog->mfp_with(*ctx.occupied, entry.mask, hint);
+}
+
+/// E_loss comparisons must tolerate floating-point noise, and the noise
+/// scales with the terms: L_PF = P_f * s_j grows with the job size, so an
+/// absolute epsilon that is adequate for small jobs silently stops
+/// detecting ties for large ones (one ulp of a ~5000-node-second loss
+/// already exceeds 1e-12). Scale the tolerance with the operands.
+double loss_tolerance(double a, double b) {
+  return 1e-9 * std::max({1.0, std::abs(a), std::abs(b)});
 }
 
 /// Fill `explain` for the chosen candidate. The loss terms are recomputed
@@ -86,8 +97,9 @@ int BalancingPolicy::choose(const PlacementContext& ctx,
     const double e_loss = l_mfp + l_pf;
     // Minimise E_loss; tie-break toward the larger resulting MFP, then the
     // catalog order (deterministic).
-    if (first || e_loss < best_loss - 1e-12 ||
-        (std::abs(e_loss - best_loss) <= 1e-12 && m > best_mfp)) {
+    const double tol = loss_tolerance(e_loss, best_loss);
+    if (first || e_loss < best_loss - tol ||
+        (std::abs(e_loss - best_loss) <= tol && m > best_mfp)) {
       best = c;
       best_loss = e_loss;
       best_mfp = m;

@@ -24,6 +24,7 @@
 
 #include "sched/types.hpp"
 #include "torus/catalog.hpp"
+#include "torus/index.hpp"
 
 namespace bgl {
 
@@ -34,6 +35,13 @@ class CounterRegistry;
 struct PlacementContext {
   const PartitionCatalog* catalog = nullptr;
   const NodeSet* occupied = nullptr;   ///< Current occupancy (scratch view).
+  /// Incremental free-partition view synced to *occupied (nullable). When
+  /// set, policies answer mfp_after via the index's candidate overlay
+  /// (only entries free under the base occupancy are tested against the
+  /// candidate mask) instead of rescanning the catalog. Answers are
+  /// bit-for-bit identical either way; the catalog scan stays as the
+  /// reference path.
+  const FreePartitionIndex* index = nullptr;
   int mfp_before_index = -1;           ///< first_free_index(occupied).
   int mfp_before_size = 0;             ///< MFP size before placing the job.
   const NodeSet* flagged = nullptr;    ///< Predictor flags for the job window.

@@ -32,11 +32,14 @@ Scheduler::Scheduler(const PartitionCatalog& catalog,
 }
 
 PlacementContext Scheduler::make_context(const NodeSet& occ, const NodeSet& flagged,
-                                         int job_size) const {
+                                         int job_size,
+                                         const FreePartitionIndex* index) const {
   PlacementContext ctx;
   ctx.catalog = catalog_;
   ctx.occupied = &occ;
-  ctx.mfp_before_index = catalog_->first_free_index(occ);
+  ctx.index = index;
+  ctx.mfp_before_index =
+      index != nullptr ? index->first_free_index() : catalog_->first_free_index(occ);
   ctx.mfp_before_size =
       ctx.mfp_before_index < 0 ? 0 : catalog_->entry(ctx.mfp_before_index).size;
   ctx.flagged = &flagged;
@@ -49,7 +52,8 @@ PlacementContext Scheduler::make_context(const NodeSet& occ, const NodeSet& flag
 
 SchedulingDecision Scheduler::schedule(double now, const std::vector<WaitingJob>& queue,
                                        const std::vector<RunningJob>& running,
-                                       const NodeSet& occupied) const {
+                                       const NodeSet& occupied,
+                                       const FreePartitionIndex* index) const {
   obs::ScopedTimer decision_timer(obs_.counters, obs::Counter::kSchedDecisionNanos);
   if (obs_.counters != nullptr) {
     obs_.counters->add(obs::Counter::kSchedInvocations);
@@ -62,6 +66,21 @@ SchedulingDecision Scheduler::schedule(double now, const std::vector<WaitingJob>
   std::vector<bool> placed(queue.size(), false);
   std::vector<int> candidates;
   bool migration_tried = false;
+
+  // Working copy of the caller's incremental index, kept in lockstep with
+  // the pass-local `occ`. Reassignment reuses the scratch's buffers and
+  // shares the immutable CSR layout, so this is a ~40 KB copy, not a build.
+  FreePartitionIndex* idx = nullptr;
+  if (index != nullptr) {
+    BGL_CHECK(index->occupied() == occupied,
+              "free-partition index out of sync with occupancy");
+    if (scratch_index_ == nullptr) {
+      scratch_index_ = std::make_unique<FreePartitionIndex>(*index);
+    } else {
+      *scratch_index_ = *index;
+    }
+    idx = scratch_index_.get();
+  }
 
   // Consult the predictor for a job's execution window, accounting the
   // query (and its verdict size) to the observer.
@@ -107,6 +126,7 @@ SchedulingDecision Scheduler::schedule(double now, const std::vector<WaitingJob>
       }
     }
     occ |= catalog_->entry(entry_index).mask;
+    if (idx != nullptr) idx->occupy(catalog_->entry(entry_index).mask);
     live.push_back(RunningJob{job.id, entry_index, now + job.estimate});
     if (obs_.counters != nullptr) {
       obs_.counters->add(obs::Counter::kSchedStarts);
@@ -131,11 +151,15 @@ SchedulingDecision Scheduler::schedule(double now, const std::vector<WaitingJob>
               "waiting job has invalid alloc size");
 
     candidates.clear();
-    catalog_->free_entries_of_size(occ, job.alloc_size, candidates);
+    if (idx != nullptr) {
+      idx->free_entries_of_size(job.alloc_size, candidates);
+    } else {
+      catalog_->free_entries_of_size(occ, job.alloc_size, candidates);
+    }
     note_scan(job.alloc_size, candidates.size());
     if (!candidates.empty()) {
       const NodeSet flagged = query_predictor(job);
-      const PlacementContext ctx = make_context(occ, flagged, job.size);
+      const PlacementContext ctx = make_context(occ, flagged, job.size, idx);
       PlacementExplain explain;
       const int chosen =
           policy_->choose(ctx, candidates, tracing ? &explain : nullptr);
@@ -148,15 +172,28 @@ SchedulingDecision Scheduler::schedule(double now, const std::vector<WaitingJob>
     // Head job blocked: first try compaction, once per pass.
     if (config_.migration && !migration_tried && !live.empty()) {
       migration_tried = true;
-      if (auto repack = try_repack(*catalog_, live, job.alloc_size)) {
+      // Occupancy that does not belong to any live job — failed nodes still
+      // inside their downtime window — must survive the compaction intact.
+      // try_repack rebuilds the occupancy from the re-placed jobs, so without
+      // this seed it would silently resurrect down nodes as free space and
+      // the retried head (or a backfill filler) could start on them.
+      NodeSet obstacles = occ;
+      for (const RunningJob& r : live) {
+        obstacles.subtract(catalog_->entry(r.entry_index).mask);
+      }
+      if (auto repack = try_repack(*catalog_, live, job.alloc_size, &obstacles)) {
         for (const Migration& m : repack->migrations) {
           // A job started earlier in this same pass has not been committed
           // by the driver yet; rewrite its pending start instead of
-          // reporting a migration of a not-yet-running job.
+          // reporting a migration of a not-yet-running job. The paired
+          // placement audit record (placements[i] explains starts[i]) must
+          // follow, or the trace would report a placement that was never
+          // committed.
           bool was_started_here = false;
-          for (Start& s : decision.starts) {
-            if (s.id == m.id) {
-              s.entry_index = m.to_entry;
+          for (std::size_t s_i = 0; s_i < decision.starts.size(); ++s_i) {
+            if (decision.starts[s_i].id == m.id) {
+              decision.starts[s_i].entry_index = m.to_entry;
+              if (tracing) decision.placements[s_i].entry_index = m.to_entry;
               was_started_here = true;
               break;
             }
@@ -165,6 +202,10 @@ SchedulingDecision Scheduler::schedule(double now, const std::vector<WaitingJob>
         }
         occ = std::move(repack->occupied_after);
         live = std::move(repack->running_after);
+        // Compaction rewrote the occupancy wholesale; resync the scratch
+        // index with one rebuild (migration passes are rare and already
+        // O(running x catalog) in try_repack itself).
+        if (idx != nullptr) idx->reset(occ);
         continue;  // retry the head job on the compacted torus
       }
     }
@@ -210,7 +251,11 @@ SchedulingDecision Scheduler::schedule(double now, const std::vector<WaitingJob>
         ++examined;
         const WaitingJob& filler = queue[j];
         candidates.clear();
-        catalog_->free_entries_of_size(occ, filler.alloc_size, candidates);
+        if (idx != nullptr) {
+          idx->free_entries_of_size(filler.alloc_size, candidates);
+        } else {
+          catalog_->free_entries_of_size(occ, filler.alloc_size, candidates);
+        }
         note_scan(filler.alloc_size, candidates.size());
         if (candidates.empty()) continue;
         std::vector<int> allowed;
@@ -221,7 +266,7 @@ SchedulingDecision Scheduler::schedule(double now, const std::vector<WaitingJob>
         }
         if (allowed.empty()) continue;
         const NodeSet flagged = query_predictor(filler);
-        const PlacementContext ctx = make_context(occ, flagged, filler.size);
+        const PlacementContext ctx = make_context(occ, flagged, filler.size, idx);
         PlacementExplain explain;
         const int chosen =
             policy_->choose(ctx, allowed, tracing ? &explain : nullptr);

@@ -35,9 +35,19 @@ class Scheduler {
   /// `now`. `queue` must be in FCFS priority order; `running` carries the
   /// current partition and estimated finish of every executing job;
   /// `occupied` is the current occupancy mask (consistent with `running`).
+  ///
+  /// `index` (nullable) is an incremental free-partition view that must be
+  /// synced to `occupied` (checked). When provided, the engine clones it
+  /// into a per-pass scratch — updated incrementally as the pass places
+  /// jobs — and answers candidate enumeration and every MFP query through
+  /// it instead of scanning the catalog. Decisions are bit-for-bit
+  /// identical with and without the index (the scan path remains the
+  /// reference implementation and the differential tests hold both up
+  /// against each other).
   SchedulingDecision schedule(double now, const std::vector<WaitingJob>& queue,
                               const std::vector<RunningJob>& running,
-                              const NodeSet& occupied) const;
+                              const NodeSet& occupied,
+                              const FreePartitionIndex* index = nullptr) const;
 
   const SchedulerConfig& config() const { return config_; }
   std::string name() const { return policy_->name(); }
@@ -50,13 +60,19 @@ class Scheduler {
 
  private:
   PlacementContext make_context(const NodeSet& occ, const NodeSet& flagged,
-                                int job_size) const;
+                                int job_size,
+                                const FreePartitionIndex* index) const;
 
   const PartitionCatalog* catalog_;
   std::unique_ptr<PlacementPolicy> policy_;
   const FaultPredictor* predictor_;
   SchedulerConfig config_;
   obs::Observer obs_{};
+  /// Per-pass working copy of the caller's index. schedule() stays a pure
+  /// function of its inputs — the scratch is reassigned from the caller's
+  /// index at the top of every pass (reusing its buffers; the immutable
+  /// CSR layout is shared) and never read across calls.
+  mutable std::unique_ptr<FreePartitionIndex> scratch_index_;
 };
 
 /// Factory helpers for the three paper schedulers.

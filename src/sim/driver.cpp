@@ -10,6 +10,7 @@
 #include "predict/predictor.hpp"
 #include "sim/replay.hpp"
 #include "sched/scheduler.hpp"
+#include "torus/index.hpp"
 #include "torus/occupancy.hpp"
 #include "util/error.hpp"
 #include "util/logging.hpp"
@@ -80,6 +81,9 @@ class Driver {
         down_until_(static_cast<std::size_t>(config.dims.volume()), 0.0),
         tr_(config.obs.trace),
         ct_(config.obs.counters) {
+    if (config_.use_partition_index) {
+      index_ = std::make_unique<FreePartitionIndex>(*catalog_);
+    }
     BGL_CHECK(catalog_->dims() == config.dims, "shared catalog dims mismatch");
     BGL_CHECK(catalog_->topology() == config.topology,
               "shared catalog topology mismatch");
@@ -100,6 +104,26 @@ class Driver {
   void finish_job(std::size_t index, double now);
   NodeSet scheduling_occupancy() const;
   int usable_free_nodes() const;
+
+  // Incremental-index maintenance: every occupancy delta (allocation,
+  // release, node down/up) is mirrored into index_ so it always matches
+  // scheduling_occupancy(). Null when use_partition_index is off.
+  void index_occupy(const NodeSet& mask) {
+    if (index_ != nullptr) index_->occupy(mask);
+  }
+  /// Release an allocation's mask, keeping nodes that are still down
+  /// blocked (a kill triggered by a node failure releases the partition
+  /// while the failed node stays in the down overlay).
+  void index_release(const NodeSet& mask) {
+    if (index_ == nullptr) return;
+    if (down_.empty()) {
+      index_->release(mask);
+    } else {
+      NodeSet m = mask;
+      m.subtract(down_);
+      index_->release(m);
+    }
+  }
 
   const SimConfig config_;
   std::unique_ptr<PartitionCatalog> owned_catalog_;
@@ -123,6 +147,12 @@ class Driver {
 
   NodeSet down_;                     ///< Nodes currently down (kDownFor).
   std::vector<double> down_until_;
+
+  /// Incremental free-partition view of scheduling_occupancy(), updated in
+  /// O(delta) at every allocate/release/failure site below and handed to
+  /// the scheduler each pass. Null when config_.use_partition_index is off
+  /// (the scheduler then falls back to catalog scans).
+  std::unique_ptr<FreePartitionIndex> index_;
 
   obs::TraceSink* tr_;               ///< Borrowed; null when tracing is off.
   obs::CounterRegistry* ct_;         ///< Borrowed; null when counting is off.
@@ -259,7 +289,8 @@ void Driver::invoke_scheduler(double now) {
   }
 
   const NodeSet occ = scheduling_occupancy();
-  const SchedulingDecision decision = scheduler_->schedule(now, waiting, running, occ);
+  const SchedulingDecision decision =
+      scheduler_->schedule(now, waiting, running, occ, index_.get());
 
   if (tr_ != nullptr) {
     for (const PredictorQueryRecord& q : decision.predictor_queries) {
@@ -277,10 +308,12 @@ void Driver::invoke_scheduler(double now) {
     const std::size_t idx = static_cast<std::size_t>(m.id);
     BGL_CHECK(idx < jobs_.size(), "migration refers to unknown job");
     BGL_CHECK(jobs_[idx].phase == JobPhase::kRunning, "migrating a non-running job");
+    index_release(catalog_->entry(torus_.entry_of(m.id)).mask);
     torus_.release(m.id);
   }
   for (const Migration& m : decision.migrations) {
     torus_.allocate(m.id, m.to_entry);
+    index_occupy(catalog_->entry(m.to_entry).mask);
     JobState& s = jobs_[static_cast<std::size_t>(m.id)];
     s.entry_index = m.to_entry;
     ++result_.migrations;
@@ -297,9 +330,9 @@ void Driver::invoke_scheduler(double now) {
   }
 
   // When tracing, starts and placement records were appended pairwise by
-  // the engine, so placements[i] explains starts[i]. (A compaction in the
-  // same pass may have rewritten the start's final entry; the record keeps
-  // the policy's original choice.)
+  // the engine, so placements[i] explains starts[i]. A compaction in the
+  // same pass rewrites both the pending start and its audit record, so the
+  // traced entry_index is always the partition actually committed below.
   BGL_CHECK(tr_ == nullptr || decision.placements.size() == decision.starts.size(),
             "placement audit records out of sync with starts");
 
@@ -316,6 +349,7 @@ void Driver::invoke_scheduler(double now) {
     integrator_.add_queued(-static_cast<long long>(s.job.size));
 
     torus_.allocate(start.id, start.entry_index);
+    index_occupy(catalog_->entry(start.entry_index).mask);
     s.entry_index = start.entry_index;
     s.phase = JobPhase::kRunning;
     s.last_start = now;
@@ -402,6 +436,7 @@ void Driver::kill_job(std::size_t index, double now) {
         .field("restarts", s.restarts);
   }
 
+  index_release(catalog_->entry(s.entry_index).mask);
   torus_.release(static_cast<std::uint64_t>(index));
   const auto rpos = std::find(running_.begin(), running_.end(), index);
   BGL_CHECK(rpos != running_.end(), "killed job missing from running set");
@@ -434,6 +469,7 @@ void Driver::finish_job(std::size_t index, double now) {
                                          s.entry_index});
   }
 
+  index_release(catalog_->entry(s.entry_index).mask);
   torus_.release(static_cast<std::uint64_t>(index));
   const auto rpos = std::find(running_.begin(), running_.end(), index);
   BGL_CHECK(rpos != running_.end(), "finished job missing from running set");
@@ -559,6 +595,10 @@ SimResult Driver::run() {
         if (config_.failure_semantics == FailureSemantics::kDownFor &&
             config_.node_downtime > 0.0) {
           down_.set(node);
+          // Block the node in the index. If a victim job still holds it,
+          // this is a no-op and the victim's release below keeps it
+          // blocked (index_release subtracts the down overlay).
+          if (index_ != nullptr) index_->occupy_node(node);
           down_until_[static_cast<std::size_t>(node)] =
               std::max(down_until_[static_cast<std::size_t>(node)],
                        e.time + config_.node_downtime);
@@ -582,6 +622,9 @@ SimResult Driver::run() {
         if (down_.test(node) &&
             e.time + 1e-9 >= down_until_[static_cast<std::size_t>(node)]) {
           down_.reset(node);
+          // The node cannot be allocated while down, so releasing it in
+          // the index exactly undoes the failure-time block.
+          if (index_ != nullptr) index_->release_node(node);
           integrator_.set_free(usable_free_nodes());
           invoke_scheduler(e.time);
         }

@@ -87,6 +87,14 @@ struct SimConfig {
   double node_downtime = 0.0;  ///< Seconds a node stays down (kDownFor).
 
   std::uint64_t seed = 1;      ///< Salts the tie-breaking predictor's coins.
+
+  /// Maintain an incremental FreePartitionIndex over the scheduling
+  /// occupancy (updated in O(delta) on every allocate/release/failure) and
+  /// let the scheduler answer MFP and candidate queries through it instead
+  /// of scanning the catalog. Decisions are bit-for-bit identical either
+  /// way (differential-tested); disable only to run the scan-based
+  /// reference path, e.g. for A/B timing or debugging the index itself.
+  bool use_partition_index = true;
   bool collect_outcomes = false;
   /// Record a structured event log (SimResult::replay) for offline
   /// validation, visualisation, or regression diffing (src/sim/replay.hpp).

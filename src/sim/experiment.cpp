@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdlib>
+#include <string_view>
 
 #include "util/error.hpp"
 #include "util/logging.hpp"
@@ -73,7 +74,15 @@ ExperimentInputs prepare_inputs(const ExperimentSpec& spec) {
 SimResult run_experiment(const ExperimentSpec& spec,
                          const PartitionCatalog* shared_catalog) {
   const ExperimentInputs inputs = prepare_inputs(spec);
-  return run_simulation(inputs.workload, inputs.trace, spec.sim, shared_catalog);
+  SimConfig sim = spec.sim;
+  // A/B switch for validating that the incremental free-partition index is
+  // a pure acceleration: BGL_USE_PARTITION_INDEX=0 re-runs any experiment
+  // (hence any figure) on the scan-based reference path; outputs must be
+  // byte-identical.
+  if (const char* env = std::getenv("BGL_USE_PARTITION_INDEX")) {
+    sim.use_partition_index = std::string_view(env) != "0";
+  }
+  return run_simulation(inputs.workload, inputs.trace, sim, shared_catalog);
 }
 
 }  // namespace bgl

@@ -60,6 +60,9 @@ PartitionCatalog::PartitionCatalog(Dims dims, Topology topology)
     if (first != last) best = s;
     allocatable_size_[static_cast<std::size_t>(s)] = best;
   }
+  // Slot 0 exists only so the table is indexed directly by s; the public
+  // contract clamps s <= 0 to 1 before the lookup, so it must agree with
+  // slot 1 (the 1x1x1 partition always exists, hence both are 1).
   allocatable_size_[0] = allocatable_size_[1];
 }
 
@@ -70,7 +73,7 @@ std::pair<int, int> PartitionCatalog::size_range(int s) const {
 
 int PartitionCatalog::allocatable_size(int s) const {
   if (s > num_nodes()) return -1;
-  if (s < 0) s = 0;
+  if (s <= 0) s = 1;  // degenerate requests round up to the smallest partition
   return allocatable_size_[static_cast<std::size_t>(s)];
 }
 

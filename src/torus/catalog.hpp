@@ -43,11 +43,16 @@ class PartitionCatalog {
   /// Entries are sorted by (size desc, shape lex, base lex); entries of one
   /// size are contiguous. Returns [first, last) indices for exact size s,
   /// or an empty range if no shape of that volume fits the torus.
+  /// Contract: any out-of-domain s (negative, zero, or > num_nodes())
+  /// yields the empty range {0, 0} — never an out-of-bounds access.
   std::pair<int, int> size_range(int s) const;
 
   /// Smallest s' >= s for which partitions exist (jobs whose size has no
   /// fitting shape are rounded up, as in Krevat's scheduler). Returns -1 if
   /// s exceeds the machine size.
+  /// Contract: s <= 0 is clamped to 1 — a job occupies at least one node,
+  /// so a degenerate (zero) or negative request maps to the smallest
+  /// allocatable partition, never to a table slot of its own.
   int allocatable_size(int s) const;
 
   /// Index of the first entry at or after start_index whose mask is disjoint

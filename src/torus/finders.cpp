@@ -69,6 +69,7 @@ std::vector<Box> find_free_pop(const Dims& dims, const NodeSet& occ, int s) {
   validate(dims);
   BGL_CHECK(s >= 1, "partition size must be positive");
   std::vector<Box> out;
+  if (s > dims.volume()) return out;  // no box can exceed the machine
 
   // proj[y][x] counts occupied nodes in the current z-slab column (x, y).
   std::vector<int> proj(static_cast<std::size_t>(dims.x * dims.y), 0);

@@ -35,6 +35,8 @@ std::vector<Box> find_free_all_naive(const Dims& dims, const NodeSet& occ);
 std::vector<Box> find_free_naive(const Dims& dims, const NodeSet& occ, int s);
 
 /// Projection-of-Partitions (POP): O(M^5)-family algorithm.
+/// Contract: s < 1 throws ContractViolation (a partition has at least one
+/// node); s > dims.volume() returns the empty set without scanning.
 std::vector<Box> find_free_pop(const Dims& dims, const NodeSet& occ, int s);
 
 /// Appendix-9 divisor-shape finder with occupied-stretch skipping.

@@ -83,6 +83,34 @@ TEST(Migration, FailsWhenHeadCannotFitEvenCompacted) {
   EXPECT_FALSE(try_repack(catalog(), running, 64).has_value());
 }
 
+TEST(Migration, ObstaclesSurviveRepackAndAreNeverPackedOver) {
+  // A down node in the middle of the machine must neither be packed over
+  // nor dropped from the post-compaction occupancy (dropping it is how a
+  // later "free the node" event desynchronizes occupancy bookkeeping).
+  const int a = entry_of_box(Box{Coord{0, 0, 0}, Triple{4, 4, 2}});
+  const int b = entry_of_box(Box{Coord{0, 0, 4}, Triple{4, 4, 2}});
+  const std::vector<RunningJob> running = {RunningJob{1, a, 100.0},
+                                           RunningJob{2, b, 200.0}};
+  NodeSet down(128);
+  down.set(node_id(kBgl, Coord{0, 0, 2}));
+  const auto repack = try_repack(catalog(), running, 32, &down);
+  ASSERT_TRUE(repack.has_value());
+  // The obstacle is still occupied afterwards...
+  EXPECT_TRUE(repack->occupied_after.test(node_id(kBgl, Coord{0, 0, 2})));
+  // ...no re-placed job covers it...
+  for (const RunningJob& r : repack->running_after) {
+    EXPECT_FALSE(catalog().entry(r.entry_index).mask.test(
+        node_id(kBgl, Coord{0, 0, 2})));
+  }
+  // ...and the occupancy is exactly jobs + obstacle.
+  EXPECT_EQ(repack->occupied_after.count(), 64 + 1);
+
+  // With the obstacle the full half-machine is out of reach: 64 must fail
+  // even though the same layout without obstacles compacts (see
+  // CompactionFreesSpaceForHead).
+  EXPECT_FALSE(try_repack(catalog(), running, 64, &down).has_value());
+}
+
 TEST(Migration, EmptyRunningSetTrivial) {
   const auto repack = try_repack(catalog(), {}, 128);
   ASSERT_TRUE(repack.has_value());

@@ -230,6 +230,74 @@ TEST(BalancingPolicy, ConfidenceThresholdFlipsTheTradeOff) {
             s.splinter);
 }
 
+TEST(BalancingPolicy, LargeJobTieUsesRelativeTolerance) {
+  // Regression: E_loss comparisons used an absolute 1e-12 epsilon. L_PF
+  // grows with the job size (up to 512 * confidence on an 8x8x8 machine),
+  // so two placements in a mathematical tie evaluate to E_loss values that
+  // differ by far more than 1e-12 in floating point — the absolute epsilon
+  // declared a strict winner from rounding noise and dropped the
+  // larger-MFP tie-break. The tolerance must scale with the operands.
+  const Dims dims = Dims::cube(8);
+  static const PartitionCatalog big(dims);
+
+  // Half the machine busy plus a stray node; among size-8 placements pick
+  // one with the maximal resulting MFP ("clean") and one strictly worse
+  // ("splinter"), plus a flag node unique to the clean placement.
+  NodeSet occ = box_mask(dims, Box{Coord{0, 0, 0}, Triple{4, 8, 8}});
+  occ.set(node_id(dims, Coord{4, 0, 0}));
+  std::vector<int> candidates;
+  big.free_entries_of_size(occ, 8, candidates);
+  ASSERT_GE(candidates.size(), 2u);
+  if (candidates.size() > 30) candidates.resize(30);
+  auto mfp_after = [&](int entry) {
+    NodeSet with = occ;
+    with |= big.entry(entry).mask;
+    return big.mfp(with);
+  };
+  int clean = -1, splinter = -1, best = -1, worst = 1 << 30;
+  for (const int c : candidates) {
+    const int m = mfp_after(c);
+    if (m > best) best = m, clean = c;
+    if (m < worst) worst = m, splinter = c;
+  }
+  const int gap = best - worst;
+  ASSERT_GT(gap, 0);
+  NodeSet unique = big.entry(clean).mask;
+  unique.subtract(big.entry(splinter).mask);
+  ASSERT_FALSE(unique.empty());
+  NodeSet flags(dims.volume());
+  flags.set(unique.to_ids().front());
+
+  // With the max rule and one flag inside `clean` only:
+  //   E(clean)    = l_clean + a * s
+  //   E(splinter) = l_clean + gap
+  // Pick a so the two sides differ by a delta that is pure noise relative
+  // to the operands — far above 1e-12, well inside the relative tolerance.
+  const int mfp_before = big.mfp(occ);
+  const int l_clean = mfp_before - best;
+  const double e_splinter = static_cast<double>(l_clean + gap);
+  const double delta = 0.5e-9 * e_splinter;
+  ASSERT_GT(delta, 1e-11);  // the absolute epsilon would see a strict winner
+  const int job_size = 512;
+  const double a = (static_cast<double>(gap) + delta) / job_size;
+
+  PlacementContext ctx;
+  ctx.catalog = &big;
+  ctx.occupied = &occ;
+  ctx.mfp_before_index = big.first_free_index(occ);
+  ctx.mfp_before_size = big.entry(ctx.mfp_before_index).size;
+  ctx.flagged = &flags;
+  ctx.confidence = a;
+  ctx.pf_rule = PartitionFailureRule::kMax;
+  ctx.job_size = job_size;
+
+  // A noise-level E_loss edge must not override the MFP tie-break: the
+  // clean placement wins from either candidate order.
+  BalancingPolicy policy;
+  EXPECT_EQ(policy.choose(ctx, {splinter, clean}), clean);
+  EXPECT_EQ(policy.choose(ctx, {clean, splinter}), clean);
+}
+
 TEST(BalancingPolicy, ProductRulePenalizesMultipleFlags) {
   NodeSet occ(128);
   const int left = entry_of_box(Box{Coord{0, 0, 0}, Triple{4, 4, 4}});

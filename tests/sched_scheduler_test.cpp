@@ -2,7 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <sstream>
+
 #include "failure/trace.hpp"
+#include "obs/trace.hpp"
+#include "torus/index.hpp"
 
 namespace bgl {
 namespace {
@@ -221,6 +225,97 @@ TEST(Scheduler, SchedulerIsPureFunctionOfInputs) {
   ASSERT_EQ(d1.starts.size(), d2.starts.size());
   for (std::size_t i = 0; i < d1.starts.size(); ++i) {
     EXPECT_EQ(d1.starts[i].entry_index, d2.starts[i].entry_index);
+  }
+}
+
+TEST(Scheduler, RepackRewritesPendingStartAndItsPlacementRecord) {
+  // Regression: when a same-pass repack relocated a job started earlier in
+  // the pass, the pending Start was rewritten but the paired
+  // PlacementRecord kept the policy's original (never committed) entry —
+  // the trace reported a placement that did not happen.
+  //
+  // Two single-slab jobs run at z=0 and z=4, fragmenting the torus into
+  // two 3-slab runs. Job 0 (16 nodes) starts in one of the runs; job 1
+  // (64 nodes) needs 4 contiguous slabs and blocks, triggering a repack.
+  // try_repack re-places all three live jobs largest-first from scratch,
+  // which packs them into slabs z=0,1,2 — guaranteed to relocate job 0,
+  // whose pending start (and audit record) must follow.
+  std::ostringstream out;
+  obs::TraceSink sink(out);
+  NullPredictor predictor(128);
+  SchedulerConfig config;
+  config.backfill = BackfillMode::kNone;
+  config.migration = true;
+  const auto sched = make_krevat_scheduler(catalog(), predictor, config);
+  obs::Observer observer;
+  observer.trace = &sink;
+  sched->set_observer(observer);
+
+  const int slab0 = entry_of_box(Box{Coord{0, 0, 0}, Triple{4, 4, 1}});
+  const int slab4 = entry_of_box(Box{Coord{0, 0, 4}, Triple{4, 4, 1}});
+  ASSERT_GE(slab0, 0);
+  ASSERT_GE(slab4, 0);
+  const std::vector<RunningJob> running = {RunningJob{10, slab0, 500.0},
+                                           RunningJob{11, slab4, 400.0}};
+  const std::vector<WaitingJob> queue = {WaitingJob{0, 16, 16, 300.0},
+                                         WaitingJob{1, 64, 64, 100.0}};
+
+  // The entry the policy picks for job 0 when no repack interferes.
+  SchedulerConfig no_migration = config;
+  no_migration.migration = false;
+  const auto plain = make_krevat_scheduler(catalog(), predictor, no_migration);
+  const auto undisturbed =
+      plain->schedule(0.0, queue, running, occ_of(running));
+  ASSERT_EQ(undisturbed.starts.size(), 1u);
+  const int original_entry = undisturbed.starts[0].entry_index;
+
+  const auto decision = sched->schedule(0.0, queue, running, occ_of(running));
+  ASSERT_EQ(decision.starts.size(), 2u);
+  EXPECT_EQ(decision.starts[0].id, 0u);
+  EXPECT_EQ(decision.starts[1].id, 1u);
+  // The repack relocated job 0's pending start...
+  EXPECT_NE(decision.starts[0].entry_index, original_entry);
+  // ...as a rewrite, not as a migration of a not-yet-running job...
+  for (const Migration& m : decision.migrations) {
+    EXPECT_NE(m.id, 0u);
+  }
+  // ...and the audit record reports the committed partition, not the
+  // policy's pre-repack choice.
+  ASSERT_EQ(decision.placements.size(), decision.starts.size());
+  for (std::size_t i = 0; i < decision.starts.size(); ++i) {
+    EXPECT_EQ(decision.placements[i].id, decision.starts[i].id);
+    EXPECT_EQ(decision.placements[i].entry_index,
+              decision.starts[i].entry_index);
+  }
+  // Committed starts and post-migration running jobs must not overlap.
+  NodeSet occ(128);
+  for (const RunningJob& r : running) {
+    int entry = r.entry_index;
+    for (const Migration& m : decision.migrations) {
+      if (m.id == r.id) entry = m.to_entry;
+    }
+    EXPECT_FALSE(occ.intersects(catalog().entry(entry).mask));
+    occ |= catalog().entry(entry).mask;
+  }
+  for (const Start& s : decision.starts) {
+    EXPECT_FALSE(occ.intersects(catalog().entry(s.entry_index).mask));
+    occ |= catalog().entry(s.entry_index).mask;
+  }
+
+  // The incremental index must not change any of it.
+  FreePartitionIndex index(catalog());
+  index.reset(occ_of(running));
+  const auto indexed =
+      sched->schedule(0.0, queue, running, occ_of(running), &index);
+  ASSERT_EQ(indexed.starts.size(), decision.starts.size());
+  for (std::size_t i = 0; i < decision.starts.size(); ++i) {
+    EXPECT_EQ(indexed.starts[i].id, decision.starts[i].id);
+    EXPECT_EQ(indexed.starts[i].entry_index, decision.starts[i].entry_index);
+  }
+  ASSERT_EQ(indexed.migrations.size(), decision.migrations.size());
+  for (std::size_t i = 0; i < decision.migrations.size(); ++i) {
+    EXPECT_EQ(indexed.migrations[i].id, decision.migrations[i].id);
+    EXPECT_EQ(indexed.migrations[i].to_entry, decision.migrations[i].to_entry);
   }
 }
 

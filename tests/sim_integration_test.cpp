@@ -78,6 +78,41 @@ INSTANTIATE_TEST_SUITE_P(
                       std::make_tuple(SchedulerKind::kTieBreak, 0.1),
                       std::make_tuple(SchedulerKind::kTieBreak, 0.9)));
 
+TEST_P(SchedulerSweep, PartitionIndexDoesNotChangeAnyOutcome) {
+  // The incremental free-partition index is a pure acceleration: every
+  // decision must be bit-for-bit what the scan-based reference path
+  // produces, end to end — including under failures, migration and
+  // post-failure node downtime, which exercise every index update path in
+  // the driver.
+  const auto [kind, alpha] = GetParam();
+  const Inputs in = small_inputs(20.0);
+  SimConfig with = config_for(kind, alpha);
+  with.sched.migration = true;
+  with.failure_semantics = FailureSemantics::kDownFor;
+  with.node_downtime = 3600.0;
+  with.collect_outcomes = true;
+  SimConfig without = with;
+  with.use_partition_index = true;
+  without.use_partition_index = false;
+
+  const SimResult a = run_simulation(in.workload, in.trace, with);
+  const SimResult b = run_simulation(in.workload, in.trace, without);
+  EXPECT_EQ(a.jobs_completed, b.jobs_completed);
+  EXPECT_EQ(a.job_kills, b.job_kills);
+  EXPECT_EQ(a.migrations, b.migrations);
+  EXPECT_EQ(a.starts_on_flagged, b.starts_on_flagged);
+  EXPECT_DOUBLE_EQ(a.avg_wait, b.avg_wait);
+  EXPECT_DOUBLE_EQ(a.avg_response, b.avg_response);
+  EXPECT_DOUBLE_EQ(a.avg_bounded_slowdown, b.avg_bounded_slowdown);
+  EXPECT_DOUBLE_EQ(a.utilization, b.utilization);
+  EXPECT_DOUBLE_EQ(a.lost, b.lost);
+  ASSERT_EQ(a.outcomes.size(), b.outcomes.size());
+  for (std::size_t i = 0; i < a.outcomes.size(); ++i) {
+    EXPECT_EQ(a.outcomes[i].id, b.outcomes[i].id);
+    EXPECT_DOUBLE_EQ(a.outcomes[i].last_start, b.outcomes[i].last_start);
+  }
+}
+
 TEST(Integration, NoFailuresMakesAllSchedulersEquivalent) {
   const Inputs in = small_inputs(0.0);
   const SimResult krevat =

@@ -4,6 +4,7 @@
 
 #include <set>
 
+#include "torus/finders.hpp"
 #include "torus/occupancy.hpp"
 #include "util/rng.hpp"
 
@@ -77,6 +78,42 @@ TEST_F(CatalogTest, AllocatableSizeRoundsUp) {
   EXPECT_EQ(catalog().allocatable_size(127), 128);
   EXPECT_EQ(catalog().allocatable_size(129), -1);
   EXPECT_EQ(catalog().allocatable_size(0), 1);
+}
+
+TEST_F(CatalogTest, AllocatableSizeClampsDegenerateRequests) {
+  // s <= 0 rounds up to the smallest partition — and must NOT read the
+  // size-1 slot through index 0 aliasing (slot 0 mirrors slot 1 by
+  // construction; the contract is explicit, not accidental).
+  EXPECT_EQ(catalog().allocatable_size(0), catalog().allocatable_size(1));
+  EXPECT_EQ(catalog().allocatable_size(-1), 1);
+  EXPECT_EQ(catalog().allocatable_size(-128), 1);
+}
+
+TEST_F(CatalogTest, SizeRangeOutOfDomainIsEmpty) {
+  // Out-of-domain sizes are answerable, not UB: the range is empty.
+  const auto [f0, l0] = catalog().size_range(0);
+  EXPECT_EQ(f0, l0);
+  const auto [fn, ln] = catalog().size_range(-7);
+  EXPECT_EQ(fn, ln);
+  const auto [fb, lb] = catalog().size_range(129);
+  EXPECT_EQ(fb, lb);
+  const auto [fh, lh] = catalog().size_range(1 << 20);
+  EXPECT_EQ(fh, lh);
+  // And the query paths built on it agree.
+  NodeSet occ(128);
+  std::vector<int> out;
+  catalog().free_entries_of_size(occ, 129, out);
+  EXPECT_TRUE(out.empty());
+  EXPECT_FALSE(catalog().has_free_of_size(occ, 0));
+}
+
+TEST(FinderContracts, PopRejectsOrShortCircuitsBadSizes) {
+  const Dims dims = Dims::cube(4);
+  NodeSet occ(dims.volume());
+  EXPECT_THROW(find_free_pop(dims, occ, 0), ContractViolation);
+  EXPECT_THROW(find_free_pop(dims, occ, -3), ContractViolation);
+  // Oversized requests return empty without scanning anything.
+  EXPECT_TRUE(find_free_pop(dims, occ, dims.volume() + 1).empty());
 }
 
 TEST_F(CatalogTest, AllocatableSizeAlwaysHasEntries) {

@@ -1,0 +1,125 @@
+// Differential fuzz harness for FreePartitionIndex (the tentpole's
+// equivalence contract): drive long random sequences of occupy / release /
+// single-node failure deltas and hold the incremental answers up against
+// the scan-based catalog — the reference implementation — and, for the MFP,
+// against the independent find_free_all_naive box enumerator.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "torus/catalog.hpp"
+#include "torus/finders.hpp"
+#include "torus/index.hpp"
+#include "util/rng.hpp"
+
+namespace bgl {
+namespace {
+
+int naive_mfp(const Dims& dims, const NodeSet& occ) {
+  int best = 0;
+  for (const Box& b : find_free_all_naive(dims, occ)) {
+    best = std::max(best, b.volume());
+  }
+  return best;
+}
+
+/// >= `deltas` random mutations; every answer compared against the catalog
+/// scans, the full invariant check and the naive finder sampled.
+void fuzz(const Dims& dims, Topology topology, std::uint64_t seed, int deltas) {
+  const PartitionCatalog catalog(dims, topology);
+  FreePartitionIndex index(catalog);
+  NodeSet occ(dims.volume());  // reference occupancy, mutated in lockstep
+  Rng rng(seed);
+
+  std::vector<int> live;  // entries currently allocated
+  std::vector<int> from_index, from_scan;
+  for (int t = 0; t < deltas; ++t) {
+    const double roll = rng.uniform();
+    if (roll < 0.45) {  // allocate a random free partition
+      const int e = static_cast<int>(
+          rng.uniform_int(0, static_cast<std::uint64_t>(catalog.num_entries() - 1)));
+      if (!catalog.entry(e).mask.intersects(occ)) {
+        occ |= catalog.entry(e).mask;
+        index.occupy(catalog.entry(e).mask);
+        live.push_back(e);
+      }
+    } else if (roll < 0.75 && !live.empty()) {  // release a live partition
+      const std::size_t i = static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<std::uint64_t>(live.size() - 1)));
+      occ.subtract(catalog.entry(live[i]).mask);
+      index.release(catalog.entry(live[i]).mask);
+      live[i] = live.back();
+      live.pop_back();
+    } else {  // single-node failure / recovery (set semantics both ways)
+      const int node = static_cast<int>(
+          rng.uniform_int(0, static_cast<std::uint64_t>(dims.volume() - 1)));
+      if (occ.test(node)) {
+        // Only toggle nodes no live partition holds, so the reference
+        // occupancy stays the union of live masks plus failed singletons.
+        bool held = false;
+        for (const int e : live) {
+          if (catalog.entry(e).mask.test(node)) {
+            held = true;
+            break;
+          }
+        }
+        if (!held) {
+          occ.reset(node);
+          index.release_node(node);
+        }
+      } else {
+        occ.set(node);
+        index.occupy_node(node);
+      }
+    }
+
+    ASSERT_EQ(index.occupied(), occ) << "delta " << t;
+    ASSERT_EQ(index.mfp(), catalog.mfp(occ)) << "delta " << t;
+    ASSERT_EQ(index.first_free_index(), catalog.first_free_index(occ))
+        << "delta " << t;
+
+    const int s = catalog.allocatable_size(static_cast<int>(
+        rng.uniform_int(1, static_cast<std::uint64_t>(dims.volume()))));
+    ASSERT_GT(s, 0);
+    from_index.clear();
+    from_scan.clear();
+    index.free_entries_of_size(s, from_index);
+    catalog.free_entries_of_size(occ, s, from_scan);
+    ASSERT_EQ(from_index, from_scan) << "delta " << t << " size " << s;
+    ASSERT_EQ(index.has_free_of_size(s), !from_scan.empty());
+
+    if (!from_index.empty()) {  // the policy loop's overlay query
+      const NodeSet& extra = catalog.entry(from_index.front()).mask;
+      const int hint = index.first_free_index();
+      ASSERT_EQ(index.mfp_with(extra, hint < 0 ? 0 : hint),
+                catalog.mfp_with(occ, extra, hint < 0 ? 0 : hint))
+          << "delta " << t;
+    }
+
+    if (t % 100 == 0) {
+      ASSERT_NO_THROW(index.check_invariants()) << "delta " << t;
+      // The naive box enumerator assumes wrap-around, so it is only a
+      // valid independent reference on the torus.
+      if (topology == Topology::kTorus) {
+        ASSERT_EQ(index.mfp(), naive_mfp(dims, occ)) << "delta " << t;
+      }
+    }
+  }
+  index.check_invariants();
+}
+
+TEST(IndexFuzz, BlueGeneTorus) {
+  fuzz(Dims::bluegene_l(), Topology::kTorus, 0xB61u, 1200);
+}
+
+TEST(IndexFuzz, BlueGeneMesh) {
+  fuzz(Dims::bluegene_l(), Topology::kMesh, 0x3E5Au, 1200);
+}
+
+TEST(IndexFuzz, AsymmetricSmallTorus) {
+  fuzz(Dims{3, 4, 5}, Topology::kTorus, 0xCAFEu, 1000);
+}
+
+}  // namespace
+}  // namespace bgl
