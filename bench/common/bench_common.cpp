@@ -4,6 +4,8 @@
 #include <filesystem>
 #include <fstream>
 #include <iostream>
+#include <map>
+#include <sstream>
 
 #include "failure/generator.hpp"
 #include "util/rng.hpp"
@@ -33,6 +35,11 @@ const PartitionCatalog& shared_catalog() {
 
 obs::CounterRegistry& bench_counters() {
   static obs::CounterRegistry registry;
+  return registry;
+}
+
+obs::HistogramRegistry& bench_histograms() {
+  static obs::HistogramRegistry registry;
   return registry;
 }
 
@@ -69,6 +76,7 @@ RunSummary run_point(const SyntheticModel& model, double load_scale,
     config.alpha = alpha;
     config.seed = trace_seed ^ 0x7365656473ULL;
     config.obs.counters = &bench_counters();
+    config.obs.histograms = &bench_histograms();
 
     // The shared catalog is the default torus one; mesh-topology protos
     // build their own.
@@ -100,6 +108,59 @@ RunSummary run_point(const SyntheticModel& model, double load_scale,
   return summary;
 }
 
+namespace {
+
+/// Read-modify-write the consolidated BENCH_summary.json. Each bench binary
+/// is its own process, so the file is kept line-keyed — one
+/// `"<name>": {...}` entry per line between the braces — and merged
+/// textually: no JSON parser needed, entries written by other benches are
+/// preserved, and re-running a bench overwrites only its own line.
+void update_bench_summary(const std::string& dir, const std::string& name) {
+  const std::string path = dir + "/BENCH_summary.json";
+
+  std::map<std::string, std::string> entries;
+  {
+    std::ifstream in(path);
+    std::string line;
+    while (std::getline(in, line)) {
+      const auto start = line.find_first_not_of(" \t");
+      if (start == std::string::npos || line[start] != '"') continue;
+      const auto key_end = line.find('"', start + 1);
+      if (key_end == std::string::npos) continue;
+      auto end = line.find_last_not_of(" \t");
+      if (line[end] == ',') --end;  // stored without the joining comma
+      entries[line.substr(start + 1, key_end - start - 1)] =
+          line.substr(start, end - start + 1);
+    }
+  }
+
+  std::ostringstream entry;
+  entry << '"' << name << "\": {\"counters\":";
+  bench_counters().write_json(entry);
+  entry << ",\"histograms\":";
+  bench_histograms().write_json(entry);
+  entry << '}';
+  entries[name] = entry.str();
+
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) {
+    std::cout << "[summary] skipped (" << path << " not writable)\n";
+    return;
+  }
+  out << "{\n";
+  bool first = true;
+  for (const auto& [key, value] : entries) {
+    (void)key;
+    if (!first) out << ",\n";
+    first = false;
+    out << value;
+  }
+  out << "\n}\n";
+  std::cout << "[summary] " << path << "\n";
+}
+
+}  // namespace
+
 void write_csv(const Table& table, const std::string& name) {
   const char* env = std::getenv("BGL_BENCH_OUT");
   const std::string dir = env ? env : "bench_out";
@@ -116,12 +177,17 @@ void write_csv(const Table& table, const std::string& name) {
   const std::string stats_path = dir + "/" + name + ".stats.json";
   std::ofstream stats(stats_path, std::ios::trunc);
   if (stats) {
+    stats << "{\"observability\":";
     bench_counters().write_json(stats);
-    stats << '\n';
+    stats << ",\"histograms\":";
+    bench_histograms().write_json(stats);
+    stats << "}\n";
     std::cout << "[stats] " << stats_path << "\n";
   } else {
     std::cout << "[stats] skipped (" << stats_path << " not writable)\n";
   }
+
+  update_bench_summary(dir, name);
 }
 
 double improvement_pct(double baseline, double value) {

@@ -15,6 +15,7 @@
 #include <string>
 
 #include "obs/counters.hpp"
+#include "obs/histogram.hpp"
 #include "sim/driver.hpp"
 #include "sim/experiment.hpp"
 #include "util/strings.hpp"
@@ -67,9 +68,17 @@ RunSummary run_point(const SyntheticModel& model, double load_scale,
 /// figure. write_csv() dumps it next to the CSV as <name>.stats.json.
 obs::CounterRegistry& bench_counters();
 
+/// Process-wide histogram registry, fed alongside bench_counters(): wait /
+/// response / slowdown / decision-latency / candidates distributions over
+/// every simulation of the figure, dumped with p50/p90/p99 by write_csv().
+obs::HistogramRegistry& bench_histograms();
+
 /// Write a table to ${BGL_BENCH_OUT:-bench_out}/<name>.csv (best effort;
 /// prints a note on failure instead of aborting the bench), plus the
-/// bench_counters() dump as <name>.stats.json.
+/// bench_counters() + bench_histograms() dump as <name>.stats.json, and
+/// update this bench's entry in the consolidated
+/// ${BGL_BENCH_OUT}/BENCH_summary.json (one entry per bench binary;
+/// entries from other benches in the same output directory survive).
 void write_csv(const Table& table, const std::string& name);
 
 /// Percent improvement of `value` relative to `baseline` (positive = better

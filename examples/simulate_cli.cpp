@@ -17,8 +17,12 @@
 //     --downtime S        nodes stay down S seconds after failing
 //     --seed N            master seed (default 42)
 //     --trace-out PATH    write a structured JSONL event trace (see
-//                         docs/OBSERVABILITY.md for the schema)
-//     --stats-out PATH    write hot-path counters + result metrics as JSON
+//                         docs/OBSERVABILITY.md for the schema); "-"
+//                         streams it to stdout, human output to stderr
+//     --snapshot-interval S  with --trace-out: emit a machine_state event
+//                         every S simulated seconds (default off)
+//     --stats-out PATH    write config + counters + histograms + result
+//                         metrics as JSON
 #include <fstream>
 #include <iostream>
 #include <memory>
@@ -27,6 +31,7 @@
 
 #include "failure/generator.hpp"
 #include "obs/counters.hpp"
+#include "obs/histogram.hpp"
 #include "obs/trace.hpp"
 #include "sim/driver.hpp"
 #include "sim/experiment.hpp"
@@ -55,6 +60,7 @@ struct Options {
   std::uint64_t seed = 42;
   std::optional<std::string> trace_out;
   std::optional<std::string> stats_out;
+  double snapshot_interval = 0.0;
 };
 
 int usage() {
@@ -105,6 +111,9 @@ std::optional<Options> parse(int argc, char** argv) {
       else return std::nullopt;
     } else if (arg == "--trace-out") {
       if (auto v = next()) o.trace_out = *v; else return std::nullopt;
+    } else if (arg == "--snapshot-interval") {
+      if (auto v = next()) o.snapshot_interval = parse_double(*v).value_or(0.0);
+      else return std::nullopt;
     } else if (arg == "--stats-out") {
       if (auto v = next()) o.stats_out = *v; else return std::nullopt;
     } else {
@@ -122,6 +131,11 @@ int main(int argc, char** argv) {
   if (!options) return usage();
   const Options& o = *options;
 
+  // `--trace-out -` streams the trace to stdout (for piping into
+  // trace_audit); all human-readable output then moves to stderr.
+  const bool trace_to_stdout = o.trace_out && *o.trace_out == "-";
+  std::ostream& out = trace_to_stdout ? std::cerr : std::cout;
+
   try {
     // --- workload ---
     Workload workload;
@@ -137,7 +151,7 @@ int main(int argc, char** argv) {
     }
     workload = rescale_sizes(workload, Dims::bluegene_l().volume());
     if (o.load != 1.0) workload = scale_load(workload, o.load);
-    std::cout << describe(workload) << '\n';
+    out << describe(workload) << '\n';
 
     // --- failures ---
     double max_runtime = 0.0;
@@ -152,8 +166,8 @@ int main(int argc, char** argv) {
                      : span_scaled_events(paper_failure_count(model), span, model);
       trace = generate_failures(FailureModel::bluegene_l(events, span), o.seed ^ 0xfa17);
     }
-    std::cout << "failures: " << trace.size() << " events ("
-              << format_double(trace.mean_rate_per_day(), 2) << "/day)\n\n";
+    out << "failures: " << trace.size() << " events ("
+        << format_double(trace.mean_rate_per_day(), 2) << "/day)\n\n";
 
     // --- simulation ---
     SimConfig config;
@@ -177,21 +191,28 @@ int main(int argc, char** argv) {
       config.node_downtime = o.downtime;
     }
 
-    // Observability: a JSONL trace and/or a counter registry, both optional.
+    // Observability: a JSONL trace, counters and histograms, all optional.
     obs::CounterRegistry counters;
+    obs::HistogramRegistry histograms;
     std::unique_ptr<obs::TraceSink> sink;
     if (o.trace_out) {
-      sink = obs::TraceSink::open(*o.trace_out);
+      sink = trace_to_stdout ? std::make_unique<obs::TraceSink>(std::cout)
+                             : obs::TraceSink::open(*o.trace_out);
       sink->set_counters(&counters);
       config.obs.trace = sink.get();
+      config.snapshot_interval = o.snapshot_interval;
     }
-    if (o.trace_out || o.stats_out) config.obs.counters = &counters;
+    if (o.trace_out || o.stats_out) {
+      config.obs.counters = &counters;
+      config.obs.histograms = &histograms;
+    }
 
     const SimResult r = run_simulation(workload, trace, config);
 
     if (sink) {
-      std::cout << "[trace] " << *o.trace_out << " (" << sink->events_written()
-                << " events)\n";
+      sink->flush();
+      out << "[trace] " << (trace_to_stdout ? "<stdout>" : *o.trace_out)
+          << " (" << sink->events_written() << " events)\n";
     }
     if (o.stats_out) {
       std::ofstream stats(*o.stats_out, std::ios::trunc);
@@ -200,12 +221,25 @@ int main(int argc, char** argv) {
                   << '\n';
         return 1;
       }
-      stats << "{\"observability\":";
+      stats << "{\"config\":{"
+            << "\"machine\":\"" << to_string(config.dims) << "\""
+            << ",\"topology\":\"" << to_string(config.topology) << "\""
+            << ",\"scheduler\":\"" << to_string(config.scheduler) << "\""
+            << ",\"predictor\":\"" << to_string(config.predictor_model) << "\""
+            << ",\"alpha\":" << format_double(config.alpha, 10)
+            << ",\"backfill\":\"" << to_string(config.sched.backfill) << "\""
+            << ",\"migration\":" << (config.sched.migration ? "true" : "false")
+            << ",\"seed\":" << config.seed
+            << ",\"snapshot_interval\":"
+            << format_double(config.snapshot_interval, 10) << "}";
+      stats << ",\"observability\":";
       counters.write_json(stats);
+      stats << ",\"histograms\":";
+      histograms.write_json(stats);
       stats << ",\"result\":";
       write_result_json(stats, r);
       stats << "}\n";
-      std::cout << "[stats] " << *o.stats_out << "\n";
+      out << "[stats] " << *o.stats_out << "\n";
     }
 
     Table table({"metric", "value"});
@@ -228,7 +262,7 @@ int main(int argc, char** argv) {
       table.add_row().add("checkpoints taken")
           .add(static_cast<long long>(r.checkpoints_taken));
     }
-    std::cout << table.render();
+    out << table.render();
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << '\n';
     return 1;

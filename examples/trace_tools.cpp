@@ -7,11 +7,17 @@
 //   trace_tools gen-failures <events> <days> <seed> <out.csv>
 //   trace_tools describe-swf <file.swf>
 //   trace_tools describe-failures <file.csv> [nodes]
+//   trace_tools describe-trace <trace.jsonl>
 #include <algorithm>
+#include <array>
+#include <fstream>
 #include <iostream>
+#include <map>
 #include <string>
+#include <vector>
 
 #include "failure/generator.hpp"
+#include "obs/reader.hpp"
 #include "util/stats.hpp"
 #include "util/strings.hpp"
 #include "workload/analysis.hpp"
@@ -27,7 +33,8 @@ int usage() {
             << "  trace_tools gen-swf <nasa|sdsc|llnl> <jobs> <seed> <out.swf>\n"
             << "  trace_tools gen-failures <events> <days> <seed> <out.csv>\n"
             << "  trace_tools describe-swf <file.swf>\n"
-            << "  trace_tools describe-failures <file.csv> [nodes]\n";
+            << "  trace_tools describe-failures <file.csv> [nodes]\n"
+            << "  trace_tools describe-trace <trace.jsonl>\n";
   return 2;
 }
 
@@ -103,6 +110,68 @@ int describe_failures(int argc, char** argv) {
   return 0;
 }
 
+// Summarise a JSONL simulator trace (docs/OBSERVABILITY.md) through
+// obs::TraceReader: event counts per type, simulated span, and the jobs hit
+// hardest by failures.
+int describe_trace(int argc, char** argv) {
+  if (argc != 3) return usage();
+  std::ifstream in(argv[2]);
+  if (!in) {
+    std::cerr << "error: cannot open " << argv[2] << '\n';
+    return 1;
+  }
+
+  std::array<std::size_t, static_cast<std::size_t>(obs::EventType::kUnknown) + 1>
+      counts{};
+  std::map<std::int64_t, int> restarts;  // job -> kills observed
+  double t_min = 0.0, t_max = 0.0;
+  std::size_t events = 0;
+
+  obs::TraceReader reader(in);
+  obs::TraceRecord rec;
+  while (reader.next(rec)) {
+    ++counts[static_cast<std::size_t>(rec.type())];
+    if (events == 0) {
+      t_min = t_max = rec.t();
+    } else {
+      t_min = std::min(t_min, rec.t());
+      t_max = std::max(t_max, rec.t());
+    }
+    ++events;
+    if (rec.type() == obs::EventType::kJobKill) {
+      ++restarts[rec.require_int("job")];
+    }
+  }
+
+  std::cout << "trace: " << events << " events";
+  if (events > 0) {
+    std::cout << ", t in [" << format_double(t_min, 10) << ", "
+              << format_double(t_max, 10) << "] ("
+              << format_duration(t_max - t_min) << ")";
+  }
+  std::cout << '\n';
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    if (counts[i] == 0) continue;
+    std::cout << "  " << obs::to_string(static_cast<obs::EventType>(i)) << ": "
+              << counts[i] << '\n';
+  }
+
+  if (!restarts.empty()) {
+    std::vector<std::pair<std::int64_t, int>> worst(restarts.begin(),
+                                                    restarts.end());
+    std::sort(worst.begin(), worst.end(), [](const auto& a, const auto& b) {
+      if (a.second != b.second) return a.second > b.second;
+      return a.first < b.first;
+    });
+    std::cout << "most-restarted jobs:\n";
+    for (std::size_t i = 0; i < worst.size() && i < 5; ++i) {
+      std::cout << "  job " << worst[i].first << ": " << worst[i].second
+                << " kill(s)\n";
+    }
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -113,6 +182,7 @@ int main(int argc, char** argv) {
     if (command == "gen-failures") return gen_failures(argc, argv);
     if (command == "describe-swf") return describe_swf(argc, argv);
     if (command == "describe-failures") return describe_failures(argc, argv);
+    if (command == "describe-trace") return describe_trace(argc, argv);
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << '\n';
     return 1;

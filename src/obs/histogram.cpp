@@ -1,0 +1,130 @@
+#include "obs/histogram.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <ostream>
+
+#include "util/strings.hpp"
+
+namespace bgl::obs {
+
+namespace {
+
+// floor(4 * log2(v / kLow)): bucket index under the 2^(1/4) growth rule.
+std::size_t bucket_of(double value) {
+  const double idx = std::floor(4.0 * std::log2(value / LogHistogram::kLow));
+  if (idx < 0.0) return 0;  // callers filter underflow before this
+  const auto b = static_cast<std::size_t>(idx);
+  return std::min(b, LogHistogram::kBuckets - 1);
+}
+
+}  // namespace
+
+double LogHistogram::bucket_low(std::size_t b) {
+  return kLow * std::exp2(static_cast<double>(b) * 0.25);
+}
+
+void LogHistogram::add(double value) {
+  if (count_ == 0) {
+    min_ = max_ = value;
+  } else {
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+  }
+  ++count_;
+  sum_ += value;
+  if (!(value >= kLow)) {  // NaN-safe: NaN counts as underflow, not a bucket
+    ++underflow_;
+    return;
+  }
+  ++buckets_[bucket_of(value)];
+}
+
+void LogHistogram::merge(const LogHistogram& other) {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    min_ = other.min_;
+    max_ = other.max_;
+  } else {
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+  }
+  count_ += other.count_;
+  underflow_ += other.underflow_;
+  sum_ += other.sum_;
+  for (std::size_t b = 0; b < kBuckets; ++b) buckets_[b] += other.buckets_[b];
+}
+
+void LogHistogram::reset() { *this = LogHistogram{}; }
+
+double LogHistogram::quantile(double q) const {
+  if (count_ == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  // Nearest rank, 1-based: the smallest value with cumulative count >= rank.
+  const auto rank = static_cast<std::uint64_t>(
+      std::max(1.0, std::ceil(q * static_cast<double>(count_))));
+  if (rank <= underflow_) return min_;  // below the finite buckets
+  std::uint64_t cum = underflow_;
+  for (std::size_t b = 0; b < kBuckets; ++b) {
+    cum += buckets_[b];
+    if (cum >= rank) {
+      const double mid = std::sqrt(bucket_low(b) * bucket_high(b));
+      return std::clamp(mid, min_, max_);
+    }
+  }
+  return max_;
+}
+
+void LogHistogram::write_json(std::ostream& out) const {
+  out << "{\"count\":" << count_ << ",\"underflow\":" << underflow_;
+  if (count_ > 0) {
+    out << ",\"min\":" << format_double(min_, 6)
+        << ",\"max\":" << format_double(max_, 6)
+        << ",\"mean\":" << format_double(mean(), 6)
+        << ",\"p50\":" << format_double(quantile(0.50), 6)
+        << ",\"p90\":" << format_double(quantile(0.90), 6)
+        << ",\"p99\":" << format_double(quantile(0.99), 6) << ",\"buckets\":[";
+    bool first = true;
+    for (std::size_t b = 0; b < kBuckets; ++b) {
+      if (buckets_[b] == 0) continue;
+      if (!first) out << ',';
+      first = false;
+      out << '[' << format_double(bucket_low(b), 6) << ','
+          << format_double(bucket_high(b), 6) << ',' << buckets_[b] << ']';
+    }
+    out << ']';
+  }
+  out << '}';
+}
+
+std::string_view histogram_name(Hist h) {
+  switch (h) {
+    case Hist::kWait: return "job.wait_s";
+    case Hist::kResponse: return "job.response_s";
+    case Hist::kSlowdown: return "job.bounded_slowdown";
+    case Hist::kDecisionUs: return "sched.decision_us";
+    case Hist::kCandidates: return "sched.candidates_per_decision";
+    case Hist::kCount_: break;
+  }
+  return "?";
+}
+
+void HistogramRegistry::reset() {
+  for (auto& h : hists_) h.reset();
+}
+
+void HistogramRegistry::merge(const HistogramRegistry& other) {
+  for (std::size_t i = 0; i < kNumHists; ++i) hists_[i].merge(other.hists_[i]);
+}
+
+void HistogramRegistry::write_json(std::ostream& out) const {
+  out << '{';
+  for (std::size_t i = 0; i < kNumHists; ++i) {
+    if (i > 0) out << ',';
+    out << '"' << histogram_name(static_cast<Hist>(i)) << "\":";
+    hists_[i].write_json(out);
+  }
+  out << '}';
+}
+
+}  // namespace bgl::obs

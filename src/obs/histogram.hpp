@@ -1,0 +1,106 @@
+// Log-bucketed distribution metrics for the observability layer.
+//
+// The counter registry reduces everything to sums, so --stats-out could only
+// report means. LogHistogram keeps a fixed array of geometrically spaced
+// buckets (growth factor 2^(1/4) per bucket, i.e. four buckets per octave,
+// <= ~9% half-bucket relative error) over [kLow, kLow * r^kBuckets), plus an
+// underflow slot for zero/negative/sub-kLow values. Adding a sample is one
+// log2 + one array increment — no allocation, no sorting, safe to leave
+// enabled on the simulation hot path. Quantiles are answered at dump time by
+// walking the cumulative counts and reporting the geometric midpoint of the
+// target bucket (clamped to the observed min/max), so p50/p90/p99 agree with
+// exact sample percentiles to within one bucket's relative error.
+//
+// HistogramRegistry mirrors CounterRegistry: a fixed array indexed by a
+// compile-time enum, nullable at every instrumentation site, merged across
+// parallel runs, dumped as JSON. Names (histogram_name) are stable API.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <iosfwd>
+#include <string_view>
+
+namespace bgl::obs {
+
+class LogHistogram {
+ public:
+  /// Lowest finite bucket boundary; values below land in the underflow slot.
+  static constexpr double kLow = 1e-3;
+  /// Bucket growth factor r = 2^(1/4): four buckets per octave.
+  static constexpr double kGrowth = 1.189207115002721;
+  /// 200 buckets cover [1e-3, ~1e12] — microseconds to multi-year spans.
+  static constexpr std::size_t kBuckets = 200;
+
+  void add(double value);
+  void merge(const LogHistogram& other);
+  void reset();
+
+  std::uint64_t count() const { return count_; }
+  std::uint64_t underflow() const { return underflow_; }
+  double min() const { return count_ ? min_ : 0.0; }
+  double max() const { return count_ ? max_ : 0.0; }
+  double mean() const { return count_ ? sum_ / static_cast<double>(count_) : 0.0; }
+
+  /// Lower/upper boundary of bucket b (b in [0, kBuckets)).
+  static double bucket_low(std::size_t b);
+  static double bucket_high(std::size_t b) { return bucket_low(b + 1); }
+
+  std::uint64_t bucket_count(std::size_t b) const { return buckets_[b]; }
+
+  /// q in [0, 1]; nearest-rank over the bucket cumulative counts, reported
+  /// as the geometric midpoint of the holding bucket clamped to [min, max].
+  /// Returns 0 when the histogram is empty.
+  double quantile(double q) const;
+
+  /// {"count":...,"underflow":...,"min":...,"max":...,"mean":...,
+  ///  "p50":...,"p90":...,"p99":...,"buckets":[[lo,hi,n],...]} — quantiles
+  /// and the (sparse, non-empty-only) bucket list are omitted when empty.
+  void write_json(std::ostream& out) const;
+
+ private:
+  std::array<std::uint64_t, kBuckets> buckets_{};
+  std::uint64_t count_ = 0;      ///< Total samples, underflow included.
+  std::uint64_t underflow_ = 0;  ///< Samples below kLow (incl. zero/negative).
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Every distribution the simulator records. Like Counter, the dotted names
+/// are stable API for docs, dashboards and tests.
+enum class Hist : std::size_t {
+  kWait = 0,        ///< Per-job queue wait, seconds (driver, at finish).
+  kResponse,        ///< Per-job response time, seconds.
+  kSlowdown,        ///< Per-job bounded slowdown.
+  kDecisionUs,      ///< Per-schedule() wall latency, microseconds.
+  kCandidates,      ///< Free candidates offered to the policy per decision.
+  kCount_,          ///< Sentinel; keep last.
+};
+
+inline constexpr std::size_t kNumHists = static_cast<std::size_t>(Hist::kCount_);
+
+/// Stable dotted name of a histogram (e.g. "sched.decision_us").
+std::string_view histogram_name(Hist h);
+
+class HistogramRegistry {
+ public:
+  void add(Hist h, double value) {
+    hists_[static_cast<std::size_t>(h)].add(value);
+  }
+  const LogHistogram& histogram(Hist h) const {
+    return hists_[static_cast<std::size_t>(h)];
+  }
+
+  void reset();
+  void merge(const HistogramRegistry& other);
+
+  /// {"job.wait_s":{...},...} — one LogHistogram dump per slot.
+  void write_json(std::ostream& out) const;
+
+ private:
+  std::array<LogHistogram, kNumHists> hists_{};
+};
+
+}  // namespace bgl::obs

@@ -1,23 +1,27 @@
-// Observer: the pair of nullable observability hooks threaded through the
+// Observer: the nullable observability hooks threaded through the
 // simulator (SimConfig::obs → Scheduler → PlacementContext).
 //
-// Both members are borrowed pointers owned by the caller (CLI, bench
-// harness, test); a default-constructed Observer disables all tracing and
-// counting, and every instrumentation site must degrade to the exact
-// uninstrumented behaviour in that case (no events, no allocations, no
-// clock reads).
+// All members are borrowed pointers owned by the caller (CLI, bench
+// harness, test); a default-constructed Observer disables all tracing,
+// counting and distribution recording, and every instrumentation site must
+// degrade to the exact uninstrumented behaviour in that case (no events, no
+// allocations, no clock reads).
 #pragma once
 
 namespace bgl::obs {
 
 class TraceSink;
 class CounterRegistry;
+class HistogramRegistry;
 
 struct Observer {
   TraceSink* trace = nullptr;
   CounterRegistry* counters = nullptr;
+  HistogramRegistry* histograms = nullptr;
 
-  bool enabled() const { return trace != nullptr || counters != nullptr; }
+  bool enabled() const {
+    return trace != nullptr || counters != nullptr || histograms != nullptr;
+  }
 };
 
 }  // namespace bgl::obs

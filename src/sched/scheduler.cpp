@@ -1,8 +1,10 @@
 #include "sched/scheduler.hpp"
 
 #include <algorithm>
+#include <chrono>
 
 #include "obs/counters.hpp"
+#include "obs/histogram.hpp"
 #include "obs/trace.hpp"
 #include "sched/backfill.hpp"
 #include "sched/migration.hpp"
@@ -54,7 +56,12 @@ SchedulingDecision Scheduler::schedule(double now, const std::vector<WaitingJob>
                                        const std::vector<RunningJob>& running,
                                        const NodeSet& occupied,
                                        const FreePartitionIndex* index) const {
-  obs::ScopedTimer decision_timer(obs_.counters, obs::Counter::kSchedDecisionNanos);
+  // Decision latency feeds both the counter (total ns) and the histogram
+  // (per-decision µs); time manually so one clock read serves both.
+  // schedule() has a single return, so no scope guard is needed.
+  const bool timing = obs_.counters != nullptr || obs_.histograms != nullptr;
+  std::chrono::steady_clock::time_point t_begin;
+  if (timing) t_begin = std::chrono::steady_clock::now();
   if (obs_.counters != nullptr) {
     obs_.counters->add(obs::Counter::kSchedInvocations);
   }
@@ -131,6 +138,10 @@ SchedulingDecision Scheduler::schedule(double now, const std::vector<WaitingJob>
     if (obs_.counters != nullptr) {
       obs_.counters->add(obs::Counter::kSchedStarts);
       if (backfill) obs_.counters->add(obs::Counter::kSchedBackfillStarts);
+    }
+    if (obs_.histograms != nullptr) {
+      obs_.histograms->add(obs::Hist::kCandidates,
+                           static_cast<double>(considered.size()));
     }
     if (tracing) {
       decision.placements.push_back(PlacementRecord{
@@ -280,6 +291,19 @@ SchedulingDecision Scheduler::schedule(double now, const std::vector<WaitingJob>
   if (obs_.counters != nullptr) {
     obs_.counters->add(obs::Counter::kSchedMigrations,
                        static_cast<std::uint64_t>(decision.migrations.size()));
+  }
+  if (timing) {
+    const auto elapsed = std::chrono::steady_clock::now() - t_begin;
+    const auto ns =
+        std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed).count();
+    if (obs_.counters != nullptr) {
+      obs_.counters->add(obs::Counter::kSchedDecisionNanos,
+                         static_cast<std::uint64_t>(ns));
+    }
+    if (obs_.histograms != nullptr) {
+      obs_.histograms->add(obs::Hist::kDecisionUs,
+                           static_cast<double>(ns) / 1000.0);
+    }
   }
   return decision;
 }

@@ -6,6 +6,7 @@
 
 #include "des/event_queue.hpp"
 #include "obs/counters.hpp"
+#include "obs/histogram.hpp"
 #include "obs/trace.hpp"
 #include "predict/predictor.hpp"
 #include "sim/replay.hpp"
@@ -80,7 +81,8 @@ class Driver {
         down_(config.dims.volume()),
         down_until_(static_cast<std::size_t>(config.dims.volume()), 0.0),
         tr_(config.obs.trace),
-        ct_(config.obs.counters) {
+        ct_(config.obs.counters),
+        hg_(config.obs.histograms) {
     if (config_.use_partition_index) {
       index_ = std::make_unique<FreePartitionIndex>(*catalog_);
     }
@@ -102,6 +104,7 @@ class Driver {
   void invoke_scheduler(double now);
   void kill_job(std::size_t index, double now);
   void finish_job(std::size_t index, double now);
+  void emit_snapshots_until(double horizon);
   NodeSet scheduling_occupancy() const;
   int usable_free_nodes() const;
 
@@ -156,6 +159,8 @@ class Driver {
 
   obs::TraceSink* tr_;               ///< Borrowed; null when tracing is off.
   obs::CounterRegistry* ct_;         ///< Borrowed; null when counting is off.
+  obs::HistogramRegistry* hg_;       ///< Borrowed; null when histograms off.
+  double next_snapshot_ = 0.0;       ///< Next machine_state time; 0 = off.
 };
 
 void Driver::build_jobs(const Workload& workload) {
@@ -406,10 +411,12 @@ void Driver::kill_job(std::size_t index, double now) {
     result_.checkpoints_taken += taken;
     if (ct_ != nullptr) ct_->add(obs::Counter::kDriverCheckpoints, taken);
     if (tr_ != nullptr && taken > 0) {
+      // Work fields are node-seconds throughout the trace (schema:
+      // docs/OBSERVABILITY.md), so scale the per-node work by the job size.
       tr_->event("checkpoint", now)
           .field("job", s.job.id)
           .field("count", static_cast<std::int64_t>(taken))
-          .field("work_saved", saved);
+          .field("work_saved", saved * static_cast<double>(s.job.size));
     }
   }
   const double wasted = std::max(0.0, std::min(elapsed, s.remaining_work) - saved);
@@ -431,8 +438,8 @@ void Driver::kill_job(std::size_t index, double now) {
         .field("job", s.job.id)
         .field("entry", s.entry_index)
         .field("elapsed", elapsed)
-        .field("work_lost", wasted)
-        .field("work_saved", saved)
+        .field("work_lost", wasted * static_cast<double>(s.job.size))
+        .field("work_saved", saved * static_cast<double>(s.job.size))
         .field("restarts", s.restarts);
   }
 
@@ -458,7 +465,8 @@ void Driver::finish_job(std::size_t index, double now) {
       tr_->event("checkpoint", now)
           .field("job", s.job.id)
           .field("count", static_cast<std::int64_t>(taken))
-          .field("work_saved", s.remaining_work);
+          .field("work_saved",
+                 s.remaining_work * static_cast<double>(s.job.size));
     }
   }
   s.phase = JobPhase::kDone;
@@ -494,6 +502,12 @@ void Driver::finish_job(std::size_t index, double now) {
   result_.slowdown_stats.add(slowdown);
   if (config_.collect_outcomes) result_.outcomes.push_back(outcome);
 
+  if (hg_ != nullptr) {
+    hg_->add(obs::Hist::kWait, outcome.wait());
+    hg_->add(obs::Hist::kResponse, outcome.response());
+    hg_->add(obs::Hist::kSlowdown, slowdown);
+  }
+
   if (tr_ != nullptr) {
     tr_->event("job_finish", now)
         .field("job", s.job.id)
@@ -502,6 +516,41 @@ void Driver::finish_job(std::size_t index, double now) {
         .field("response", outcome.response())
         .field("bounded_slowdown", slowdown)
         .field("restarts", s.restarts);
+  }
+}
+
+/// Emit machine_state snapshots for every interval boundary that has passed
+/// before `horizon` (the next event's time). Called at the top of the event
+/// loop, so each snapshot reflects the state the machine held across its
+/// timestamp. Gated on next_snapshot_ > 0, so a run without snapshots pays
+/// one comparison per event and nothing else.
+void Driver::emit_snapshots_until(double horizon) {
+  while (next_snapshot_ > 0.0 && next_snapshot_ <= horizon) {
+    const double t = next_snapshot_;
+    next_snapshot_ += config_.snapshot_interval;
+
+    int queued_nodes = 0;
+    for (const std::size_t idx : queue_) queued_nodes += jobs_[idx].job.size;
+    const NodeSet occ = scheduling_occupancy();
+    const int mfp = index_ != nullptr ? index_->mfp() : catalog_->mfp(occ);
+    const int free = usable_free_nodes();
+    const double frag =
+        free > 0 ? 1.0 - static_cast<double>(mfp) / static_cast<double>(free)
+                 : 0.0;
+    // Predictors are const and deterministic per (window, key); an extra
+    // query cannot perturb later scheduling decisions.
+    const int flagged =
+        predictor_->flagged_nodes(t, t + config_.snapshot_interval, 0).count();
+
+    tr_->event("machine_state", t)
+        .field("queue_depth", static_cast<std::int64_t>(queue_.size()))
+        .field("queued_nodes", queued_nodes)
+        .field("running_jobs", static_cast<std::int64_t>(running_.size()))
+        .field("free_nodes", free)
+        .field("down_nodes", down_.count())
+        .field("mfp", mfp)
+        .field("frag", frag)
+        .field("flagged_nodes", flagged);
   }
 }
 
@@ -535,10 +584,15 @@ SimResult Driver::run() {
         .field("migration", config_.sched.migration)
         .field("jobs", static_cast<std::int64_t>(jobs_.size()))
         .field("failure_events", static_cast<std::int64_t>(trace_->size()));
+    if (config_.snapshot_interval > 0.0) {
+      next_snapshot_ =
+          std::min(first_event, min_arrival_) + config_.snapshot_interval;
+    }
   }
 
   while (!events_.empty() && jobs_done_ < jobs_.size()) {
     const Event e = events_.pop();
+    emit_snapshots_until(e.time);
     if (ct_ != nullptr) ct_->add(obs::Counter::kDriverEvents);
     // Failure events may precede the first arrival; the capacity integral's
     // lower bound is min(t_a) (§6.1), so only advance from there on. State
@@ -666,7 +720,9 @@ SimResult Driver::run() {
         .field("unused", result_.unused)
         .field("lost", result_.lost)
         .field("job_kills", static_cast<std::int64_t>(result_.job_kills))
-        .field("migrations", static_cast<std::int64_t>(result_.migrations));
+        .field("migrations", static_cast<std::int64_t>(result_.migrations))
+        .field("checkpoints", static_cast<std::int64_t>(result_.checkpoints_taken))
+        .field("work_lost_node_seconds", result_.work_lost_node_seconds);
     tr_->flush();
   }
   return result_;

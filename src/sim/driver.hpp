@@ -100,10 +100,17 @@ struct SimConfig {
   /// validation, visualisation, or regression diffing (src/sim/replay.hpp).
   bool record_replay = false;
 
-  /// Observability hooks (JSONL trace sink and/or counter registry, both
-  /// borrowed and nullable — see src/obs/ and docs/OBSERVABILITY.md). The
-  /// default disables all tracing/counting at zero cost.
+  /// Observability hooks (JSONL trace sink, counter registry and/or
+  /// histogram registry, all borrowed and nullable — see src/obs/ and
+  /// docs/OBSERVABILITY.md). The default disables all tracing/counting at
+  /// zero cost.
   obs::Observer obs;
+
+  /// Emit a machine_state trace event every this many simulated seconds
+  /// (queue depth, running jobs, free nodes, MFP, fragmentation, flagged
+  /// nodes). 0 (the default) disables snapshots entirely; requires
+  /// obs.trace, otherwise ignored.
+  double snapshot_interval = 0.0;
 };
 
 /// Run one simulation. Job sizes must already fit config.dims (use

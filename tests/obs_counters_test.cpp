@@ -3,6 +3,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <set>
 #include <sstream>
 #include <thread>
@@ -101,6 +102,37 @@ TEST(Counters, ScopedTimerAccumulatesElapsedTime) {
 TEST(Counters, ScopedTimerOnNullRegistryIsANoop) {
   ScopedTimer timer(nullptr, Counter::kSchedDecisionNanos);
   // Destructor must not crash; nothing to observe.
+}
+
+TEST(Counters, JsonDumpIsASingleBalancedLine) {
+  CounterRegistry r;
+  r.add(Counter::kSchedInvocations, 3);
+  std::ostringstream out;
+  r.write_json(out);
+  const std::string json = out.str();
+  EXPECT_EQ(json.find('\n'), std::string::npos);
+  EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
+            std::count(json.begin(), json.end(), '}'));
+  EXPECT_EQ(json.find(",}"), std::string::npos);  // no trailing commas
+  EXPECT_EQ(json.find(",,"), std::string::npos);
+}
+
+TEST(Counters, MergeWithSelfDoublesEverySlot) {
+  CounterRegistry r;
+  r.add(Counter::kSchedStarts, 3);
+  r.add(Counter::kDriverEvents, 11);
+  r.merge(r);
+  EXPECT_EQ(r.value(Counter::kSchedStarts), 6u);
+  EXPECT_EQ(r.value(Counter::kDriverEvents), 22u);
+}
+
+TEST(Counters, LargeValuesSurviveTheDump) {
+  CounterRegistry r;
+  const std::uint64_t big = 18446744073709551615ull;  // uint64 max
+  r.add(Counter::kPartitionsScanned, big);
+  std::ostringstream out;
+  r.write_json(out);
+  EXPECT_NE(out.str().find("18446744073709551615"), std::string::npos);
 }
 
 }  // namespace

@@ -1,0 +1,235 @@
+// Unit tests of the log-bucketed histograms (src/obs/histogram.hpp).
+#include "obs/histogram.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <set>
+#include <sstream>
+#include <string>
+
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+
+namespace bgl::obs {
+namespace {
+
+TEST(LogHistogram, BucketBoundariesFollowGrowthRule) {
+  EXPECT_DOUBLE_EQ(LogHistogram::bucket_low(0), LogHistogram::kLow);
+  // Four buckets per octave: bucket 4 starts one octave above bucket 0.
+  EXPECT_NEAR(LogHistogram::bucket_low(4), 2.0 * LogHistogram::kLow, 1e-15);
+  for (std::size_t b = 0; b < 20; ++b) {
+    EXPECT_NEAR(LogHistogram::bucket_high(b) / LogHistogram::bucket_low(b),
+                LogHistogram::kGrowth, 1e-12);
+  }
+}
+
+TEST(LogHistogram, EmptyReportsZeros) {
+  LogHistogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.underflow(), 0u);
+  EXPECT_EQ(h.min(), 0.0);
+  EXPECT_EQ(h.max(), 0.0);
+  EXPECT_EQ(h.mean(), 0.0);
+  EXPECT_EQ(h.quantile(0.5), 0.0);
+  std::ostringstream out;
+  h.write_json(out);
+  EXPECT_EQ(out.str(), "{\"count\":0,\"underflow\":0}");
+}
+
+TEST(LogHistogram, UnderflowCatchesZeroNegativeAndSubLow) {
+  LogHistogram h;
+  h.add(0.0);
+  h.add(-3.0);
+  h.add(LogHistogram::kLow / 2.0);
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_EQ(h.underflow(), 3u);
+  EXPECT_EQ(h.min(), -3.0);
+  EXPECT_EQ(h.max(), LogHistogram::kLow / 2.0);
+  // All mass below the finite buckets: every quantile answers min.
+  EXPECT_EQ(h.quantile(0.5), -3.0);
+  EXPECT_EQ(h.quantile(0.99), -3.0);
+}
+
+TEST(LogHistogram, NanCountsAsUnderflowNotABucket) {
+  LogHistogram h;
+  h.add(std::numeric_limits<double>::quiet_NaN());
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_EQ(h.underflow(), 1u);
+}
+
+TEST(LogHistogram, SingleValueQuantilesClampToObservedRange) {
+  LogHistogram h;
+  h.add(42.0);
+  EXPECT_EQ(h.min(), 42.0);
+  EXPECT_EQ(h.max(), 42.0);
+  EXPECT_EQ(h.mean(), 42.0);
+  // The bucket midpoint is clamped to [min, max], so quantiles are exact.
+  EXPECT_EQ(h.quantile(0.5), 42.0);
+  EXPECT_EQ(h.quantile(0.99), 42.0);
+}
+
+TEST(LogHistogram, QuantilesAreMonotone) {
+  Rng rng(7);
+  LogHistogram h;
+  for (int i = 0; i < 5000; ++i) h.add(rng.lognormal(2.0, 2.0));
+  double prev = 0.0;
+  for (const double q : {0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0}) {
+    const double v = h.quantile(q);
+    EXPECT_GE(v, prev);
+    prev = v;
+  }
+  EXPECT_LE(h.quantile(1.0), h.max());
+  EXPECT_GE(h.quantile(0.0), h.min());
+}
+
+// Acceptance check: p50/p90/p99 must agree with the exact sample
+// percentiles (util/stats PercentileTracker over full retention) to within
+// one bucket's relative error, i.e. a factor of kGrowth = 2^(1/4).
+void expect_quantiles_match_exact(const LogHistogram& h,
+                                  const PercentileTracker& exact) {
+  for (const double p : {50.0, 90.0, 99.0}) {
+    const double approx = h.quantile(p / 100.0);
+    const double truth = exact.percentile(p);
+    ASSERT_GT(truth, 0.0);
+    EXPECT_GE(approx, truth / LogHistogram::kGrowth)
+        << "p" << p << ": " << approx << " vs exact " << truth;
+    EXPECT_LE(approx, truth * LogHistogram::kGrowth)
+        << "p" << p << ": " << approx << " vs exact " << truth;
+  }
+}
+
+TEST(LogHistogram, QuantilesMatchExactPercentilesLognormal) {
+  // Heavy-tailed, like wait times near the knee: spans ~6 orders.
+  Rng rng(12345);
+  LogHistogram h;
+  PercentileTracker exact;
+  for (int i = 0; i < 20000; ++i) {
+    const double v = rng.lognormal(4.0, 1.5);
+    h.add(v);
+    exact.add(v);
+  }
+  expect_quantiles_match_exact(h, exact);
+}
+
+TEST(LogHistogram, QuantilesMatchExactPercentilesUniform) {
+  Rng rng(99);
+  LogHistogram h;
+  PercentileTracker exact;
+  for (int i = 0; i < 20000; ++i) {
+    const double v = rng.uniform(5.0, 5000.0);
+    h.add(v);
+    exact.add(v);
+  }
+  expect_quantiles_match_exact(h, exact);
+}
+
+TEST(LogHistogram, MergeEqualsSingleCombinedStream) {
+  Rng rng(31);
+  LogHistogram a, b, combined;
+  for (int i = 0; i < 3000; ++i) {
+    const double v = rng.lognormal(1.0, 2.0);
+    (i % 2 == 0 ? a : b).add(v);
+    combined.add(v);
+  }
+  a.add(-1.0);        // one underflow on the a side
+  combined.add(-1.0);
+  a.merge(b);
+  EXPECT_EQ(a.count(), combined.count());
+  EXPECT_EQ(a.underflow(), combined.underflow());
+  EXPECT_EQ(a.min(), combined.min());
+  EXPECT_EQ(a.max(), combined.max());
+  // Summation order differs (a's sum + b's sum vs interleaved), so the
+  // means agree only to rounding.
+  EXPECT_NEAR(a.mean(), combined.mean(), 1e-9 * combined.mean());
+  for (std::size_t bkt = 0; bkt < LogHistogram::kBuckets; ++bkt) {
+    EXPECT_EQ(a.bucket_count(bkt), combined.bucket_count(bkt)) << "bucket " << bkt;
+  }
+  EXPECT_EQ(a.quantile(0.9), combined.quantile(0.9));
+}
+
+TEST(LogHistogram, MergeWithEmptyIsIdentityBothWays) {
+  LogHistogram h, empty;
+  h.add(3.0);
+  h.merge(empty);
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_EQ(h.min(), 3.0);
+  empty.merge(h);
+  EXPECT_EQ(empty.count(), 1u);
+  EXPECT_EQ(empty.min(), 3.0);
+  EXPECT_EQ(empty.max(), 3.0);
+}
+
+TEST(LogHistogram, ResetClearsEverything) {
+  LogHistogram h;
+  h.add(5.0);
+  h.add(-1.0);
+  h.reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.underflow(), 0u);
+  EXPECT_EQ(h.quantile(0.5), 0.0);
+}
+
+TEST(LogHistogram, JsonDumpHasQuantilesAndSparseBuckets) {
+  LogHistogram h;
+  h.add(1.0);
+  h.add(1.0);
+  h.add(100.0);
+  std::ostringstream out;
+  h.write_json(out);
+  const std::string json = out.str();
+  EXPECT_NE(json.find("\"count\":3"), std::string::npos);
+  EXPECT_NE(json.find("\"p50\":"), std::string::npos);
+  EXPECT_NE(json.find("\"p99\":"), std::string::npos);
+  EXPECT_NE(json.find("\"buckets\":[["), std::string::npos);
+  // Sparse: 200 buckets but only 2 are occupied, so exactly 2 triples.
+  std::size_t triples = 0;
+  for (std::size_t pos = json.find("[["); pos != std::string::npos;
+       pos = json.find(",[", pos + 1)) {
+    ++triples;
+  }
+  EXPECT_EQ(triples, 2u);
+}
+
+TEST(HistogramRegistry, NamesAreUniqueAndStable) {
+  std::set<std::string_view> names;
+  for (std::size_t i = 0; i < kNumHists; ++i) {
+    const auto name = histogram_name(static_cast<Hist>(i));
+    EXPECT_NE(name, "?");
+    EXPECT_TRUE(names.insert(name).second) << "duplicate name: " << name;
+  }
+  // Spot-check names that docs, dashboards and the CLI key on.
+  EXPECT_EQ(histogram_name(Hist::kWait), "job.wait_s");
+  EXPECT_EQ(histogram_name(Hist::kDecisionUs), "sched.decision_us");
+}
+
+TEST(HistogramRegistry, DumpListsEverySlot) {
+  HistogramRegistry r;
+  r.add(Hist::kWait, 10.0);
+  std::ostringstream out;
+  r.write_json(out);
+  const std::string json = out.str();
+  for (std::size_t i = 0; i < kNumHists; ++i) {
+    EXPECT_NE(json.find(std::string(histogram_name(static_cast<Hist>(i)))),
+              std::string::npos);
+  }
+  EXPECT_NE(json.find("\"job.wait_s\":{\"count\":1"), std::string::npos);
+}
+
+TEST(HistogramRegistry, MergeAndResetActSlotwise) {
+  HistogramRegistry a, b;
+  a.add(Hist::kWait, 1.0);
+  b.add(Hist::kWait, 2.0);
+  b.add(Hist::kCandidates, 5.0);
+  a.merge(b);
+  EXPECT_EQ(a.histogram(Hist::kWait).count(), 2u);
+  EXPECT_EQ(a.histogram(Hist::kCandidates).count(), 1u);
+  EXPECT_EQ(b.histogram(Hist::kWait).count(), 1u);  // source untouched
+  a.reset();
+  EXPECT_EQ(a.histogram(Hist::kWait).count(), 0u);
+  EXPECT_EQ(a.histogram(Hist::kCandidates).count(), 0u);
+}
+
+}  // namespace
+}  // namespace bgl::obs
