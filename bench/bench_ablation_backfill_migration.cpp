@@ -2,18 +2,17 @@
 // FCFS alone vs +backfilling vs +migration vs both — under the paper's
 // failure regime. Krevat's result (backfilling dominates, migration adds a
 // little on top) should reproduce.
-#include <iostream>
+#include <string>
+#include <vector>
 
 #include "common/bench_common.hpp"
+#include "common/figures.hpp"
 
-int main() {
-  using namespace bgl;
-  using namespace bgl::bench;
+namespace bgl::bench {
 
+FigureDef make_ablation_backfill_migration() {
   const SyntheticModel model = bench_sdsc();
   const std::size_t nominal = paper_failure_count(model);
-  std::cout << "Ablation: backfill/migration structure (SDSC, balancing a=0.1, c=1.0, "
-            << "nominal " << nominal << " failures)\n\n";
 
   struct Variant {
     const char* label;
@@ -28,24 +27,46 @@ int main() {
       {"fcfs+easy-backfill+migration", BackfillMode::kEasy, true},
   };
 
-  Table table({"variant", "slowdown", "response_h", "utilized", "kills",
-               "migrations"});
+  exp::SweepSpec spec;
+  spec.name = "ablation_backfill_migration";
+  spec.models = {{"SDSC", model}};
+  spec.alphas = {0.1};
   for (const Variant& v : variants) {
     SimConfig proto;
     proto.sched.backfill = v.backfill;
     proto.sched.migration = v.migration;
-    const RunSummary r =
-        run_point(model, 1.0, nominal, SchedulerKind::kBalancing, 0.1, &proto);
-    table.add_row()
-        .add(std::string(v.label))
-        .add(r.slowdown, 1)
-        .add(r.response / 3600.0, 2)
-        .add(r.utilization, 3)
-        .add(r.kills, 1)
-        .add(r.migrations, 1);
-    std::cout << "." << std::flush;
+    spec.configs.push_back({v.label, proto, std::nullopt});
   }
-  std::cout << "\n\n" << table.render();
-  write_csv(table, "ablation_backfill_migration");
-  return 0;
+
+  FigureDef fig;
+  fig.name = "ablation_backfill_migration";
+  fig.summary = "Ablation - FCFS vs backfilling vs migration structure";
+  fig.header =
+      "Ablation: backfill/migration structure (SDSC, balancing a=0.1, c=1.0, "
+      "nominal " + std::to_string(nominal) + " failures)\n";
+
+  std::vector<std::string> labels;
+  for (const exp::ConfigCase& cc : spec.configs) labels.push_back(cc.label);
+
+  fig.spec = std::move(spec);
+  fig.render = [labels](const exp::SweepResult& r) {
+    Table table({"variant", "slowdown", "response_h", "utilized", "kills",
+                 "migrations"});
+    for (std::size_t ci = 0; ci < r.shape().configs; ++ci) {
+      const exp::PointSummary& p = r.at(0, 0, 0, 0, 0, ci);
+      table.add_row()
+          .add(labels[ci])
+          .add(p.slowdown, 1)
+          .add(p.response / 3600.0, 2)
+          .add(p.utilization, 3)
+          .add(p.kills, 1)
+          .add(p.migrations, 1);
+    }
+    FigureOutput out;
+    out.parts.push_back({"ablation_backfill_migration", "", std::move(table)});
+    return out;
+  };
+  return fig;
 }
+
+}  // namespace bgl::bench

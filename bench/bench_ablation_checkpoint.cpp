@@ -4,45 +4,70 @@
 // work lost per kill, prediction avoids kills altogether, and their
 // combination should dominate either alone until checkpoint overhead eats
 // the gains.
-#include <iostream>
+#include <string>
+#include <vector>
 
 #include "common/bench_common.hpp"
+#include "common/figures.hpp"
+#include "util/strings.hpp"
 
-int main() {
-  using namespace bgl;
-  using namespace bgl::bench;
+namespace bgl::bench {
 
+FigureDef make_ablation_checkpoint() {
   const SyntheticModel model = bench_sdsc();
   const std::size_t nominal = paper_failure_count(model);
-  std::cout << "Extension: checkpointing x prediction (SDSC, balancing, c=1.0, "
-            << "nominal " << nominal << " failures)\n"
-            << "checkpoint overhead 60 s, restart overhead 30 s\n\n";
 
-  Table table({"ckpt_interval", "confidence", "slowdown", "lost", "kills",
-               "work_lost_node_h"});
+  exp::SweepSpec spec;
+  spec.name = "ablation_checkpoint";
+  spec.models = {{"SDSC", model}};
+  spec.alphas = {0.0, 0.1, 0.9};
   for (const double interval_hours : {0.0, 1.0, 4.0}) {
-    for (const double a : {0.0, 0.1, 0.9}) {
-      SimConfig proto;
-      if (interval_hours > 0.0) {
-        proto.ckpt.enabled = true;
-        proto.ckpt.interval = interval_hours * 3600.0;
-        proto.ckpt.overhead = 60.0;
-        proto.ckpt.restart_overhead = 30.0;
-      }
-      const RunSummary r =
-          run_point(model, 1.0, nominal, SchedulerKind::kBalancing, a, &proto);
-      table.add_row()
-          .add(interval_hours == 0.0 ? std::string("off")
-                                     : format_double(interval_hours, 0) + "h")
-          .add(a, 1)
-          .add(r.slowdown, 1)
-          .add(r.lost, 3)
-          .add(r.kills, 1)
-          .add(r.work_lost_node_hours, 1);
-      std::cout << "." << std::flush;
+    SimConfig proto;
+    if (interval_hours > 0.0) {
+      proto.ckpt.enabled = true;
+      proto.ckpt.interval = interval_hours * 3600.0;
+      proto.ckpt.overhead = 60.0;
+      proto.ckpt.restart_overhead = 30.0;
     }
+    spec.configs.push_back({interval_hours == 0.0
+                                ? std::string("off")
+                                : format_double(interval_hours, 0) + "h",
+                            proto, std::nullopt});
   }
-  std::cout << "\n\n" << table.render();
-  write_csv(table, "ablation_checkpoint");
-  return 0;
+
+  FigureDef fig;
+  fig.name = "ablation_checkpoint";
+  fig.summary = "Extension - checkpoint interval x prediction confidence";
+  fig.header =
+      "Extension: checkpointing x prediction (SDSC, balancing, c=1.0, "
+      "nominal " + std::to_string(nominal) + " failures)\n"
+      "checkpoint overhead 60 s, restart overhead 30 s\n";
+
+  std::vector<std::string> labels;
+  for (const exp::ConfigCase& cc : spec.configs) labels.push_back(cc.label);
+
+  fig.spec = std::move(spec);
+  fig.render = [labels](const exp::SweepResult& r) {
+    Table table({"ckpt_interval", "confidence", "slowdown", "lost", "kills",
+                 "work_lost_node_h"});
+    const double alphas[] = {0.0, 0.1, 0.9};
+    for (std::size_t ci = 0; ci < r.shape().configs; ++ci) {
+      for (std::size_t ai = 0; ai < r.shape().alphas; ++ai) {
+        const exp::PointSummary& p = r.at(0, 0, 0, 0, ai, ci);
+        table.add_row()
+            .add(labels[ci])
+            .add(alphas[ai], 1)
+            .add(p.slowdown, 1)
+            .add(p.lost, 3)
+            .add(p.kills, 1)
+            .add(p.work_lost_node_hours, 1);
+      }
+    }
+    FigureOutput out;
+    out.parts.push_back({"ablation_checkpoint", "", std::move(table)});
+    return out;
+  };
+  return fig;
 }
+
+}  // namespace bgl::bench

@@ -5,35 +5,54 @@
 // nodes fall inside one candidate partition. This bench quantifies whether
 // the discrepancy matters in practice (it should not, much — multi-flag
 // candidates are rare at paper failure densities).
-#include <iostream>
+#include <string>
 
 #include "common/bench_common.hpp"
+#include "common/figures.hpp"
 
-int main() {
-  using namespace bgl;
-  using namespace bgl::bench;
+namespace bgl::bench {
 
+FigureDef make_ablation_pf_rule() {
   const SyntheticModel model = bench_sdsc();
   const std::size_t nominal = paper_failure_count(model);
-  std::cout << "Ablation: P_f rule (product vs max), SDSC, balancing, nominal "
-            << nominal << " failures\n\n";
 
-  Table table({"confidence", "slowdown_product", "slowdown_max", "kills_product",
-               "kills_max"});
-  for (const double a : {0.1, 0.5, 0.9}) {
-    SimConfig product;
-    product.sched.pf_rule = PartitionFailureRule::kProduct;
-    SimConfig max_rule;
-    max_rule.sched.pf_rule = PartitionFailureRule::kMax;
-    const RunSummary rp =
-        run_point(model, 1.0, nominal, SchedulerKind::kBalancing, a, &product);
-    const RunSummary rm =
-        run_point(model, 1.0, nominal, SchedulerKind::kBalancing, a, &max_rule);
-    table.add_row().add(a, 1).add(rp.slowdown, 1).add(rm.slowdown, 1).add(rp.kills, 1)
-        .add(rm.kills, 1);
-    std::cout << "." << std::flush;
-  }
-  std::cout << "\n\n" << table.render();
-  write_csv(table, "ablation_pf_rule");
-  return 0;
+  exp::SweepSpec spec;
+  spec.name = "ablation_pf_rule";
+  spec.models = {{"SDSC", model}};
+  spec.alphas = {0.1, 0.5, 0.9};
+  SimConfig product;
+  product.sched.pf_rule = PartitionFailureRule::kProduct;
+  SimConfig max_rule;
+  max_rule.sched.pf_rule = PartitionFailureRule::kMax;
+  spec.configs = {{"product", product, std::nullopt},
+                  {"max", max_rule, std::nullopt}};
+
+  FigureDef fig;
+  fig.name = "ablation_pf_rule";
+  fig.summary = "Ablation - P_f rule: product complement vs max (SDSC)";
+  fig.header =
+      "Ablation: P_f rule (product vs max), SDSC, balancing, nominal " +
+      std::to_string(nominal) + " failures\n";
+  fig.spec = std::move(spec);
+  fig.render = [](const exp::SweepResult& r) {
+    Table table({"confidence", "slowdown_product", "slowdown_max",
+                 "kills_product", "kills_max"});
+    const double alphas[] = {0.1, 0.5, 0.9};
+    for (std::size_t ai = 0; ai < r.shape().alphas; ++ai) {
+      const exp::PointSummary& rp = r.at(0, 0, 0, 0, ai, 0);
+      const exp::PointSummary& rm = r.at(0, 0, 0, 0, ai, 1);
+      table.add_row()
+          .add(alphas[ai], 1)
+          .add(rp.slowdown, 1)
+          .add(rm.slowdown, 1)
+          .add(rp.kills, 1)
+          .add(rm.kills, 1);
+    }
+    FigureOutput out;
+    out.parts.push_back({"ablation_pf_rule", "", std::move(table)});
+    return out;
+  };
+  return fig;
 }
+
+}  // namespace bgl::bench

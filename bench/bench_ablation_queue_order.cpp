@@ -3,38 +3,58 @@
 // smallest-job-first orderings would change under the same failure regime.
 // SJF classically slashes mean slowdown at the cost of fairness; on a torus
 // smallest-first also packs better.
-#include <iostream>
+#include <string>
+#include <vector>
 
 #include "common/bench_common.hpp"
+#include "common/figures.hpp"
 
-int main() {
-  using namespace bgl;
-  using namespace bgl::bench;
+namespace bgl::bench {
 
+FigureDef make_ablation_queue_order() {
   const SyntheticModel model = bench_sdsc();
   const std::size_t nominal = paper_failure_count(model);
-  std::cout << "Ablation: queue order (SDSC, balancing a=0.1, c=1.0, nominal "
-            << nominal << " failures)\n\n";
 
-  Table table({"queue_order", "slowdown", "wait_h", "max_wait_h_proxy", "utilized",
-               "kills"});
+  exp::SweepSpec spec;
+  spec.name = "ablation_queue_order";
+  spec.models = {{"SDSC", model}};
+  spec.alphas = {0.1};
   for (const QueueOrder order :
        {QueueOrder::kFcfs, QueueOrder::kShortestJobFirst,
         QueueOrder::kSmallestJobFirst}) {
     SimConfig proto;
     proto.queue_order = order;
-    const RunSummary r =
-        run_point(model, 1.0, nominal, SchedulerKind::kBalancing, 0.1, &proto);
-    table.add_row()
-        .add(std::string(to_string(order)))
-        .add(r.slowdown, 1)
-        .add(r.wait / 3600.0, 1)
-        .add(r.response / 3600.0, 1)
-        .add(r.utilization, 3)
-        .add(r.kills, 1);
-    std::cout << "." << std::flush;
+    spec.configs.push_back({std::string(to_string(order)), proto, std::nullopt});
   }
-  std::cout << "\n\n" << table.render();
-  write_csv(table, "ablation_queue_order");
-  return 0;
+
+  FigureDef fig;
+  fig.name = "ablation_queue_order";
+  fig.summary = "Ablation - waiting-queue discipline: FCFS vs SJF variants";
+  fig.header = "Ablation: queue order (SDSC, balancing a=0.1, c=1.0, nominal " +
+               std::to_string(nominal) + " failures)\n";
+
+  std::vector<std::string> labels;
+  for (const exp::ConfigCase& cc : spec.configs) labels.push_back(cc.label);
+
+  fig.spec = std::move(spec);
+  fig.render = [labels](const exp::SweepResult& r) {
+    Table table({"queue_order", "slowdown", "wait_h", "max_wait_h_proxy",
+                 "utilized", "kills"});
+    for (std::size_t ci = 0; ci < r.shape().configs; ++ci) {
+      const exp::PointSummary& p = r.at(0, 0, 0, 0, 0, ci);
+      table.add_row()
+          .add(labels[ci])
+          .add(p.slowdown, 1)
+          .add(p.wait / 3600.0, 1)
+          .add(p.response / 3600.0, 1)
+          .add(p.utilization, 3)
+          .add(p.kills, 1);
+    }
+    FigureOutput out;
+    out.parts.push_back({"ablation_queue_order", "", std::move(table)});
+    return out;
+  };
+  return fig;
 }
+
+}  // namespace bgl::bench

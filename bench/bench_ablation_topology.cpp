@@ -5,37 +5,59 @@
 // candidate placements per shape and reduces fragmentation, so the mesh
 // machine should show higher slowdown at equal load — this bench measures
 // by how much, with and without fault prediction.
-#include <iostream>
+#include <string>
+#include <vector>
 
 #include "common/bench_common.hpp"
+#include "common/figures.hpp"
 
-int main() {
-  using namespace bgl;
-  using namespace bgl::bench;
+namespace bgl::bench {
 
+FigureDef make_ablation_topology() {
   const SyntheticModel model = bench_sdsc();
   const std::size_t nominal = paper_failure_count(model);
-  std::cout << "Ablation: torus vs mesh partitions (SDSC, c=1.0, nominal " << nominal
-            << " failures)\n\n";
 
-  Table table({"topology", "alpha", "slowdown", "wait_h", "utilized", "kills"});
+  exp::SweepSpec spec;
+  spec.name = "ablation_topology";
+  spec.models = {{"SDSC", model}};
+  spec.alphas = {0.0, 0.1};
   for (const Topology topology : {Topology::kTorus, Topology::kMesh}) {
-    for (const double a : {0.0, 0.1}) {
-      SimConfig proto;
-      proto.topology = topology;
-      const RunSummary r =
-          run_point(model, 1.0, nominal, SchedulerKind::kBalancing, a, &proto);
-      table.add_row()
-          .add(std::string(to_string(topology)))
-          .add(a, 1)
-          .add(r.slowdown, 1)
-          .add(r.wait / 3600.0, 1)
-          .add(r.utilization, 3)
-          .add(r.kills, 1);
-      std::cout << "." << std::flush;
-    }
+    SimConfig proto;
+    proto.topology = topology;
+    spec.configs.push_back(
+        {std::string(to_string(topology)), proto, std::nullopt});
   }
-  std::cout << "\n\n" << table.render();
-  write_csv(table, "ablation_topology");
-  return 0;
+
+  FigureDef fig;
+  fig.name = "ablation_topology";
+  fig.summary = "Ablation - torus wrap-around vs mesh partitions (SDSC)";
+  fig.header = "Ablation: torus vs mesh partitions (SDSC, c=1.0, nominal " +
+               std::to_string(nominal) + " failures)\n";
+
+  std::vector<std::string> labels;
+  for (const exp::ConfigCase& cc : spec.configs) labels.push_back(cc.label);
+
+  fig.spec = std::move(spec);
+  fig.render = [labels](const exp::SweepResult& r) {
+    Table table({"topology", "alpha", "slowdown", "wait_h", "utilized",
+                 "kills"});
+    for (std::size_t ci = 0; ci < r.shape().configs; ++ci) {
+      for (std::size_t ai = 0; ai < r.shape().alphas; ++ai) {
+        const exp::PointSummary& p = r.at(0, 0, 0, 0, ai, ci);
+        table.add_row()
+            .add(labels[ci])
+            .add(0.1 * static_cast<int>(ai), 1)
+            .add(p.slowdown, 1)
+            .add(p.wait / 3600.0, 1)
+            .add(p.utilization, 3)
+            .add(p.kills, 1);
+      }
+    }
+    FigureOutput out;
+    out.parts.push_back({"ablation_topology", "", std::move(table)});
+    return out;
+  };
+  return fig;
 }
+
+}  // namespace bgl::bench

@@ -6,33 +6,56 @@
 // unused to used; the accuracy-driven improvement in useful work is present
 // but weaker than the balancing scheduler's ("not as significant ... due to
 // the aggressiveness of the tie-breaking algorithm").
-#include <iostream>
+#include <string>
 
 #include "common/bench_common.hpp"
+#include "common/figures.hpp"
+#include "util/strings.hpp"
 
-int main() {
-  using namespace bgl;
-  using namespace bgl::bench;
+namespace bgl::bench {
 
+FigureDef make_fig10() {
   const SyntheticModel model = bench_llnl();
   const std::size_t nominal = paper_failure_count(model);
-  std::cout << "Figure 10: utilization split vs accuracy (LLNL, tie-breaking, nominal "
-            << nominal << " failures)\n"
-            << "seeds/point: " << bench_seeds() << ", jobs/run: " << model.num_jobs
-            << "\n\n";
 
-  for (const double c : {1.0, 1.2}) {
-    Table table({"accuracy", "utilized", "unused", "lost", "kills"});
-    for (int step = 0; step <= 10; ++step) {
-      const double a = 0.1 * step;
-      const RunSummary r = run_point(model, c, nominal, SchedulerKind::kTieBreak, a);
-      table.add_row().add(a, 1).add(r.utilization, 3).add(r.unused, 3).add(r.lost, 3)
-          .add(r.kills, 1);
-      std::cout << "." << std::flush;
+  exp::SweepSpec spec;
+  spec.name = "fig10";
+  spec.models = {{"LLNL", model}};
+  spec.load_scales = {1.0, 1.2};
+  spec.schedulers = {SchedulerKind::kTieBreak};
+  for (int step = 0; step <= 10; ++step) spec.alphas.push_back(0.1 * step);
+
+  FigureDef fig;
+  fig.name = "fig10";
+  fig.summary = "Fig. 10 - utilization split vs accuracy (LLNL, tie-breaking)";
+  fig.header =
+      "Figure 10: utilization split vs accuracy (LLNL, tie-breaking, nominal " +
+      std::to_string(nominal) + " failures)\n" +
+      "seeds/point: " + std::to_string(spec.repeats()) +
+      ", jobs/run: " + std::to_string(model.num_jobs) + "\n";
+  fig.spec = std::move(spec);
+  fig.render = [](const exp::SweepResult& r) {
+    FigureOutput out;
+    for (std::size_t li = 0; li < r.shape().loads; ++li) {
+      const double c = li == 0 ? 1.0 : 1.2;
+      Table table({"accuracy", "utilized", "unused", "lost", "kills"});
+      for (std::size_t ai = 0; ai < r.shape().alphas; ++ai) {
+        const exp::PointSummary& p = r.at(0, li, 0, 0, ai, 0);
+        table.add_row()
+            .add(0.1 * static_cast<int>(ai), 1)
+            .add(p.utilization, 3)
+            .add(p.unused, 3)
+            .add(p.lost, 3)
+            .add(p.kills, 1);
+      }
+      out.parts.push_back({li == 0 ? "fig10a_utilization_vs_accuracy_llnl_c10"
+                                   : "fig10b_utilization_vs_accuracy_llnl_c12",
+                           "Panel c = " + format_double(c, 1) + ":",
+                           std::move(table)});
     }
-    std::cout << "\n\nPanel c = " << format_double(c, 1) << ":\n" << table.render();
-    write_csv(table, c == 1.0 ? "fig10a_utilization_vs_accuracy_llnl_c10"
-                              : "fig10b_utilization_vs_accuracy_llnl_c12");
-  }
-  return 0;
+    return out;
+  };
+  return fig;
 }
+
+}  // namespace bgl::bench

@@ -9,46 +9,66 @@
 // claim ("~70 % slowdown increase at the 1000-failure rate with no
 // prediction") corresponds to comparing the rate-0 and rate-1000 rows of
 // the a = 0.0 column.
-#include <algorithm>
-#include <iostream>
+#include <string>
 
 #include "common/bench_common.hpp"
+#include "common/figures.hpp"
+#include "util/strings.hpp"
 
-int main() {
-  using namespace bgl;
-  using namespace bgl::bench;
+namespace bgl::bench {
 
+FigureDef make_fig3() {
   const SyntheticModel model = bench_sdsc();
-  std::cout << "Figure 3: avg bounded slowdown vs failure rate (SDSC, balancing, c=1.0)\n"
-            << "seeds/point: " << std::max(bench_seeds(), 5) << ", jobs/run: " << model.num_jobs
-            << "\n\n";
 
-  Table table({"failure_rate", "injected", "a=0.0", "a=0.1", "a=0.9",
-               "impr_a0.1_%", "impr_a0.9_%"});
-  double base_at_zero = -1.0;
-  double base_at_1000 = -1.0;
+  exp::SweepSpec spec;
+  spec.name = "fig3";
+  spec.models = {{"SDSC", model}};
   for (std::size_t rate = 0; rate <= 4000; rate += 500) {
-    const RunSummary none = run_point(model, 1.0, rate, SchedulerKind::kBalancing, 0.0, nullptr, 5);
-    const RunSummary low = run_point(model, 1.0, rate, SchedulerKind::kBalancing, 0.1, nullptr, 5);
-    const RunSummary high = run_point(model, 1.0, rate, SchedulerKind::kBalancing, 0.9, nullptr, 5);
-    if (rate == 0) base_at_zero = none.slowdown;
-    if (rate == 1000) base_at_1000 = none.slowdown;
-    table.add_row()
-        .add(static_cast<long long>(rate))
-        .add(none.injected_events, 0)
-        .add(none.slowdown, 1)
-        .add(low.slowdown, 1)
-        .add(high.slowdown, 1)
-        .add(improvement_pct(none.slowdown, low.slowdown), 1)
-        .add(improvement_pct(none.slowdown, high.slowdown), 1);
-    std::cout << "." << std::flush;
+    spec.failure_budgets.push_back(rate);
   }
-  std::cout << "\n\n" << table.render();
-  if (base_at_zero > 0.0 && base_at_1000 > 0.0) {
-    std::cout << "\nSlowdown increase from rate 0 to rate 1000 without prediction: "
-              << format_double(100.0 * (base_at_1000 - base_at_zero) / base_at_zero, 1)
-              << "% (paper Section 1: ~70%)\n";
-  }
-  write_csv(table, "fig3_slowdown_vs_failures");
-  return 0;
+  spec.alphas = {0.0, 0.1, 0.9};
+  spec.repeat_floor = 5;
+
+  FigureDef fig;
+  fig.name = "fig3";
+  fig.summary = "Fig. 3 - slowdown vs failure rate, +- prediction (SDSC, balancing)";
+  fig.header =
+      "Figure 3: avg bounded slowdown vs failure rate (SDSC, balancing, c=1.0)\n"
+      "seeds/point: " + std::to_string(spec.repeats()) +
+      ", jobs/run: " + std::to_string(model.num_jobs) + "\n";
+  fig.spec = std::move(spec);
+  fig.render = [](const exp::SweepResult& r) {
+    Table table({"failure_rate", "injected", "a=0.0", "a=0.1", "a=0.9",
+                 "impr_a0.1_%", "impr_a0.9_%"});
+    double base_at_zero = -1.0;
+    double base_at_1000 = -1.0;
+    for (std::size_t fi = 0; fi < r.shape().failures; ++fi) {
+      const std::size_t rate = 500 * fi;
+      const exp::PointSummary& none = r.at(0, 0, fi, 0, 0, 0);
+      const exp::PointSummary& low = r.at(0, 0, fi, 0, 1, 0);
+      const exp::PointSummary& high = r.at(0, 0, fi, 0, 2, 0);
+      if (rate == 0) base_at_zero = none.slowdown;
+      if (rate == 1000) base_at_1000 = none.slowdown;
+      table.add_row()
+          .add(static_cast<long long>(rate))
+          .add(none.injected_events, 0)
+          .add(none.slowdown, 1)
+          .add(low.slowdown, 1)
+          .add(high.slowdown, 1)
+          .add(improvement_pct(none.slowdown, low.slowdown), 1)
+          .add(improvement_pct(none.slowdown, high.slowdown), 1);
+    }
+    FigureOutput out;
+    out.parts.push_back({"fig3_slowdown_vs_failures", "", std::move(table)});
+    if (base_at_zero > 0.0 && base_at_1000 > 0.0) {
+      out.notes =
+          "\nSlowdown increase from rate 0 to rate 1000 without prediction: " +
+          format_double(100.0 * (base_at_1000 - base_at_zero) / base_at_zero, 1) +
+          "% (paper Section 1: ~70%)";
+    }
+    return out;
+  };
+  return fig;
 }
+
+}  // namespace bgl::bench

@@ -4,34 +4,53 @@
 // Expected shape: both curves rise then flatten; the c = 1.2 curve sits
 // well above c = 1.0 everywhere (the 20 % load increase amplifies the
 // queueing impact of every kill).
-#include <algorithm>
-#include <iostream>
+#include <string>
 
 #include "common/bench_common.hpp"
+#include "common/figures.hpp"
+#include "util/strings.hpp"
 
-int main() {
-  using namespace bgl;
-  using namespace bgl::bench;
+namespace bgl::bench {
 
+FigureDef make_fig4() {
   const SyntheticModel model = bench_sdsc();
   const double alpha = 0.1;
-  std::cout << "Figure 4: avg bounded slowdown vs failure rate (SDSC, balancing, a="
-            << format_double(alpha, 1) << ")\n"
-            << "seeds/point: " << std::max(bench_seeds(), 5) << ", jobs/run: " << model.num_jobs
-            << "\n\n";
 
-  Table table({"failure_rate", "c=1.0", "c=1.2", "ratio"});
+  exp::SweepSpec spec;
+  spec.name = "fig4";
+  spec.models = {{"SDSC", model}};
+  spec.load_scales = {1.0, 1.2};
   for (std::size_t rate = 0; rate <= 4000; rate += 500) {
-    const RunSummary c10 = run_point(model, 1.0, rate, SchedulerKind::kBalancing, alpha, nullptr, 5);
-    const RunSummary c12 = run_point(model, 1.2, rate, SchedulerKind::kBalancing, alpha, nullptr, 5);
-    table.add_row()
-        .add(static_cast<long long>(rate))
-        .add(c10.slowdown, 1)
-        .add(c12.slowdown, 1)
-        .add(c10.slowdown > 0.0 ? c12.slowdown / c10.slowdown : 0.0, 2);
-    std::cout << "." << std::flush;
+    spec.failure_budgets.push_back(rate);
   }
-  std::cout << "\n\n" << table.render();
-  write_csv(table, "fig4_slowdown_vs_failures_load");
-  return 0;
+  spec.alphas = {alpha};
+  spec.repeat_floor = 5;
+
+  FigureDef fig;
+  fig.name = "fig4";
+  fig.summary = "Fig. 4 - slowdown vs failure rate at c=1.0 and c=1.2 (SDSC)";
+  fig.header =
+      "Figure 4: avg bounded slowdown vs failure rate (SDSC, balancing, a=" +
+      format_double(alpha, 1) + ")\n" +
+      "seeds/point: " + std::to_string(spec.repeats()) +
+      ", jobs/run: " + std::to_string(model.num_jobs) + "\n";
+  fig.spec = std::move(spec);
+  fig.render = [](const exp::SweepResult& r) {
+    Table table({"failure_rate", "c=1.0", "c=1.2", "ratio"});
+    for (std::size_t fi = 0; fi < r.shape().failures; ++fi) {
+      const exp::PointSummary& c10 = r.at(0, 0, fi, 0, 0, 0);
+      const exp::PointSummary& c12 = r.at(0, 1, fi, 0, 0, 0);
+      table.add_row()
+          .add(static_cast<long long>(500 * fi))
+          .add(c10.slowdown, 1)
+          .add(c12.slowdown, 1)
+          .add(c10.slowdown > 0.0 ? c12.slowdown / c10.slowdown : 0.0, 2);
+    }
+    FigureOutput out;
+    out.parts.push_back({"fig4_slowdown_vs_failures_load", "", std::move(table)});
+    return out;
+  };
+  return fig;
 }
+
+}  // namespace bgl::bench

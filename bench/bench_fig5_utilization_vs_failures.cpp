@@ -5,35 +5,57 @@
 // rate rises; the c = 1.2 panel converts part of the unused capacity into
 // used work relative to c = 1.0 (the paper's "20% increase in load ...
 // converting marginal amount of unused work to used work").
-#include <iostream>
+#include <string>
 
 #include "common/bench_common.hpp"
+#include "common/figures.hpp"
+#include "util/strings.hpp"
 
-int main() {
-  using namespace bgl;
-  using namespace bgl::bench;
+namespace bgl::bench {
 
+FigureDef make_fig5() {
   const SyntheticModel model = bench_sdsc();
   const double alpha = 0.1;
-  std::cout << "Figure 5: utilization split vs failure rate (SDSC, balancing, a="
-            << format_double(alpha, 1) << ")\n"
-            << "seeds/point: " << bench_seeds() << ", jobs/run: " << model.num_jobs
-            << "\n\n";
 
-  for (const double c : {1.0, 1.2}) {
-    Table table({"failure_rate", "utilized", "unused", "lost"});
-    for (std::size_t rate = 0; rate <= 4000; rate += 500) {
-      const RunSummary r = run_point(model, c, rate, SchedulerKind::kBalancing, alpha);
-      table.add_row()
-          .add(static_cast<long long>(rate))
-          .add(r.utilization, 3)
-          .add(r.unused, 3)
-          .add(r.lost, 3);
-      std::cout << "." << std::flush;
-    }
-    std::cout << "\n\nPanel c = " << format_double(c, 1) << ":\n" << table.render();
-    write_csv(table, c == 1.0 ? "fig5a_utilization_vs_failures_c10"
-                              : "fig5b_utilization_vs_failures_c12");
+  exp::SweepSpec spec;
+  spec.name = "fig5";
+  spec.models = {{"SDSC", model}};
+  spec.load_scales = {1.0, 1.2};
+  for (std::size_t rate = 0; rate <= 4000; rate += 500) {
+    spec.failure_budgets.push_back(rate);
   }
-  return 0;
+  spec.alphas = {alpha};
+
+  FigureDef fig;
+  fig.name = "fig5";
+  fig.summary = "Fig. 5 - utilization split vs failure rate (SDSC, two loads)";
+  fig.header =
+      "Figure 5: utilization split vs failure rate (SDSC, balancing, a=" +
+      format_double(alpha, 1) + ")\n" +
+      "seeds/point: " + std::to_string(spec.repeats()) +
+      ", jobs/run: " + std::to_string(model.num_jobs) + "\n";
+  fig.spec = std::move(spec);
+  fig.render = [](const exp::SweepResult& r) {
+    FigureOutput out;
+    for (std::size_t li = 0; li < r.shape().loads; ++li) {
+      const double c = li == 0 ? 1.0 : 1.2;
+      Table table({"failure_rate", "utilized", "unused", "lost"});
+      for (std::size_t fi = 0; fi < r.shape().failures; ++fi) {
+        const exp::PointSummary& p = r.at(0, li, fi, 0, 0, 0);
+        table.add_row()
+            .add(static_cast<long long>(500 * fi))
+            .add(p.utilization, 3)
+            .add(p.unused, 3)
+            .add(p.lost, 3);
+      }
+      out.parts.push_back({li == 0 ? "fig5a_utilization_vs_failures_c10"
+                                   : "fig5b_utilization_vs_failures_c12",
+                           "Panel c = " + format_double(c, 1) + ":",
+                           std::move(table)});
+    }
+    return out;
+  };
+  return fig;
 }
+
+}  // namespace bgl::bench

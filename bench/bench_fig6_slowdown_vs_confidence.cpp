@@ -7,52 +7,67 @@
 // (a = 0.1); beyond it the curves are non-monotonic ("little correlation
 // between the value of the confidence and the overall performance") because
 // E_loss trades MFP against stability. Gains are larger at c = 1.2.
-#include <algorithm>
-#include <iostream>
+#include <string>
+#include <vector>
 
 #include "common/bench_common.hpp"
+#include "common/figures.hpp"
 
-int main() {
-  using namespace bgl;
-  using namespace bgl::bench;
+namespace bgl::bench {
 
-  struct LogCase {
-    const char* label;
-    SyntheticModel model;
-  };
-  const LogCase cases[] = {
-      {"SDSC", bench_sdsc()}, {"NASA", bench_nasa()}, {"LLNL", bench_llnl()}};
+FigureDef make_fig6() {
+  exp::SweepSpec spec;
+  spec.name = "fig6";
+  spec.models = {{"SDSC", bench_sdsc()},
+                 {"NASA", bench_nasa()},
+                 {"LLNL", bench_llnl()}};
+  spec.load_scales = {1.0, 1.2};
+  // failure_budgets left empty: each log runs at its paper budget.
+  for (int step = 0; step <= 10; ++step) spec.alphas.push_back(0.1 * step);
+  spec.repeat_floor = 5;
 
-  std::cout << "Figure 6: avg bounded slowdown vs confidence (balancing)\n"
-            << "seeds/point: " << std::max(bench_seeds(), 5) << "\n\n";
-
-  for (const LogCase& lc : cases) {
-    const std::size_t nominal = paper_failure_count(lc.model);
-    Table table({"confidence", "c=1.0", "impr_%", "c=1.2", "impr_%"});
-    double base10 = -1.0;
-    double base12 = -1.0;
-    for (int step = 0; step <= 10; ++step) {
-      const double a = 0.1 * step;
-      const RunSummary r10 =
-          run_point(lc.model, 1.0, nominal, SchedulerKind::kBalancing, a, nullptr, 5);
-      const RunSummary r12 =
-          run_point(lc.model, 1.2, nominal, SchedulerKind::kBalancing, a, nullptr, 5);
-      if (step == 0) {
-        base10 = r10.slowdown;
-        base12 = r12.slowdown;
-      }
-      table.add_row()
-          .add(a, 1)
-          .add(r10.slowdown, 1)
-          .add(improvement_pct(base10, r10.slowdown), 1)
-          .add(r12.slowdown, 1)
-          .add(improvement_pct(base12, r12.slowdown), 1);
-      std::cout << "." << std::flush;
-    }
-    std::cout << "\n\nPanel " << lc.label << " (nominal failures " << nominal
-              << "):\n"
-              << table.render();
-    write_csv(table, std::string("fig6_slowdown_vs_confidence_") + lc.label);
+  std::vector<std::string> labels;
+  std::vector<std::size_t> nominals;
+  for (const exp::ModelCase& mc : spec.models) {
+    labels.push_back(mc.label);
+    nominals.push_back(paper_failure_count(mc.model));
   }
-  return 0;
+
+  FigureDef fig;
+  fig.name = "fig6";
+  fig.summary = "Fig. 6 - slowdown vs confidence, three logs (balancing)";
+  fig.header =
+      "Figure 6: avg bounded slowdown vs confidence (balancing)\n"
+      "seeds/point: " + std::to_string(spec.repeats()) + "\n";
+  fig.spec = std::move(spec);
+  fig.render = [labels, nominals](const exp::SweepResult& r) {
+    FigureOutput out;
+    for (std::size_t mi = 0; mi < r.shape().models; ++mi) {
+      Table table({"confidence", "c=1.0", "impr_%", "c=1.2", "impr_%"});
+      double base10 = -1.0;
+      double base12 = -1.0;
+      for (std::size_t ai = 0; ai < r.shape().alphas; ++ai) {
+        const exp::PointSummary& r10 = r.at(mi, 0, 0, 0, ai, 0);
+        const exp::PointSummary& r12 = r.at(mi, 1, 0, 0, ai, 0);
+        if (ai == 0) {
+          base10 = r10.slowdown;
+          base12 = r12.slowdown;
+        }
+        table.add_row()
+            .add(0.1 * static_cast<int>(ai), 1)
+            .add(r10.slowdown, 1)
+            .add(improvement_pct(base10, r10.slowdown), 1)
+            .add(r12.slowdown, 1)
+            .add(improvement_pct(base12, r12.slowdown), 1);
+      }
+      out.parts.push_back({"fig6_slowdown_vs_confidence_" + labels[mi],
+                           "Panel " + labels[mi] + " (nominal failures " +
+                               std::to_string(nominals[mi]) + "):",
+                           std::move(table)});
+    }
+    return out;
+  };
+  return fig;
 }
+
+}  // namespace bgl::bench

@@ -3,37 +3,55 @@
 // changes in system performance [appear] when we increased the standard
 // load by 20%". This bench regenerates the whole sweep for the SDSC log so
 // that the knee is visible, with and without prediction.
-#include <iostream>
+#include <string>
 
 #include "common/bench_common.hpp"
+#include "common/figures.hpp"
 
-int main() {
-  using namespace bgl;
-  using namespace bgl::bench;
+namespace bgl::bench {
 
+FigureDef make_load_sweep() {
   const SyntheticModel model = bench_sdsc();
   const std::size_t nominal = paper_failure_count(model);
-  std::cout << "Load sweep: avg bounded slowdown and utilization vs c (SDSC, "
-            << "nominal " << nominal << " failures)\n"
-            << "seeds/point: " << bench_seeds() << ", jobs/run: " << model.num_jobs
-            << "\n\n";
 
-  Table table({"c", "slowdown_a0.0", "slowdown_a0.1", "impr_%", "util_a0.0",
-               "util_a0.1"});
-  for (int step = 5; step <= 15; ++step) {
-    const double c = 0.1 * step;
-    const RunSummary none = run_point(model, c, nominal, SchedulerKind::kBalancing, 0.0);
-    const RunSummary low = run_point(model, c, nominal, SchedulerKind::kBalancing, 0.1);
-    table.add_row()
-        .add(c, 1)
-        .add(none.slowdown, 1)
-        .add(low.slowdown, 1)
-        .add(improvement_pct(none.slowdown, low.slowdown), 1)
-        .add(none.utilization, 3)
-        .add(low.utilization, 3);
-    std::cout << "." << std::flush;
-  }
-  std::cout << "\n\n" << table.render();
-  write_csv(table, "load_sweep");
-  return 0;
+  exp::SweepSpec spec;
+  spec.name = "load_sweep";
+  spec.models = {{"SDSC", model}};
+  // 0.1 * step (not step / 10.0): the product is the exact double the
+  // historical bench fed scale_load, and bit-equal inputs keep the replay
+  // bit-equal.
+  for (int step = 5; step <= 15; ++step) spec.load_scales.push_back(0.1 * step);
+  spec.alphas = {0.0, 0.1};
+
+  FigureDef fig;
+  fig.name = "load_sweep";
+  fig.summary = "Sec. 6.2 - slowdown/utilization vs load scale c (SDSC)";
+  fig.header =
+      "Load sweep: avg bounded slowdown and utilization vs c (SDSC, nominal " +
+      std::to_string(nominal) + " failures)\n" +
+      "seeds/point: " + std::to_string(spec.repeats()) +
+      ", jobs/run: " + std::to_string(model.num_jobs) + "\n";
+  fig.spec = std::move(spec);
+  fig.render = [](const exp::SweepResult& r) {
+    Table table({"c", "slowdown_a0.0", "slowdown_a0.1", "impr_%", "util_a0.0",
+                 "util_a0.1"});
+    for (std::size_t li = 0; li < r.shape().loads; ++li) {
+      const double c = 0.1 * static_cast<int>(5 + li);
+      const exp::PointSummary& none = r.at(0, li, 0, 0, 0, 0);
+      const exp::PointSummary& low = r.at(0, li, 0, 0, 1, 0);
+      table.add_row()
+          .add(c, 1)
+          .add(none.slowdown, 1)
+          .add(low.slowdown, 1)
+          .add(improvement_pct(none.slowdown, low.slowdown), 1)
+          .add(none.utilization, 3)
+          .add(low.utilization, 3);
+    }
+    FigureOutput out;
+    out.parts.push_back({"load_sweep", "", std::move(table)});
+    return out;
+  };
+  return fig;
 }
+
+}  // namespace bgl::bench

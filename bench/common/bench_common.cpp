@@ -1,24 +1,10 @@
 #include "common/bench_common.hpp"
 
-#include <cstdlib>
-#include <filesystem>
-#include <fstream>
-#include <iostream>
-#include <map>
-#include <sstream>
-
-#include "failure/generator.hpp"
-#include "util/rng.hpp"
-#include "util/strings.hpp"
+#include "exp/sweep.hpp"
 
 namespace bgl::bench {
 
-int bench_seeds() {
-  if (const char* env = std::getenv("BGL_BENCH_SEEDS")) {
-    if (const auto v = parse_int(env); v && *v >= 1) return static_cast<int>(*v);
-  }
-  return 3;
-}
+int bench_seeds() { return exp::default_repeats_from_env(); }
 
 namespace {
 SyntheticModel sized(SyntheticModel model, int default_jobs) {
@@ -26,169 +12,11 @@ SyntheticModel sized(SyntheticModel model, int default_jobs) {
   apply_job_scale_env(model);
   return model;
 }
-
-const PartitionCatalog& shared_catalog() {
-  static PartitionCatalog catalog(Dims::bluegene_l());
-  return catalog;
-}
 }  // namespace
-
-obs::CounterRegistry& bench_counters() {
-  static obs::CounterRegistry registry;
-  return registry;
-}
-
-obs::HistogramRegistry& bench_histograms() {
-  static obs::HistogramRegistry registry;
-  return registry;
-}
 
 SyntheticModel bench_nasa() { return sized(SyntheticModel::nasa(), 1100); }
 SyntheticModel bench_sdsc() { return sized(SyntheticModel::sdsc(), 1200); }
 SyntheticModel bench_llnl() { return sized(SyntheticModel::llnl(), 1000); }
-
-RunSummary run_point(const SyntheticModel& model, double load_scale,
-                     std::size_t nominal_failures, SchedulerKind kind, double alpha,
-                     const SimConfig* proto, int min_seeds) {
-  RunSummary summary;
-  summary.seeds = std::max(bench_seeds(), min_seeds);
-  for (int s = 0; s < summary.seeds; ++s) {
-    const std::uint64_t workload_seed = 1000 + 17 * static_cast<std::uint64_t>(s);
-    const std::uint64_t trace_seed = 500 + 29 * static_cast<std::uint64_t>(s);
-
-    Workload w = generate_workload(model, workload_seed);
-    w = rescale_sizes(w, 128);
-    const double span = w.arrival_span();
-    if (load_scale != 1.0) w = scale_load(w, load_scale);
-
-    double max_runtime = 0.0;
-    for (const Job& j : w.jobs) max_runtime = std::max(max_runtime, j.runtime);
-    const double trace_span = span * 1.05 + 2.0 * max_runtime;
-    const std::size_t events = span_scaled_events(nominal_failures, trace_span, model);
-
-    FailureModel fm = FailureModel::bluegene_l(events, trace_span);
-    const FailureTrace trace = generate_failures(fm, trace_seed);
-
-    SimConfig config;
-    if (proto) config = *proto;
-    config.dims = Dims::bluegene_l();
-    config.scheduler = kind;
-    config.alpha = alpha;
-    config.seed = trace_seed ^ 0x7365656473ULL;
-    config.obs.counters = &bench_counters();
-    config.obs.histograms = &bench_histograms();
-
-    // The shared catalog is the default torus one; mesh-topology protos
-    // build their own.
-    const PartitionCatalog* catalog =
-        config.topology == Topology::kTorus ? &shared_catalog() : nullptr;
-    const SimResult r = run_simulation(w, trace, config, catalog);
-    summary.slowdown += r.avg_bounded_slowdown;
-    summary.response += r.avg_response;
-    summary.wait += r.avg_wait;
-    summary.utilization += r.utilization;
-    summary.unused += r.unused;
-    summary.lost += r.lost;
-    summary.kills += static_cast<double>(r.job_kills);
-    summary.migrations += static_cast<double>(r.migrations);
-    summary.injected_events += static_cast<double>(events);
-    summary.work_lost_node_hours += r.work_lost_node_seconds / 3600.0;
-  }
-  const double n = static_cast<double>(summary.seeds);
-  summary.slowdown /= n;
-  summary.response /= n;
-  summary.wait /= n;
-  summary.utilization /= n;
-  summary.unused /= n;
-  summary.lost /= n;
-  summary.kills /= n;
-  summary.migrations /= n;
-  summary.injected_events /= n;
-  summary.work_lost_node_hours /= n;
-  return summary;
-}
-
-namespace {
-
-/// Read-modify-write the consolidated BENCH_summary.json. Each bench binary
-/// is its own process, so the file is kept line-keyed — one
-/// `"<name>": {...}` entry per line between the braces — and merged
-/// textually: no JSON parser needed, entries written by other benches are
-/// preserved, and re-running a bench overwrites only its own line.
-void update_bench_summary(const std::string& dir, const std::string& name) {
-  const std::string path = dir + "/BENCH_summary.json";
-
-  std::map<std::string, std::string> entries;
-  {
-    std::ifstream in(path);
-    std::string line;
-    while (std::getline(in, line)) {
-      const auto start = line.find_first_not_of(" \t");
-      if (start == std::string::npos || line[start] != '"') continue;
-      const auto key_end = line.find('"', start + 1);
-      if (key_end == std::string::npos) continue;
-      auto end = line.find_last_not_of(" \t");
-      if (line[end] == ',') --end;  // stored without the joining comma
-      entries[line.substr(start + 1, key_end - start - 1)] =
-          line.substr(start, end - start + 1);
-    }
-  }
-
-  std::ostringstream entry;
-  entry << '"' << name << "\": {\"counters\":";
-  bench_counters().write_json(entry);
-  entry << ",\"histograms\":";
-  bench_histograms().write_json(entry);
-  entry << '}';
-  entries[name] = entry.str();
-
-  std::ofstream out(path, std::ios::trunc);
-  if (!out) {
-    std::cout << "[summary] skipped (" << path << " not writable)\n";
-    return;
-  }
-  out << "{\n";
-  bool first = true;
-  for (const auto& [key, value] : entries) {
-    (void)key;
-    if (!first) out << ",\n";
-    first = false;
-    out << value;
-  }
-  out << "\n}\n";
-  std::cout << "[summary] " << path << "\n";
-}
-
-}  // namespace
-
-void write_csv(const Table& table, const std::string& name) {
-  const char* env = std::getenv("BGL_BENCH_OUT");
-  const std::string dir = env ? env : "bench_out";
-  std::error_code ec;
-  std::filesystem::create_directories(dir, ec);
-  const std::string path = dir + "/" + name + ".csv";
-  try {
-    table.write_csv(path);
-    std::cout << "[csv] " << path << "\n";
-  } catch (const std::exception& e) {
-    std::cout << "[csv] skipped (" << e.what() << ")\n";
-  }
-
-  const std::string stats_path = dir + "/" + name + ".stats.json";
-  std::ofstream stats(stats_path, std::ios::trunc);
-  if (stats) {
-    stats << "{\"observability\":";
-    bench_counters().write_json(stats);
-    stats << ",\"histograms\":";
-    bench_histograms().write_json(stats);
-    stats << "}\n";
-    std::cout << "[stats] " << stats_path << "\n";
-  } else {
-    std::cout << "[stats] skipped (" << stats_path << " not writable)\n";
-  }
-
-  update_bench_summary(dir, name);
-}
 
 double improvement_pct(double baseline, double value) {
   if (baseline == 0.0) return 0.0;

@@ -1,49 +1,31 @@
-// Shared sweep harness for the per-figure bench binaries.
+// Shared ingredients of the per-figure bench specs.
 //
-// Every figure bench follows the same recipe: build a synthetic log for one
-// of the paper's three machines, scale the paper's nominal failure budget
-// onto the log's span (so the failure *density* matches the paper's),
-// replay it under a scheduler configuration, and average the §3.4 metrics
-// over a few seeds. Environment knobs:
+// Every figure bench is now a declarative exp::SweepSpec (see
+// bench/common/figures.hpp and src/exp/sweep.hpp): build a synthetic log
+// for one of the paper's three machines, scale the paper's nominal failure
+// budget onto the log's span (so the failure *density* matches the
+// paper's), replay it under a scheduler configuration, and average the
+// §3.4 metrics over a few seeds. This header holds what the specs share:
+// the paper-calibrated bench models and the improvement metric.
 //
-//   BGL_JOB_SCALE    multiply the per-log default job counts (default 1.0)
-//   BGL_BENCH_SEEDS  seeds averaged per data point (default 2)
-//   BGL_BENCH_OUT    directory for CSV dumps (default ./bench_out)
+// Environment knobs (BGL_BENCH_SEEDS, BGL_JOB_SCALE, BGL_BENCH_OUT,
+// BGL_BENCH_THREADS) are documented at their single parsing sites:
+// src/exp/sweep.hpp for the first two, bench/common/figures.hpp for the
+// rest. All of them reject malformed values with a ConfigError.
 #pragma once
 
-#include <cstdint>
-#include <string>
-
-#include "obs/counters.hpp"
-#include "obs/histogram.hpp"
-#include "sim/driver.hpp"
 #include "sim/experiment.hpp"
-#include "util/strings.hpp"
-#include "util/table.hpp"
 #include "workload/synthetic.hpp"
 
 namespace bgl::bench {
 
-/// Seed-averaged metrics of one sweep point.
-struct RunSummary {
-  double slowdown = 0.0;
-  double response = 0.0;
-  double wait = 0.0;
-  double utilization = 0.0;
-  double unused = 0.0;
-  double lost = 0.0;
-  double kills = 0.0;
-  double migrations = 0.0;
-  double injected_events = 0.0;   ///< Actual failure events per run (avg).
-  double work_lost_node_hours = 0.0;
-  int seeds = 0;
-};
-
-/// Number of seeds per point (BGL_BENCH_SEEDS, default 3, min 1).
+/// Repeats averaged per sweep cell — exp::default_repeats_from_env()
+/// (BGL_BENCH_SEEDS, default 3, hard error below 1 or on garbage); figure
+/// specs raise their floor via SweepSpec::repeat_floor.
 int bench_seeds();
 
 /// The default per-log bench models (paper-calibrated), with BGL_JOB_SCALE
-/// applied. Runs are deliberately short (~1100-1200 jobs) and averaged over
+/// applied. Runs are deliberately short (~1000-1200 jobs) and averaged over
 /// several seeds: average bounded slowdown in the near-knee regime is
 /// heavy-tailed, and many short runs estimate the mean far better than few
 /// long ones at equal cost.
@@ -51,38 +33,10 @@ SyntheticModel bench_nasa();
 SyntheticModel bench_sdsc();
 SyntheticModel bench_llnl();
 
-/// Run one sweep point: generate the log (per seed), inject
-/// span_scaled_events(nominal_failures) failures, simulate under
-/// (kind, alpha) with load scale c, and average over bench_seeds().
-/// `proto` (optional) seeds the SimConfig (backfill/migration/ckpt/metrics
-/// knobs); scheduler/alpha/seed fields are overwritten per run.
-/// `min_seeds` lets noise-sensitive figures (the slowdown sweeps) force more
-/// averaging than the BGL_BENCH_SEEDS default.
-RunSummary run_point(const SyntheticModel& model, double load_scale,
-                     std::size_t nominal_failures, SchedulerKind kind, double alpha,
-                     const SimConfig* proto = nullptr, int min_seeds = 1);
-
-/// Process-wide counter registry. Every simulation run_point() launches
-/// feeds it, so after a sweep it holds the aggregate hot-path statistics
-/// (decisions, scans, predictor traffic, decision latency) of the whole
-/// figure. write_csv() dumps it next to the CSV as <name>.stats.json.
-obs::CounterRegistry& bench_counters();
-
-/// Process-wide histogram registry, fed alongside bench_counters(): wait /
-/// response / slowdown / decision-latency / candidates distributions over
-/// every simulation of the figure, dumped with p50/p90/p99 by write_csv().
-obs::HistogramRegistry& bench_histograms();
-
-/// Write a table to ${BGL_BENCH_OUT:-bench_out}/<name>.csv (best effort;
-/// prints a note on failure instead of aborting the bench), plus the
-/// bench_counters() + bench_histograms() dump as <name>.stats.json, and
-/// update this bench's entry in the consolidated
-/// ${BGL_BENCH_OUT}/BENCH_summary.json (one entry per bench binary;
-/// entries from other benches in the same output directory survive).
-void write_csv(const Table& table, const std::string& name);
-
 /// Percent improvement of `value` relative to `baseline` (positive = better
-/// when lower-is-better).
+/// when lower-is-better). A zero baseline has no meaningful relative
+/// improvement, so it is defined to return 0 rather than divide by zero —
+/// figure columns then read "no change" for degenerate base rows.
 double improvement_pct(double baseline, double value);
 
 }  // namespace bgl::bench

@@ -1,0 +1,11 @@
+// Shared main() of every thin per-figure binary. Each executable target
+// compiles this one file with -DBGL_FIGURE_NAME="<name>" and links the
+// figure library; the actual figure definition lives in the matching
+// bench_*.cpp factory (see common/figures.hpp).
+#include "common/figures.hpp"
+
+#ifndef BGL_FIGURE_NAME
+#error "BGL_FIGURE_NAME must be defined to the registry name of the figure"
+#endif
+
+int main() { return bgl::bench::figure_binary_main(BGL_FIGURE_NAME); }

@@ -1,0 +1,76 @@
+// SweepRunner: execute every (cell, repeat) of a SweepSpec on a thread
+// pool and reduce the results deterministically.
+//
+// Parallelism model: the unit of work is one simulation — (cell, repeat) —
+// so even a 3-cell ablation with 5 repeats fans out to 15 units. Each unit
+// writes into its own pre-allocated slot (its own CounterRegistry /
+// HistogramRegistry — nothing process-global); after the pool drains, the
+// runner reduces slots in (cell, repeat) order: repeat metrics average in
+// repeat order (bit-stable floating-point), registries merge repeat-then-
+// cell order. Every input of a unit is a pure function of (spec, cell,
+// repeat) — see derive_seeds() — so the reduction sees identical operands
+// in identical order whatever the thread count: `--threads 8` output is
+// byte-identical to `--threads 1`.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+#include "exp/sweep.hpp"
+#include "obs/counters.hpp"
+#include "obs/histogram.hpp"
+
+namespace bgl::exp {
+
+struct RunOptions {
+  /// Worker threads; <= 1 runs inline on the caller (no pool).
+  int threads = 1;
+  /// Progress hook, called after each completed simulation with
+  /// (done, total). Serialized by the runner; keep it cheap.
+  std::function<void(std::size_t done, std::size_t total)> progress;
+};
+
+/// The executed grid: per-cell averaged summaries plus the sweep-wide
+/// observability registries, all reduced in deterministic order.
+class SweepResult {
+ public:
+  /// Axis extents in spec declaration order (degenerate axes count 1).
+  struct Shape {
+    std::size_t models = 1, loads = 1, failures = 1, schedulers = 1,
+                alphas = 1, configs = 1;
+  };
+
+  const Shape& shape() const { return shape_; }
+  std::size_t num_cells() const { return cells_.size(); }
+
+  /// Cell summary by flat index (row-major, configs fastest).
+  const PointSummary& cell(std::size_t index) const { return cells_.at(index); }
+
+  /// Cell summary by axis position; degenerate axes take index 0.
+  const PointSummary& at(std::size_t model, std::size_t load,
+                         std::size_t failures, std::size_t scheduler,
+                         std::size_t alpha, std::size_t config) const;
+
+  /// Hot-path counters / distribution histograms over every simulation of
+  /// the sweep, merged in (cell, repeat) order.
+  const obs::CounterRegistry& counters() const { return counters_; }
+  const obs::HistogramRegistry& histograms() const { return histograms_; }
+
+ private:
+  friend class SweepRunner;
+  Shape shape_;
+  std::vector<PointSummary> cells_;
+  obs::CounterRegistry counters_;
+  obs::HistogramRegistry histograms_;
+};
+
+class SweepRunner {
+ public:
+  /// Expand, execute, reduce. Builds one shared PartitionCatalog for the
+  /// torus cells; mesh-topology configs build their own per run (as the
+  /// historical benches did). Rethrows the first cell failure.
+  SweepResult run(const SweepSpec& spec, const RunOptions& options = {}) const;
+};
+
+}  // namespace bgl::exp

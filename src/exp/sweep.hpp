@@ -1,0 +1,166 @@
+// Declarative experiment sweeps over the paper's §6–7 grid.
+//
+// The paper's results are a cartesian grid — {NASA, SDSC, LLNL} × load
+// scale c × failure budget × α ∈ [0, 1] × scheduler × config variant — and
+// every figure is one rectangular slice of it. A SweepSpec names those axes
+// once; expand_cells() turns the spec into a flat, deterministically
+// ordered list of cells (row-major, last axis fastest); SweepRunner
+// (runner.hpp) executes the cells on a thread pool. Nothing here depends on
+// execution order: a cell's inputs — including every RNG seed — are pure
+// functions of (spec, cell index, repeat), which is what makes `--threads 8`
+// and `--threads 1` byte-identical.
+//
+// Environment knobs honoured by the helpers in this header (single source
+// of truth for their documentation; misuse is a hard ConfigError, never a
+// silent fallback):
+//
+//   BGL_BENCH_SEEDS  repeats averaged per cell (integer >= 1, default 3;
+//                    specs may force a higher floor via repeat_floor)
+//   BGL_JOB_SCALE    multiplies synthetic job counts (positive finite
+//                    number, default 1.0) — parsed by apply_job_scale_env()
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "sim/driver.hpp"
+#include "sim/experiment.hpp"
+#include "workload/synthetic.hpp"
+
+namespace bgl::exp {
+
+/// One value of the workload-model axis.
+struct ModelCase {
+  std::string label;       ///< e.g. "SDSC" — used in table/CSV naming.
+  SyntheticModel model;
+};
+
+/// One value of the config axis: a SimConfig prototype (backfill /
+/// migration / checkpoint / predictor / topology knobs). `alpha`, when set,
+/// overrides the alpha axis for every cell of this case — used by sweeps
+/// whose variants each carry their own knob value (e.g. the
+/// history-predictor ablation, where the oracle runs at α = 1.0 while the
+/// oblivious baseline runs at α = 0.0).
+struct ConfigCase {
+  std::string label;
+  SimConfig proto;
+  std::optional<double> alpha;
+};
+
+/// How per-repeat RNG seeds are derived. Both schemes are pure functions of
+/// (spec, cell, repeat) and therefore independent of execution order.
+enum class SeedScheme {
+  /// The historical bench derivation: workload seed 1000 + 17·repeat,
+  /// trace seed 500 + 29·repeat, identical for every cell (cells share
+  /// workloads, isolating the axis effect). Keeps every figure CSV
+  /// byte-identical to the pre-engine per-figure binaries.
+  kSharedAcrossCells,
+  /// Decorrelated streams: splitmix64 over (base_seed, cell, repeat,
+  /// stream). Use when cells must not share sampling noise (e.g. when the
+  /// cells ARE the replicates).
+  kPerCell,
+};
+
+/// Axes of one sweep. `models` must be non-empty; every other axis left
+/// empty iterates once over its documented default at expand time (so a
+/// factory can always `push_back` its values without first clearing a
+/// baked-in element):
+///
+///   load_scales      {1.0}
+///   failure_budgets  the paper's per-log budget, paper_failure_count(model)
+///   schedulers       {SchedulerKind::kBalancing}
+///   alphas           {0.0}
+///   configs          one default-constructed SimConfig, no alpha override
+struct SweepSpec {
+  std::string name;                       ///< e.g. "fig3" — output naming.
+
+  std::vector<ModelCase> models;
+  std::vector<double> load_scales;        ///< The paper's c.
+  std::vector<std::size_t> failure_budgets;
+  std::vector<SchedulerKind> schedulers;
+  std::vector<double> alphas;
+  std::vector<ConfigCase> configs;
+
+  /// Repeats (seeds) averaged per cell: max(BGL_BENCH_SEEDS, repeat_floor).
+  /// Noise-sensitive sweeps (the slowdown figures) raise the floor to 5.
+  int repeat_floor = 1;
+
+  SeedScheme seed_scheme = SeedScheme::kSharedAcrossCells;
+  std::uint64_t base_seed = 0;            ///< Only used by kPerCell.
+
+  std::size_t num_cells() const;
+  /// Resolved repeats per cell (env + floor). Throws ConfigError on a
+  /// malformed BGL_BENCH_SEEDS.
+  int repeats() const;
+};
+
+/// Position of a cell on each axis, in spec order.
+struct CellCoord {
+  std::size_t model = 0;
+  std::size_t load = 0;
+  std::size_t failures = 0;
+  std::size_t scheduler = 0;
+  std::size_t alpha = 0;
+  std::size_t config = 0;
+};
+
+/// One fully resolved grid cell.
+struct Cell {
+  std::size_t index = 0;    ///< Flat row-major index (configs fastest).
+  CellCoord coord;
+  const ModelCase* model = nullptr;
+  double load_scale = 1.0;
+  /// Nominal failure budget (paper_failure_count(model) when the axis was
+  /// left empty).
+  std::size_t nominal_failures = 0;
+  SchedulerKind scheduler = SchedulerKind::kBalancing;
+  double alpha = 0.0;       ///< After any ConfigCase override.
+  const ConfigCase* config = nullptr;
+};
+
+/// Expand the spec into its cell list (row-major over the axes in
+/// declaration order; `configs` varies fastest). Pointers borrow from
+/// `spec`, which must outlive the cells. Throws ConfigError on an empty
+/// model axis.
+std::vector<Cell> expand_cells(const SweepSpec& spec);
+
+/// The three seeds of one (cell, repeat) simulation.
+struct RepeatSeeds {
+  std::uint64_t workload = 0;  ///< generate_workload()
+  std::uint64_t trace = 0;     ///< generate_failures()
+  std::uint64_t sim = 0;       ///< SimConfig::seed (predictor coins)
+};
+
+/// Pure function of (spec.seed_scheme, spec.base_seed, cell_index, repeat).
+RepeatSeeds derive_seeds(const SweepSpec& spec, std::size_t cell_index,
+                         int repeat);
+
+/// splitmix64-mix `parts` into one seed; the building block of
+/// SeedScheme::kPerCell, exposed for tests and custom specs.
+std::uint64_t mix_seed(std::initializer_list<std::uint64_t> parts);
+
+/// Repeats-per-cell environment default (BGL_BENCH_SEEDS, default 3).
+/// Throws ConfigError when the variable is set to anything but an integer
+/// >= 1. This is the single documented home of that knob.
+int default_repeats_from_env();
+
+/// Seed-averaged metrics of one cell (the mean over its repeats of the
+/// §3.4 metric set, in repeat order — so the reduction is bit-stable).
+struct PointSummary {
+  double slowdown = 0.0;
+  double response = 0.0;
+  double wait = 0.0;
+  double utilization = 0.0;
+  double unused = 0.0;
+  double lost = 0.0;
+  double kills = 0.0;
+  double migrations = 0.0;
+  double injected_events = 0.0;   ///< Actual failure events per run (avg).
+  double work_lost_node_hours = 0.0;
+  int seeds = 0;                  ///< Repeats averaged.
+};
+
+}  // namespace bgl::exp

@@ -6,7 +6,6 @@
 #include <string_view>
 
 #include "util/error.hpp"
-#include "util/logging.hpp"
 #include "util/strings.hpp"
 #include "workload/swf.hpp"
 
@@ -29,14 +28,21 @@ std::size_t span_scaled_events(std::size_t nominal, double span_seconds,
 double apply_job_scale_env(SyntheticModel& model) {
   double scale = 1.0;
   if (const char* env = std::getenv("BGL_JOB_SCALE")) {
-    if (const auto parsed = parse_double(env); parsed && *parsed > 0.0) {
-      scale = *parsed;
-    } else {
-      BGL_WARN("ignoring malformed BGL_JOB_SCALE='" << env << "'");
+    const auto parsed = parse_double(env);
+    if (!parsed || !std::isfinite(*parsed) || *parsed <= 0.0) {
+      throw ConfigError("BGL_JOB_SCALE must be a positive finite number, got '" +
+                        std::string(env) + "'");
     }
+    scale = *parsed;
   }
   model.num_jobs = std::max(1, static_cast<int>(model.num_jobs * scale));
   return scale;
+}
+
+void apply_partition_index_env(SimConfig& config) {
+  if (const char* env = std::getenv("BGL_USE_PARTITION_INDEX")) {
+    config.use_partition_index = std::string_view(env) != "0";
+  }
 }
 
 ExperimentInputs prepare_inputs(const ExperimentSpec& spec) {
@@ -79,9 +85,7 @@ SimResult run_experiment(const ExperimentSpec& spec,
   // a pure acceleration: BGL_USE_PARTITION_INDEX=0 re-runs any experiment
   // (hence any figure) on the scan-based reference path; outputs must be
   // byte-identical.
-  if (const char* env = std::getenv("BGL_USE_PARTITION_INDEX")) {
-    sim.use_partition_index = std::string_view(env) != "0";
-  }
+  apply_partition_index_env(sim);
   return run_simulation(inputs.workload, inputs.trace, sim, shared_catalog);
 }
 

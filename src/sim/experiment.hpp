@@ -69,7 +69,15 @@ std::size_t span_scaled_events(std::size_t nominal, double span_seconds,
 
 /// Multiply a synthetic model's job count by BGL_JOB_SCALE (environment
 /// variable, default 1.0) so bench runs can be shrunk or grown without
-/// recompiling. Returns the scale applied.
+/// recompiling. Returns the scale applied. Throws ConfigError when the
+/// variable is set to anything but a positive finite number (NaN, inf,
+/// zero, negative, or non-numeric text) — a mis-typed scale must fail the
+/// run, not silently produce full-size results.
 double apply_job_scale_env(SyntheticModel& model);
+
+/// Apply the BGL_USE_PARTITION_INDEX environment A/B switch (`0` selects
+/// the scan-based reference path) to `config`. Shared by run_experiment()
+/// and the sweep engine so every experiment surface honours the knob.
+void apply_partition_index_env(SimConfig& config);
 
 }  // namespace bgl

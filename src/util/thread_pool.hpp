@@ -1,0 +1,71 @@
+// Fixed-size worker pool for CPU-bound fan-out (the sweep engine's cells).
+//
+// Design constraints:
+//
+//   * deterministic consumers — the pool schedules work in any order, so
+//     callers that need reproducible output must write results into
+//     per-task slots and reduce them in task order afterwards (that is
+//     exactly what exp::SweepRunner does). parallel_for with one thread
+//     runs inline on the caller, in index order, with no pool machinery,
+//     which makes the serial path trivially identical to a plain loop.
+//   * exception-safe fan-out — the first exception thrown by any task is
+//     captured and rethrown on the calling thread once all tasks have
+//     drained; remaining tasks still run (they may hold slots others
+//     merge).
+//   * no global state — every pool is a value owned by its caller; the
+//     simulator itself stays single-threaded per run.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace bgl::util {
+
+class ThreadPool {
+ public:
+  /// Spawns `threads` workers (clamped to >= 1). A one-thread pool still
+  /// owns a worker; use parallel_for(count, 1, fn) for the inline path.
+  explicit ThreadPool(std::size_t threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t size() const { return workers_.size(); }
+
+  /// Enqueue one task. Tasks must not submit to the same pool recursively
+  /// while wait_idle() is in flight (the sweep engine never does).
+  void submit(std::function<void()> task);
+
+  /// Block until every submitted task has finished. Rethrows the first
+  /// task exception (by submission-processing order is NOT guaranteed —
+  /// whichever failure was recorded first).
+  void wait_idle();
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> tasks_;
+  std::mutex mutex_;
+  std::condition_variable task_ready_;
+  std::condition_variable idle_;
+  std::size_t in_flight_ = 0;
+  std::exception_ptr first_error_;
+  bool stop_ = false;
+};
+
+/// Run fn(0) .. fn(count - 1), distributing indices across `threads`
+/// workers; blocks until all complete and rethrows the first task
+/// exception. threads <= 1 (or count <= 1) runs inline on the calling
+/// thread in ascending index order without constructing a pool.
+void parallel_for(std::size_t count, std::size_t threads,
+                  const std::function<void(std::size_t)>& fn);
+
+}  // namespace bgl::util

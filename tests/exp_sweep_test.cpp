@@ -1,0 +1,232 @@
+#include "exp/sweep.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "common/figures.hpp"
+#include "exp/runner.hpp"
+#include "util/error.hpp"
+
+namespace bgl::exp {
+namespace {
+
+SyntheticModel tiny_model() {
+  SyntheticModel model = SyntheticModel::sdsc();
+  model.num_jobs = 60;
+  return model;
+}
+
+SweepSpec tiny_spec() {
+  SweepSpec spec;
+  spec.name = "tiny";
+  spec.models = {{"SDSC", tiny_model()}};
+  spec.load_scales = {1.0, 1.2};
+  spec.failure_budgets = {0, 1000};
+  spec.alphas = {0.0, 0.5};
+  return spec;
+}
+
+TEST(SweepSpec, ExpandsRowMajorWithConfigsFastest) {
+  SweepSpec spec = tiny_spec();
+  SimConfig mesh;
+  mesh.topology = Topology::kMesh;
+  spec.configs = {{"torus", SimConfig{}, std::nullopt},
+                  {"mesh", mesh, std::nullopt}};
+
+  const std::vector<Cell> cells = expand_cells(spec);
+  ASSERT_EQ(cells.size(), spec.num_cells());
+  ASSERT_EQ(cells.size(), 2u * 2u * 2u * 2u);  // loads x budgets x alphas x cfgs
+
+  // configs fastest, then alphas, then failure budgets, then loads.
+  EXPECT_EQ(cells[0].config->label, "torus");
+  EXPECT_EQ(cells[1].config->label, "mesh");
+  EXPECT_DOUBLE_EQ(cells[0].alpha, 0.0);
+  EXPECT_DOUBLE_EQ(cells[2].alpha, 0.5);
+  EXPECT_EQ(cells[0].nominal_failures, 0u);
+  EXPECT_EQ(cells[4].nominal_failures, 1000u);
+  EXPECT_DOUBLE_EQ(cells[0].load_scale, 1.0);
+  EXPECT_DOUBLE_EQ(cells[8].load_scale, 1.2);
+  for (std::size_t i = 0; i < cells.size(); ++i) EXPECT_EQ(cells[i].index, i);
+}
+
+TEST(SweepSpec, EmptyAxesIterateOnceWithDefaults) {
+  SweepSpec spec;
+  spec.name = "defaults";
+  spec.models = {{"LLNL", SyntheticModel::llnl()}};
+  const std::vector<Cell> cells = expand_cells(spec);
+  ASSERT_EQ(cells.size(), 1u);
+  EXPECT_DOUBLE_EQ(cells[0].load_scale, 1.0);
+  EXPECT_EQ(cells[0].nominal_failures, paper_failure_count(SyntheticModel::llnl()));
+  EXPECT_EQ(cells[0].scheduler, SchedulerKind::kBalancing);
+  EXPECT_DOUBLE_EQ(cells[0].alpha, 0.0);
+  ASSERT_NE(cells[0].config, nullptr);
+}
+
+TEST(SweepSpec, ConfigAlphaOverridesAxis) {
+  SweepSpec spec;
+  spec.name = "override";
+  spec.models = {{"SDSC", tiny_model()}};
+  spec.alphas = {0.2};
+  spec.configs = {{"axis", SimConfig{}, std::nullopt},
+                  {"pinned", SimConfig{}, 0.9}};
+  const std::vector<Cell> cells = expand_cells(spec);
+  ASSERT_EQ(cells.size(), 2u);
+  EXPECT_DOUBLE_EQ(cells[0].alpha, 0.2);
+  EXPECT_DOUBLE_EQ(cells[1].alpha, 0.9);
+}
+
+TEST(SweepSpec, EmptyModelAxisThrows) {
+  SweepSpec spec;
+  spec.name = "nomodels";
+  EXPECT_THROW(expand_cells(spec), ConfigError);
+}
+
+TEST(SweepSeeds, SharedSchemeMatchesHistoricalFormulas) {
+  SweepSpec spec = tiny_spec();
+  for (const std::size_t cell : {std::size_t{0}, std::size_t{7}}) {
+    for (const int repeat : {0, 2}) {
+      const RepeatSeeds s = derive_seeds(spec, cell, repeat);
+      const auto r = static_cast<std::uint64_t>(repeat);
+      EXPECT_EQ(s.workload, 1000 + 17 * r);
+      EXPECT_EQ(s.trace, 500 + 29 * r);
+      EXPECT_EQ(s.sim, s.trace ^ 0x7365656473ULL);
+    }
+  }
+}
+
+TEST(SweepSeeds, PerCellSchemeDecorrelatesCells) {
+  SweepSpec spec = tiny_spec();
+  spec.seed_scheme = SeedScheme::kPerCell;
+  spec.base_seed = 42;
+  const RepeatSeeds a = derive_seeds(spec, 0, 0);
+  const RepeatSeeds b = derive_seeds(spec, 1, 0);
+  const RepeatSeeds c = derive_seeds(spec, 0, 1);
+  EXPECT_NE(a.workload, b.workload);
+  EXPECT_NE(a.workload, c.workload);
+  EXPECT_NE(a.workload, a.trace);
+  // Deterministic: same inputs, same seeds.
+  const RepeatSeeds a2 = derive_seeds(spec, 0, 0);
+  EXPECT_EQ(a.workload, a2.workload);
+  EXPECT_EQ(a.trace, a2.trace);
+  EXPECT_EQ(a.sim, a2.sim);
+}
+
+TEST(SweepSeeds, MalformedBenchSeedsEnvThrows) {
+  for (const char* bad : {"banana", "0", "-3", "2.5", ""}) {
+    ASSERT_EQ(setenv("BGL_BENCH_SEEDS", bad, 1), 0);
+    EXPECT_THROW(default_repeats_from_env(), ConfigError) << bad;
+  }
+  ASSERT_EQ(setenv("BGL_BENCH_SEEDS", "4", 1), 0);
+  EXPECT_EQ(default_repeats_from_env(), 4);
+  unsetenv("BGL_BENCH_SEEDS");
+  EXPECT_EQ(default_repeats_from_env(), 3);
+}
+
+// Drop the wall-clock metrics (scheduler decision latency) from a registry
+// JSON dump. They measure real elapsed time, so no two runs — serial or
+// parallel — ever agree on them; every simulation-derived metric must
+// still match bit-for-bit.
+std::string strip_timing(std::string json) {
+  for (const char* key :
+       {"\"sched.decision_ns\":", "\"avg_decision_us\":"}) {
+    const auto start = json.find(key);
+    if (start == std::string::npos) continue;
+    auto end = json.find(',', start);
+    if (end == std::string::npos) end = json.size() - 1;
+    json.erase(start, end - start + 1);
+  }
+  const auto start = json.find("\"sched.decision_us\":{");
+  if (start != std::string::npos) {
+    auto end = json.find('}', start);  // histogram objects nest no braces
+    if (end != std::string::npos && end + 1 < json.size() &&
+        json[end + 1] == ',') {
+      ++end;
+    }
+    json.erase(start, end - start + 1);
+  }
+  return json;
+}
+
+// The tentpole guarantee: a parallel run is indistinguishable from the
+// serial reference — bit-equal cell metrics and identical merged
+// counter/histogram dumps (modulo wall-clock timing), regardless of
+// thread count.
+TEST(SweepRunner, ParallelRunIsBitIdenticalToSerial) {
+  ASSERT_EQ(setenv("BGL_BENCH_SEEDS", "2", 1), 0);
+  const SweepSpec spec = tiny_spec();
+
+  RunOptions serial;
+  serial.threads = 1;
+  RunOptions parallel;
+  parallel.threads = 8;
+  const SweepResult a = SweepRunner().run(spec, serial);
+  const SweepResult b = SweepRunner().run(spec, parallel);
+
+  ASSERT_EQ(a.num_cells(), b.num_cells());
+  for (std::size_t i = 0; i < a.num_cells(); ++i) {
+    const PointSummary& pa = a.cell(i);
+    const PointSummary& pb = b.cell(i);
+    // Bit equality, not tolerance: the reduction order is fixed.
+    EXPECT_EQ(std::memcmp(&pa, &pb, sizeof(PointSummary)), 0) << "cell " << i;
+  }
+
+  std::ostringstream ca, cb, ha, hb;
+  a.counters().write_json(ca);
+  b.counters().write_json(cb);
+  a.histograms().write_json(ha);
+  b.histograms().write_json(hb);
+  EXPECT_EQ(strip_timing(ca.str()), strip_timing(cb.str()));
+  EXPECT_EQ(strip_timing(ha.str()), strip_timing(hb.str()));
+  EXPECT_NE(ca.str(), "{}");  // the merge actually carried data
+  unsetenv("BGL_BENCH_SEEDS");
+}
+
+// End-to-end through the figure layer: the CSV files a figure writes are
+// byte-identical across thread counts.
+TEST(SweepRunner, FigureCsvBytesAreThreadCountInvariant) {
+  ASSERT_EQ(setenv("BGL_BENCH_SEEDS", "2", 1), 0);
+
+  bench::FigureDef fig;
+  fig.name = "tiny_fig";
+  fig.header = "tiny figure";
+  fig.spec = tiny_spec();
+  fig.render = [](const SweepResult& r) {
+    Table table({"cell", "slowdown", "utilized"});
+    for (std::size_t i = 0; i < r.num_cells(); ++i) {
+      table.add_row()
+          .add(static_cast<long long>(i))
+          .add(r.cell(i).slowdown, 3)
+          .add(r.cell(i).utilization, 3);
+    }
+    bench::FigureOutput out;
+    out.parts.push_back({"tiny_fig", "", std::move(table)});
+    return out;
+  };
+
+  auto run_at = [&fig](int threads, const std::string& dir) {
+    bench::FigureRunOptions options;
+    options.threads = threads;
+    options.out_dir = dir;
+    options.progress = false;
+    std::ostringstream sink;
+    bench::run_figure(fig, options, sink);
+    std::ifstream in(dir + "/tiny_fig.csv");
+    std::ostringstream content;
+    content << in.rdbuf();
+    return content.str();
+  };
+
+  const std::string serial = run_at(1, testing::TempDir() + "/sweep_t1");
+  const std::string parallel = run_at(8, testing::TempDir() + "/sweep_t8");
+  EXPECT_FALSE(serial.empty());
+  EXPECT_EQ(serial, parallel);
+  unsetenv("BGL_BENCH_SEEDS");
+}
+
+}  // namespace
+}  // namespace bgl::exp

@@ -4,6 +4,7 @@
 
 #include <cstdlib>
 
+#include "util/error.hpp"
 #include "workload/analysis.hpp"
 #include "workload/swf.hpp"
 
@@ -76,13 +77,16 @@ TEST(Experiment, JobScaleEnvShrinksModels) {
   unsetenv("BGL_JOB_SCALE");
 }
 
-TEST(Experiment, MalformedJobScaleIgnored) {
-  ASSERT_EQ(setenv("BGL_JOB_SCALE", "banana", 1), 0);
+TEST(Experiment, MalformedJobScaleRejected) {
+  // A silently ignored typo used to run the full-size log; malformed
+  // values are now a hard error (garbage, NaN, inf, zero, negative).
   SyntheticModel model = SyntheticModel::sdsc();
-  const int before = model.num_jobs;
-  EXPECT_DOUBLE_EQ(apply_job_scale_env(model), 1.0);
-  EXPECT_EQ(model.num_jobs, before);
+  for (const char* bad : {"banana", "nan", "inf", "0", "-1", "1.5x", ""}) {
+    ASSERT_EQ(setenv("BGL_JOB_SCALE", bad, 1), 0);
+    EXPECT_THROW(apply_job_scale_env(model), ConfigError) << bad;
+  }
   unsetenv("BGL_JOB_SCALE");
+  EXPECT_EQ(model.num_jobs, SyntheticModel::sdsc().num_jobs);
 }
 
 TEST(Experiment, SwfOverrideIsUsed) {
