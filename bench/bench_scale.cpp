@@ -1,0 +1,108 @@
+// bench_scale: throughput of the simulator itself at BlueGene/L-full scale.
+//
+// Every other figure measures the *schedulers*; this one measures the
+// *simulator*: a 64 x 32 x 32 (65 536-node) machine, a million-job
+// synthetic SDSC-profile trace, and all three paper schedulers, reporting
+// host-side throughput (jobs/sec, scheduling decisions/sec) and the p99
+// decision latency from the sched.decision_us histogram. The machine uses
+// the block catalog (CatalogOptions::kBlocks — full box enumeration is
+// infeasible at this volume) with the default calendar event queue and
+// pooled scheduler scratch.
+//
+// Outputs, beyond the usual CSV/stats pair: BENCH_scale.json, one entry per
+// scheduler with the throughput numbers — the artifact the CI perf job
+// uploads. The companion binary (bench_scale_main.cpp) adds --perf-smoke
+// (optimized vs reference-configuration differential gate) and
+// --emit-trace (a small full-scale trace for tools/trace_audit --strict).
+#include <sstream>
+#include <string>
+
+#include "common/bench_common.hpp"
+#include "common/figures.hpp"
+#include "util/strings.hpp"
+
+namespace bgl::bench {
+
+Dims scale_machine_dims() { return Dims{64, 32, 32}; }
+
+SyntheticModel scale_model() {
+  SyntheticModel model = SyntheticModel::sdsc();
+  model.num_jobs = 1'000'000;
+  apply_job_scale_env(model);  // BGL_JOB_SCALE shrinks CI / test runs
+  return model;
+}
+
+SimConfig scale_proto() {
+  SimConfig proto;
+  proto.dims = scale_machine_dims();
+  proto.catalog.mode = CatalogOptions::Mode::kBlocks;
+  proto.catalog.min_block = 256;
+  return proto;
+}
+
+FigureDef make_scale() {
+  const SyntheticModel model = scale_model();
+  const double alpha = 0.1;
+
+  exp::SweepSpec spec;
+  spec.name = "scale";
+  spec.models = {{"SDSC", model}};
+  spec.schedulers = {SchedulerKind::kKrevat, SchedulerKind::kBalancing,
+                     SchedulerKind::kTieBreak};
+  spec.alphas = {alpha};
+  spec.configs = {{"full-machine", scale_proto(), std::nullopt}};
+  // One seed: this figure measures host throughput, not a noisy simulated
+  // metric, and a repeat would double a million-job run for nothing.
+  spec.repeat_floor = 1;
+  spec.repeat_cap = 1;
+
+  FigureDef fig;
+  fig.name = "scale";
+  fig.summary = "Scale-up throughput: 64x32x32 machine, 1M-job trace, "
+                "all three schedulers";
+  fig.header = "Scale bench: " + to_string(scale_machine_dims()) +
+               " supernodes (block catalog), " +
+               std::to_string(model.num_jobs) +
+               " SDSC-profile jobs per scheduler\n" +
+               "seeds/point: " + std::to_string(spec.repeats()) + "\n";
+  fig.spec = std::move(spec);
+  fig.render = [](const exp::SweepResult& r) {
+    FigureOutput out;
+    Table table({"scheduler", "jobs", "wall_s", "jobs_per_s", "decisions",
+                 "decisions_per_s", "p99_decision_us", "utilization"});
+    std::ostringstream json;
+    json << "{\n  \"machine\": \"" << to_string(scale_machine_dims())
+         << "\",\n  \"catalog\": \"blocks\",\n  \"schedulers\": {\n";
+    const char* names[] = {"krevat", "balancing", "tie-break"};
+    for (std::size_t si = 0; si < r.shape().schedulers; ++si) {
+      const exp::PointSummary& p = r.at(0, 0, 0, si, 0, 0);
+      table.add_row()
+          .add(names[si])
+          .add(static_cast<long long>(p.jobs_completed))
+          .add(p.wall_seconds, 2)
+          .add(p.jobs_per_sec(), 0)
+          .add(static_cast<long long>(p.decisions))
+          .add(p.decisions_per_sec(), 0)
+          .add(p.decision_p99_us, 1)
+          .add(p.utilization, 3);
+      json << "    \"" << names[si] << "\": {"
+           << "\"jobs\": " << static_cast<long long>(p.jobs_completed)
+           << ", \"wall_seconds\": " << format_double(p.wall_seconds, 3)
+           << ", \"jobs_per_sec\": " << format_double(p.jobs_per_sec(), 1)
+           << ", \"decisions\": " << static_cast<long long>(p.decisions)
+           << ", \"decisions_per_sec\": "
+           << format_double(p.decisions_per_sec(), 1)
+           << ", \"p99_decision_us\": "
+           << format_double(p.decision_p99_us, 2)
+           << ", \"utilization\": " << format_double(p.utilization, 4) << "}"
+           << (si + 1 < r.shape().schedulers ? ",\n" : "\n");
+    }
+    json << "  }\n}\n";
+    out.parts.push_back({"scale_throughput", "Throughput:", std::move(table)});
+    out.artifacts.push_back({"BENCH_scale.json", json.str()});
+    return out;
+  };
+  return fig;
+}
+
+}  // namespace bgl::bench

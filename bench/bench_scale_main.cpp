@@ -1,0 +1,254 @@
+// bench_scale binary: the scale-up throughput figure plus the CI gates.
+//
+//   bench_scale
+//       Run the "scale" figure from the registry: 64 x 32 x 32 machine,
+//       1M-job SDSC trace (x BGL_JOB_SCALE), all three schedulers. Writes
+//       scale_throughput.csv, scale.stats.json and BENCH_scale.json into
+//       ${BGL_BENCH_OUT:-bench_out}.
+//
+//   bench_scale --perf-smoke [--jobs N]
+//       Differential perf gate: replay one full-machine SDSC workload
+//       (default 20 000 jobs) through the optimized configuration (calendar
+//       event queue, pooled arena scratch, word-range scan kernels) and
+//       through the pre-optimization reference (binary-heap queue,
+//       per-decision allocation, full-width scans). The two SimResults must
+//       be identical — the optimizations are pure mechanism — and the
+//       optimized run must be at least kMinSpeedup x faster end to end.
+//       Exit status: 0 ok, 1 below the speedup gate, 2 results diverge.
+//
+//   bench_scale --emit-trace PATH [--jobs N]
+//       Write the JSONL trace of a short full-scale run (default 2 000
+//       jobs, machine_state snapshots on) so CI can feed a 65 536-node
+//       block-catalog trace through `tools/trace_audit --strict`.
+#include <algorithm>
+#include <bit>
+#include <cstdint>
+#include <cstdio>
+#include <iostream>
+#include <optional>
+#include <string>
+
+#include "common/figures.hpp"
+#include "des/event_queue.hpp"
+#include "obs/counters.hpp"
+#include "obs/trace.hpp"
+#include "util/strings.hpp"
+
+namespace {
+
+using namespace bgl;
+
+/// End-to-end speedup the optimized configuration must reach over the
+/// reference on the same workload (ISSUE 6 acceptance gate). Measured
+/// margin is far larger; 3x keeps the gate robust on noisy CI runners.
+constexpr double kMinSpeedup = 3.0;
+
+struct ScaleInputs {
+  Workload workload;
+  FailureTrace trace;
+  std::size_t injected_events = 0;
+};
+
+/// The bench recipe at full machine scale (same shape as exp::run_unit):
+/// generate the SDSC log, rescale sizes onto 65 536 nodes, stretch the
+/// paper's failure budget over the log's span at matching density.
+ScaleInputs make_inputs(int jobs) {
+  SyntheticModel model = SyntheticModel::sdsc();
+  model.num_jobs = jobs;
+  const Dims dims = bench::scale_machine_dims();
+
+  ScaleInputs in;
+  in.workload = generate_workload(model, /*seed=*/1000);
+  in.workload = rescale_sizes(in.workload, dims.volume());
+  const double span = in.workload.arrival_span();
+  double max_runtime = 0.0;
+  for (const Job& j : in.workload.jobs) {
+    max_runtime = std::max(max_runtime, j.runtime);
+  }
+  const double trace_span = span * 1.05 + 2.0 * max_runtime;
+  in.injected_events =
+      span_scaled_events(paper_failure_count(model), trace_span, model);
+
+  FailureModel fm = FailureModel::bluegene_l(in.injected_events, trace_span);
+  fm.num_nodes = dims.volume();
+  in.trace = generate_failures(fm, /*seed=*/500);
+  return in;
+}
+
+SimConfig smoke_config() {
+  SimConfig config = bench::scale_proto();
+  config.scheduler = SchedulerKind::kBalancing;
+  config.alpha = 0.1;
+  config.seed = 500 ^ 0x7365656473ULL;  // The bench seed derivation.
+  return config;
+}
+
+std::uint64_t mix(std::uint64_t h, std::uint64_t v) {
+  return h * 1315423911ull + v + 1;
+}
+
+std::uint64_t bits(double v) { return std::bit_cast<std::uint64_t>(v); }
+
+/// Order-sensitive digest of every scalar a scheduling decision can move.
+/// Bitwise double comparison is intentional: the reference and optimized
+/// configurations must take literally identical decisions, not merely
+/// statistically similar ones.
+std::uint64_t result_checksum(const SimResult& r) {
+  std::uint64_t h = 0;
+  h = mix(h, r.jobs_completed);
+  h = mix(h, r.job_kills);
+  h = mix(h, r.avoidable_kills);
+  h = mix(h, r.starts_on_flagged);
+  h = mix(h, r.flagged_with_alternative);
+  h = mix(h, r.failures_hitting_jobs);
+  h = mix(h, r.failures_total);
+  h = mix(h, r.migrations);
+  h = mix(h, r.checkpoints_taken);
+  h = mix(h, bits(r.span));
+  h = mix(h, bits(r.avg_wait));
+  h = mix(h, bits(r.avg_response));
+  h = mix(h, bits(r.avg_bounded_slowdown));
+  h = mix(h, bits(r.utilization));
+  h = mix(h, bits(r.unused));
+  h = mix(h, bits(r.lost));
+  h = mix(h, bits(r.work_lost_node_seconds));
+  return h;
+}
+
+int run_perf_smoke(int jobs) {
+  const ScaleInputs in = make_inputs(jobs);
+  std::printf("perf-smoke: %d nodes (%s), %zu jobs, %zu failure events\n",
+              bench::scale_machine_dims().volume(),
+              to_string(bench::scale_machine_dims()).c_str(),
+              in.workload.jobs.size(), in.injected_events);
+
+  // Reference = the pre-optimization engine: binary-heap event queue,
+  // fresh scratch + heap vectors per scheduling pass, full-width word
+  // scans in the catalog kernels. The partition index stays on in both
+  // (it predates this optimization pass).
+  SimConfig reference = smoke_config();
+  reference.event_queue = EventQueueKind::kHeap;
+  reference.sched.arena_scratch = false;
+  reference.catalog.full_width_scans = true;
+
+  const SimConfig optimized = smoke_config();
+
+  // Per-run counters so the log shows where the time went (scheduler
+  // decisions vs the event loop) when the gate regresses.
+  auto timed_run = [&in](SimConfig config, const char* label) {
+    obs::CounterRegistry counters;
+    config.obs.counters = &counters;
+    const SimResult result = run_simulation(in.workload, in.trace, config);
+    std::printf(
+        "perf-smoke: %s: %.3f s (%.3f s in %llu scheduler passes)\n", label,
+        result.wall_seconds,
+        static_cast<double>(counters.value(obs::Counter::kSchedDecisionNanos)) *
+            1e-9,
+        static_cast<unsigned long long>(
+            counters.value(obs::Counter::kSchedInvocations)));
+    return result;
+  };
+
+  const SimResult ref = timed_run(
+      reference, "reference (heap queue, allocating scratch, full-width scans)");
+  const SimResult opt = timed_run(
+      optimized, "optimized (calendar queue, arena scratch, word-range scans)");
+
+  const std::uint64_t ref_sum = result_checksum(ref);
+  const std::uint64_t opt_sum = result_checksum(opt);
+  if (ref_sum != opt_sum) {
+    std::printf(
+        "perf-smoke: FAIL — results diverge (reference %016llx, optimized "
+        "%016llx); the optimizations changed a scheduling decision\n",
+        static_cast<unsigned long long>(ref_sum),
+        static_cast<unsigned long long>(opt_sum));
+    return 2;
+  }
+  std::printf("perf-smoke: results identical (checksum %016llx)\n",
+              static_cast<unsigned long long>(opt_sum));
+
+  const double speedup =
+      opt.wall_seconds > 0.0 ? ref.wall_seconds / opt.wall_seconds : 0.0;
+  std::printf("perf-smoke: speedup %.2fx (gate: >= %.0fx)\n", speedup,
+              kMinSpeedup);
+  if (speedup < kMinSpeedup) {
+    std::printf("perf-smoke: FAIL — below the %.0fx gate\n", kMinSpeedup);
+    return 1;
+  }
+  std::printf("perf-smoke: PASS\n");
+  return 0;
+}
+
+int run_emit_trace(const std::string& path, int jobs) {
+  const ScaleInputs in = make_inputs(jobs);
+  auto sink = obs::TraceSink::open(path);
+  if (sink == nullptr) {
+    std::cerr << "bench_scale: cannot open " << path << " for writing\n";
+    return 1;
+  }
+  SimConfig config = smoke_config();
+  config.obs.trace = sink.get();
+  config.snapshot_interval = 43200.0;  // machine_state coverage for audit
+  const SimResult result = run_simulation(in.workload, in.trace, config);
+  std::printf("emit-trace: %s (%zu jobs completed, %.3f s)\n", path.c_str(),
+              result.jobs_completed, result.wall_seconds);
+  return 0;
+}
+
+void usage(std::ostream& out) {
+  out << "usage: bench_scale [--perf-smoke [--jobs N]"
+         " | --emit-trace PATH [--jobs N]]\n"
+         "  (no mode)         run the 'scale' figure into"
+         " ${BGL_BENCH_OUT:-bench_out}\n"
+         "  --perf-smoke      optimized vs reference differential gate\n"
+         "  --emit-trace PATH write a short full-scale trace for"
+         " tools/trace_audit\n"
+         "  --jobs N          synthetic job count for the smoke/trace modes\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool perf_smoke = false;
+  std::optional<std::string> trace_path;
+  std::optional<int> jobs;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::cerr << "bench_scale: " << arg << " needs a value\n";
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--perf-smoke") {
+      perf_smoke = true;
+    } else if (arg == "--emit-trace") {
+      trace_path = value();
+    } else if (arg == "--jobs") {
+      const auto n = bgl::parse_int(value());
+      if (!n || *n < 1) {
+        std::cerr << "bench_scale: --jobs needs an integer >= 1\n";
+        return 2;
+      }
+      jobs = static_cast<int>(*n);
+    } else if (arg == "--help" || arg == "-h") {
+      usage(std::cout);
+      return 0;
+    } else {
+      std::cerr << "bench_scale: unknown option " << arg << "\n";
+      usage(std::cerr);
+      return 2;
+    }
+  }
+
+  try {
+    if (perf_smoke) return run_perf_smoke(jobs.value_or(20000));
+    if (trace_path) return run_emit_trace(*trace_path, jobs.value_or(2000));
+    return bgl::bench::figure_binary_main("scale");
+  } catch (const std::exception& e) {
+    std::cerr << "bench_scale: " << e.what() << '\n';
+    return 1;
+  }
+}

@@ -29,6 +29,7 @@ std::vector<FigureDef> all_figures() {
   figures.push_back(make_ablation_history_predictor());
   figures.push_back(make_ablation_backfill_migration());
   figures.push_back(make_ablation_checkpoint());
+  figures.push_back(make_scale());
   return figures;
 }
 
@@ -102,6 +103,17 @@ void write_outputs(const FigureDef& figure, const FigureOutput& output,
       out << "[csv] " << path << "\n";
     } catch (const std::exception& e) {
       out << "[csv] skipped (" << e.what() << ")\n";
+    }
+  }
+
+  for (const FigureArtifact& artifact : output.artifacts) {
+    const std::string path = dir + "/" + artifact.file_name;
+    std::ofstream file(path, std::ios::trunc);
+    if (file) {
+      file << artifact.content;
+      out << "[artifact] " << path << "\n";
+    } else {
+      out << "[artifact] skipped (" << path << " not writable)\n";
     }
   }
 

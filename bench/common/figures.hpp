@@ -40,8 +40,16 @@ struct FigurePart {
   Table table;
 };
 
+/// A non-CSV file a figure wants written next to its tables (e.g.
+/// bench_scale's BENCH_scale.json). Content is written verbatim.
+struct FigureArtifact {
+  std::string file_name;  ///< Name inside the output directory.
+  std::string content;
+};
+
 struct FigureOutput {
   std::vector<FigurePart> parts;
+  std::vector<FigureArtifact> artifacts;
   std::string notes;      ///< Extra console text (e.g. fig3's §1 claim check).
 };
 
@@ -72,6 +80,13 @@ FigureDef make_ablation_queue_order();
 FigureDef make_ablation_history_predictor();
 FigureDef make_ablation_backfill_migration();
 FigureDef make_ablation_checkpoint();
+FigureDef make_scale();
+
+// bench_scale's machine recipe, shared with its companion binary
+// (bench_scale_main.cpp: --perf-smoke gate, --emit-trace for trace_audit).
+Dims scale_machine_dims();        ///< 64 x 32 x 32 — the full BlueGene/L.
+SyntheticModel scale_model();     ///< SDSC profile, 1M jobs x BGL_JOB_SCALE.
+SimConfig scale_proto();          ///< Block catalog (min_block 256).
 
 /// All figures, in paper order. Built fresh on every call (the specs
 /// depend on the environment; set BGL_JOB_SCALE / BGL_BENCH_SEEDS first).

@@ -1,6 +1,26 @@
-// Binary-heap event queue with stable FIFO tie-breaking.
+// Pending-event set with stable FIFO tie-breaking.
+//
+// Two interchangeable implementations sit behind one API:
+//
+//   * kCalendar (default) — a calendar queue (Brown 1988): events hash into
+//     time-sliced buckets of `width` seconds, `num_buckets` covering one
+//     "year". Push and pop are O(1) amortised; the bucket table doubles /
+//     halves as the population crosses 2N / N/2 and the width is re-derived
+//     from the live min/max event times, so both the million-arrival preload
+//     and the near-term finish/failure churn stay at ~1 event per bucket.
+//   * kHeap — the original std::priority_queue binary heap, kept as the
+//     reference implementation for differential tests and perf baselines.
+//
+// Both honour the exact total order of EventAfter — (time, semantic type,
+// FIFO seq) — so any trace produced through one is byte-identical through the
+// other. Equal-time events always land in the same calendar bucket (the slot
+// index is a pure function of the timestamp), which keeps tie-breaking a
+// purely intra-bucket affair; the in-bucket min scan uses the full
+// comparator, whose seq field makes the order total (no two events compare
+// equal).
 #pragma once
 
+#include <cstdint>
 #include <queue>
 #include <vector>
 
@@ -9,10 +29,20 @@
 
 namespace bgl {
 
+enum class EventQueueKind : std::uint8_t {
+  kCalendar = 0,  ///< Bucketed calendar queue, O(1) amortised (default).
+  kHeap = 1,      ///< Binary heap reference implementation.
+};
+
+const char* to_string(EventQueueKind kind);
+
 class EventQueue {
  public:
-  bool empty() const { return heap_.empty(); }
-  std::size_t size() const { return heap_.size(); }
+  explicit EventQueue(EventQueueKind kind = EventQueueKind::kCalendar);
+
+  EventQueueKind kind() const { return kind_; }
+  bool empty() const { return size_ == 0; }
+  std::size_t size() const { return size_; }
 
   /// Enqueue; the event's seq field is overwritten with a fresh number.
   /// Events must not be scheduled before the last popped time.
@@ -30,9 +60,38 @@ class EventQueue {
   void clear();
 
  private:
-  std::priority_queue<Event, std::vector<Event>, EventAfter> heap_;
+  // --- calendar implementation ---
+  void cal_push(Event event);
+  Event cal_pop();
+  /// Locate the minimum event (sets min_bucket_/min_index_); scans at most
+  /// one calendar year from the current cursor before falling back to a
+  /// direct search. Logically const — only touches the mutable cursor/cache.
+  void cal_find_min() const;
+  std::uint64_t slot_of(SimTime t) const {
+    return static_cast<std::uint64_t>(t / width_);
+  }
+  /// Rebuild the bucket table with `new_buckets` buckets and a width derived
+  /// from the live event population, then re-seat the cursor on the minimum.
+  void cal_rehash(std::size_t new_buckets);
+
+  static constexpr std::size_t kMinBuckets = 4;
+
+  EventQueueKind kind_ = EventQueueKind::kCalendar;
+  std::size_t size_ = 0;
   std::uint64_t next_seq_ = 0;
   SimTime now_ = 0.0;
+
+  // Heap state (kind_ == kHeap).
+  std::priority_queue<Event, std::vector<Event>, EventAfter> heap_;
+
+  // Calendar state (kind_ == kCalendar). Buckets are unsorted; the pop-side
+  // min scan uses the full EventAfter order, so intra-bucket order is free.
+  std::vector<std::vector<Event>> buckets_;
+  double width_ = 1.0;
+  mutable std::uint64_t cursor_slot_ = 0;   ///< Earliest slot any event can occupy.
+  mutable bool min_valid_ = false;          ///< min_bucket_/min_index_ point at the min.
+  mutable std::size_t min_bucket_ = 0;
+  mutable std::size_t min_index_ = 0;
 };
 
 }  // namespace bgl

@@ -30,8 +30,13 @@ void run_unit(const SweepSpec& spec, const Cell& cell, int repeat,
   const RepeatSeeds seeds = derive_seeds(spec, cell.index, repeat);
   const SyntheticModel& model = cell.model->model;
 
+  // The machine is the config case's dims (default: the paper's 4x4x8
+  // supernode view, identical to the historical hardcoding; scale-up specs
+  // override it, e.g. bench_scale's 64x32x32).
+  const Dims dims = cell.config->proto.dims;
+
   Workload w = generate_workload(model, seeds.workload);
-  w = rescale_sizes(w, Dims::bluegene_l().volume());
+  w = rescale_sizes(w, dims.volume());
   const double span = w.arrival_span();
   if (cell.load_scale != 1.0) w = scale_load(w, cell.load_scale);
 
@@ -42,10 +47,10 @@ void run_unit(const SweepSpec& spec, const Cell& cell, int repeat,
       span_scaled_events(cell.nominal_failures, trace_span, model);
 
   FailureModel fm = FailureModel::bluegene_l(out.injected_events, trace_span);
+  fm.num_nodes = dims.volume();  // no-op at paper scale (128)
   const FailureTrace trace = generate_failures(fm, seeds.trace);
 
   SimConfig config = cell.config->proto;
-  config.dims = Dims::bluegene_l();
   config.scheduler = cell.scheduler;
   config.alpha = cell.alpha;
   config.seed = seeds.sim;
@@ -56,11 +61,16 @@ void run_unit(const SweepSpec& spec, const Cell& cell, int repeat,
   config.obs.counters = &out.counters;
   config.obs.histograms = &out.histograms;
 
-  // The shared catalog is the default torus one; mesh-topology configs
-  // build their own inside run_simulation.
-  const PartitionCatalog* catalog =
-      config.topology == Topology::kTorus ? &torus_catalog : nullptr;
-  out.result = run_simulation(w, trace, config, catalog);
+  // The shared catalog is the default paper-scale torus one; cells that
+  // deviate on any catalog-shaping axis (mesh topology, non-paper dims,
+  // block mode, reference scan kernels) build their own inside
+  // run_simulation.
+  const bool shares_catalog = config.topology == Topology::kTorus &&
+                              config.dims == torus_catalog.dims() &&
+                              config.catalog.mode == CatalogOptions::Mode::kBoxes &&
+                              !config.catalog.full_width_scans;
+  out.result = run_simulation(w, trace, config,
+                              shares_catalog ? &torus_catalog : nullptr);
 }
 
 }  // namespace
@@ -124,10 +134,16 @@ SweepResult SweepRunner::run(const SweepSpec& spec,
   for (std::size_t c = 0; c < cells.size(); ++c) {
     PointSummary& s = result.cells_[c];
     s.seeds = repeats;
+    obs::HistogramRegistry cell_hists;  // merged repeats, for the p99
     for (int r = 0; r < repeats; ++r) {
       const UnitOutcome& o =
           outcomes[c * static_cast<std::size_t>(repeats) +
                    static_cast<std::size_t>(r)];
+      s.wall_seconds += o.result.wall_seconds;
+      s.jobs_completed += static_cast<double>(o.result.jobs_completed);
+      s.decisions +=
+          static_cast<double>(o.counters.value(obs::Counter::kSchedInvocations));
+      cell_hists.merge(o.histograms);
       s.slowdown += o.result.avg_bounded_slowdown;
       s.response += o.result.avg_response;
       s.wait += o.result.avg_wait;
@@ -141,6 +157,8 @@ SweepResult SweepRunner::run(const SweepSpec& spec,
       result.counters_.merge(o.counters);
       result.histograms_.merge(o.histograms);
     }
+    s.decision_p99_us =
+        cell_hists.histogram(obs::Hist::kDecisionUs).quantile(0.99);
     const double n = static_cast<double>(repeats);
     s.slowdown /= n;
     s.response /= n;

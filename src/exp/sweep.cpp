@@ -21,7 +21,9 @@ std::size_t SweepSpec::num_cells() const {
 
 int SweepSpec::repeats() const {
   const int env = default_repeats_from_env();
-  return env > repeat_floor ? env : repeat_floor;
+  const int wanted = env > repeat_floor ? env : repeat_floor;
+  if (repeat_cap > 0 && wanted > repeat_cap) return repeat_cap;
+  return wanted;
 }
 
 std::vector<Cell> expand_cells(const SweepSpec& spec) {

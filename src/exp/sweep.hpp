@@ -87,6 +87,9 @@ struct SweepSpec {
   /// Repeats (seeds) averaged per cell: max(BGL_BENCH_SEEDS, repeat_floor).
   /// Noise-sensitive sweeps (the slowdown figures) raise the floor to 5.
   int repeat_floor = 1;
+  /// Upper bound on repeats (0 = none). Expensive scale benches cap at 1 so
+  /// the BGL_BENCH_SEEDS default does not triple a million-job run.
+  int repeat_cap = 0;
 
   SeedScheme seed_scheme = SeedScheme::kSharedAcrossCells;
   std::uint64_t base_seed = 0;            ///< Only used by kPerCell.
@@ -161,6 +164,22 @@ struct PointSummary {
   double injected_events = 0.0;   ///< Actual failure events per run (avg).
   double work_lost_node_hours = 0.0;
   int seeds = 0;                  ///< Repeats averaged.
+
+  // Host-side throughput of the cell, totalled (not averaged) over its
+  // repeats so rates divide out directly: jobs_per_sec() is the cell's
+  // aggregate simulation throughput. Filled by the runner from
+  // SimResult::wall_seconds and the per-unit counter registries.
+  double wall_seconds = 0.0;      ///< Total run_simulation wall time.
+  double jobs_completed = 0.0;    ///< Total jobs simulated to completion.
+  double decisions = 0.0;         ///< Total schedule() invocations.
+  double decision_p99_us = 0.0;   ///< p99 decision latency (merged repeats).
+
+  double jobs_per_sec() const {
+    return wall_seconds > 0.0 ? jobs_completed / wall_seconds : 0.0;
+  }
+  double decisions_per_sec() const {
+    return wall_seconds > 0.0 ? decisions / wall_seconds : 0.0;
+  }
 };
 
 }  // namespace bgl::exp

@@ -44,10 +44,16 @@ double FailureTrace::next_failure_after(int node, double t0) const {
 
 NodeSet FailureTrace::failing_nodes(double t0, double t1) const {
   NodeSet mask(num_nodes_);
+  failing_nodes_into(mask, t0, t1);
+  return mask;
+}
+
+void FailureTrace::failing_nodes_into(NodeSet& out, double t0, double t1) const {
+  if (out.bits() != num_nodes_) out = NodeSet(num_nodes_);
+  out.clear();
   auto cmp = [](const FailureEvent& e, double t) { return e.time <= t; };
   auto it = std::lower_bound(events_.begin(), events_.end(), t0, cmp);
-  for (; it != events_.end() && it->time <= t1; ++it) mask.set(it->node);
-  return mask;
+  for (; it != events_.end() && it->time <= t1; ++it) out.set(it->node);
 }
 
 std::vector<FailureEvent> FailureTrace::events_in(double t0, double t1) const {

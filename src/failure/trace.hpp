@@ -44,6 +44,10 @@ class FailureTrace {
   /// Bitmask of all nodes with at least one failure in (t0, t1].
   NodeSet failing_nodes(double t0, double t1) const;
 
+  /// Same, written into `out` (resized to the machine if needed) — the
+  /// allocation-free form the scheduler's per-job predictor queries use.
+  void failing_nodes_into(NodeSet& out, double t0, double t1) const;
+
   /// Events with time in (t0, t1], time-ascending.
   std::vector<FailureEvent> events_in(double t0, double t1) const;
 

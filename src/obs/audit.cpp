@@ -293,7 +293,20 @@ class Auditor {
       add(ViolationCode::kFormat, line, -1,
           "unknown topology '" + e.topology + "'");
     }
-    if (dims.volume() > kMaxReconstructedNodes) {
+    CatalogOptions copts;
+    if (e.catalog == "blocks") {
+      copts.mode = CatalogOptions::Mode::kBlocks;
+      if (e.min_block > 0) copts.min_block = e.min_block;
+    } else if (!e.catalog.empty() && e.catalog != "boxes") {
+      add(ViolationCode::kFormat, line, -1,
+          "unknown catalog mode '" + e.catalog + "'");
+      return;
+    }
+    // The node cap guards the O(volume^2)-entry box enumeration only; a
+    // block catalog is a few hundred entries at any machine size, so
+    // full-scale traces remain fully auditable.
+    if (copts.mode == CatalogOptions::Mode::kBoxes &&
+        dims.volume() > kMaxReconstructedNodes) {
       if (opts_.strict) {
         add(ViolationCode::kFormat, line, -1,
             "machine too large to reconstruct (" +
@@ -304,7 +317,7 @@ class Auditor {
       return;
     }
     try {
-      catalog_ = std::make_unique<PartitionCatalog>(dims, topo);
+      catalog_ = std::make_unique<PartitionCatalog>(dims, topo, copts);
     } catch (const Error& err) {
       add(ViolationCode::kFormat, line, -1,
           std::string("cannot rebuild partition catalog: ") + err.what());

@@ -319,6 +319,9 @@ SimBeginEvent SimBeginEvent::from(const TraceRecord& r) {
   e.migration = r.require_bool("migration");
   e.jobs = r.require_int("jobs");
   e.failure_events = r.require_int("failure_events");
+  if (const auto c = r.str("catalog")) e.catalog = std::string(*c);
+  if (const auto m = r.num("min_block")) e.min_block = static_cast<int>(*m);
+  if (const auto q = r.str("event_queue")) e.event_queue = std::string(*q);
   return e;
 }
 

@@ -123,6 +123,11 @@ struct SimBeginEvent {
   bool migration = false;
   std::int64_t jobs = 0;
   std::int64_t failure_events = 0;
+  // Scale-up knobs, written only when they deviate from the defaults
+  // (docs/OBSERVABILITY.md): empty/zero means the default configuration.
+  std::string catalog;     ///< "" (boxes) | "blocks".
+  int min_block = 0;       ///< kBlocks only: smallest block size.
+  std::string event_queue; ///< "" (calendar) | "heap".
   static SimBeginEvent from(const TraceRecord& r);
 };
 

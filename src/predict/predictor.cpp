@@ -1,5 +1,7 @@
 #include "predict/predictor.hpp"
 
+#include <bit>
+
 #include "util/error.hpp"
 #include "util/rng.hpp"
 
@@ -25,6 +27,16 @@ NodeSet BalancingPredictor::flagged_nodes(double t0, double t1, std::uint64_t) c
   return trace_->failing_nodes(t0, t1);
 }
 
+void BalancingPredictor::flagged_nodes_into(NodeSet& out, double t0, double t1,
+                                            std::uint64_t) const {
+  if (confidence_ <= 0.0) {
+    if (out.bits() != trace_->num_nodes()) out = NodeSet(trace_->num_nodes());
+    out.clear();
+    return;
+  }
+  trace_->failing_nodes_into(out, t0, t1);
+}
+
 TieBreakPredictor::TieBreakPredictor(const FailureTrace& trace, double accuracy,
                                      double false_positive_rate, std::uint64_t seed)
     : trace_(&trace),
@@ -38,11 +50,26 @@ TieBreakPredictor::TieBreakPredictor(const FailureTrace& trace, double accuracy,
 
 NodeSet TieBreakPredictor::flagged_nodes(double t0, double t1,
                                          std::uint64_t query_key) const {
-  const NodeSet truth = trace_->failing_nodes(t0, t1);
   NodeSet flagged(trace_->num_nodes());
+  flagged_nodes_into(flagged, t0, t1, query_key);
+  return flagged;
+}
+
+void TieBreakPredictor::flagged_nodes_into(NodeSet& out, double t0, double t1,
+                                           std::uint64_t query_key) const {
+  trace_->failing_nodes_into(truth_scratch_, t0, t1);
+  const NodeSet& truth = truth_scratch_;
+  if (out.bits() != trace_->num_nodes()) out = NodeSet(trace_->num_nodes());
+  out.clear();
   if (accuracy_ > 0.0) {
-    for (const int node : truth.to_ids()) {
-      if (coin(seed_, node, query_key) < accuracy_) flagged.set(node);
+    const NodeSet::WordSpan words = truth.words();
+    for (std::size_t wi = 0; wi < words.size(); ++wi) {
+      std::uint64_t w = words[wi];
+      while (w) {
+        const int node = static_cast<int>(wi * 64) + std::countr_zero(w);
+        w &= w - 1;
+        if (coin(seed_, node, query_key) < accuracy_) out.set(node);
+      }
     }
   }
   if (false_positive_rate_ > 0.0) {
@@ -51,11 +78,10 @@ NodeSet TieBreakPredictor::flagged_nodes(double t0, double t1,
       // Salt differently from the true-positive coin so the two decisions
       // are independent.
       if (coin(seed_ ^ 0x5a5a5a5aULL, node, query_key) < false_positive_rate_) {
-        flagged.set(node);
+        out.set(node);
       }
     }
   }
-  return flagged;
 }
 
 HistoryPredictor::HistoryPredictor(const FailureTrace& trace, double lookback_seconds,
@@ -69,6 +95,12 @@ NodeSet HistoryPredictor::flagged_nodes(double t0, double t1, std::uint64_t) con
   (void)t1;  // the forecast window length does not change what we know
   // Past information only: failures in (t0 - lookback, t0].
   return trace_->failing_nodes(t0 - lookback_, t0);
+}
+
+void HistoryPredictor::flagged_nodes_into(NodeSet& out, double t0, double t1,
+                                          std::uint64_t) const {
+  (void)t1;
+  trace_->failing_nodes_into(out, t0 - lookback_, t0);
 }
 
 PredictionQuality evaluate_predictor(const FaultPredictor& predictor,

@@ -40,6 +40,16 @@ class FaultPredictor {
   virtual NodeSet flagged_nodes(double t0, double t1,
                                 std::uint64_t query_key) const = 0;
 
+  /// Same verdict written into `out` (resized to the machine if needed).
+  /// The scheduler issues one query per candidate-bearing job, so the
+  /// by-value form would put one bitset allocation per placement on the hot
+  /// path; subclasses override this to fill in place. The default delegates
+  /// to flagged_nodes() so third-party predictors stay correct unchanged.
+  virtual void flagged_nodes_into(NodeSet& out, double t0, double t1,
+                                  std::uint64_t query_key) const {
+    out = flagged_nodes(t0, t1, query_key);
+  }
+
   /// Probability the predictor attaches to each flagged node (the paper's
   /// confidence a for the balancing predictor; 1.0 for boolean predictors).
   virtual double confidence() const = 0;
@@ -52,6 +62,10 @@ class NullPredictor final : public FaultPredictor {
   NodeSet flagged_nodes(double, double, std::uint64_t) const override {
     return NodeSet(num_nodes_);
   }
+  void flagged_nodes_into(NodeSet& out, double, double, std::uint64_t) const override {
+    if (out.bits() != num_nodes_) out = NodeSet(num_nodes_);
+    out.clear();
+  }
   double confidence() const override { return 0.0; }
 
  private:
@@ -63,6 +77,8 @@ class BalancingPredictor final : public FaultPredictor {
  public:
   BalancingPredictor(const FailureTrace& trace, double confidence);
   NodeSet flagged_nodes(double t0, double t1, std::uint64_t) const override;
+  void flagged_nodes_into(NodeSet& out, double t0, double t1,
+                          std::uint64_t) const override;
   double confidence() const override { return confidence_; }
 
  private:
@@ -79,6 +95,8 @@ class TieBreakPredictor final : public FaultPredictor {
                     double false_positive_rate = 0.0,
                     std::uint64_t seed = 0x74696562726bULL);
   NodeSet flagged_nodes(double t0, double t1, std::uint64_t query_key) const override;
+  void flagged_nodes_into(NodeSet& out, double t0, double t1,
+                          std::uint64_t query_key) const override;
   double confidence() const override { return 1.0; }
   double accuracy() const { return accuracy_; }
   double false_positive_rate() const { return false_positive_rate_; }
@@ -88,6 +106,10 @@ class TieBreakPredictor final : public FaultPredictor {
   double accuracy_;
   double false_positive_rate_;
   std::uint64_t seed_;
+  /// Ground-truth scratch for the in-place query path. Predictors are
+  /// consulted from one scheduler pass at a time (each driver owns its
+  /// predictor), so a single buffer suffices.
+  mutable NodeSet truth_scratch_;
 };
 
 /// A *real* predictor (extension): flags node n for a future window iff n
@@ -102,6 +124,8 @@ class HistoryPredictor final : public FaultPredictor {
   HistoryPredictor(const FailureTrace& trace, double lookback_seconds,
                    double confidence = 0.5);
   NodeSet flagged_nodes(double t0, double t1, std::uint64_t) const override;
+  void flagged_nodes_into(NodeSet& out, double t0, double t1,
+                          std::uint64_t) const override;
   double confidence() const override { return confidence_; }
   double lookback() const { return lookback_; }
 
@@ -132,6 +156,10 @@ class PerfectPredictor final : public FaultPredictor {
   explicit PerfectPredictor(const FailureTrace& trace) : trace_(&trace) {}
   NodeSet flagged_nodes(double t0, double t1, std::uint64_t) const override {
     return trace_->failing_nodes(t0, t1);
+  }
+  void flagged_nodes_into(NodeSet& out, double t0, double t1,
+                          std::uint64_t) const override {
+    trace_->failing_nodes_into(out, t0, t1);
   }
   double confidence() const override { return 1.0; }
 

@@ -1,0 +1,148 @@
+// PlacementArena: per-decision scratch memory for the scheduling engine.
+//
+// One scheduler invocation churns through a family of short-lived buffers —
+// candidate entry lists, per-candidate score arrays, the placed bitmap, the
+// sorted running-job copies inside backfill and migration. Allocating each
+// from the heap puts malloc/free on the per-decision hot path (millions of
+// invocations in a full-machine trace). The arena replaces that with a
+// monotonic bump allocator: allocation is a pointer increment into a chunk,
+// nothing is ever freed individually, and reset() at the top of the next
+// invocation rewinds the chunks for reuse. Steady state performs zero heap
+// allocations per decision.
+//
+// ArenaVector<T> is the companion container for trivially copyable element
+// types: a std::vector-shaped grow-by-doubling array whose storage comes
+// from the arena. Growth abandons the old block (monotonic arenas cannot
+// free), which wastes at most the final capacity again — bounded and
+// reclaimed wholesale by the next reset().
+#pragma once
+
+#include <cstddef>
+#include <cstring>
+#include <memory>
+#include <span>
+#include <type_traits>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace bgl {
+
+class PlacementArena {
+ public:
+  PlacementArena() = default;
+  PlacementArena(const PlacementArena&) = delete;
+  PlacementArena& operator=(const PlacementArena&) = delete;
+
+  /// Uninitialised storage for `n` elements of T. Alignment follows T.
+  template <typename T>
+  T* alloc(std::size_t n) {
+    static_assert(std::is_trivially_copyable_v<T>,
+                  "arena storage holds trivially copyable types only");
+    return static_cast<T*>(allocate(n * sizeof(T), alignof(T)));
+  }
+
+  /// Rewind every chunk for reuse; capacity is retained, nothing returns to
+  /// the heap. Invalidates all outstanding allocations.
+  void reset() {
+    chunk_index_ = 0;
+    offset_ = 0;
+  }
+
+  /// Total bytes currently reserved from the heap (test introspection).
+  std::size_t reserved_bytes() const {
+    std::size_t total = 0;
+    for (const Chunk& c : chunks_) total += c.size;
+    return total;
+  }
+
+ private:
+  struct Chunk {
+    std::unique_ptr<std::byte[]> data;
+    std::size_t size = 0;
+  };
+
+  void* allocate(std::size_t bytes, std::size_t align) {
+    if (bytes == 0) bytes = 1;
+    while (true) {
+      if (chunk_index_ < chunks_.size()) {
+        Chunk& chunk = chunks_[chunk_index_];
+        const std::size_t aligned = (offset_ + align - 1) & ~(align - 1);
+        if (aligned + bytes <= chunk.size) {
+          offset_ = aligned + bytes;
+          return chunk.data.get() + aligned;
+        }
+        ++chunk_index_;
+        offset_ = 0;
+        continue;
+      }
+      // All chunks exhausted: grow. Chunks double so a pass needing more
+      // than the steady-state footprint settles after O(log n) allocations.
+      std::size_t want = next_chunk_bytes_;
+      while (want < bytes + align) want *= 2;
+      chunks_.push_back(Chunk{std::make_unique<std::byte[]>(want), want});
+      next_chunk_bytes_ = want * 2;
+      offset_ = 0;
+    }
+  }
+
+  static constexpr std::size_t kFirstChunkBytes = 1 << 16;
+
+  std::vector<Chunk> chunks_;
+  std::size_t chunk_index_ = 0;
+  std::size_t offset_ = 0;
+  std::size_t next_chunk_bytes_ = kFirstChunkBytes;
+};
+
+/// Grow-by-doubling array over arena storage (trivially copyable T only).
+/// Cleared implicitly by PlacementArena::reset(); never call into one after
+/// its arena has been reset.
+template <typename T>
+class ArenaVector {
+ public:
+  explicit ArenaVector(PlacementArena& arena) : arena_(&arena) {}
+
+  bool empty() const { return size_ == 0; }
+  std::size_t size() const { return size_; }
+  const T* data() const { return data_; }
+  T* data() { return data_; }
+  const T* begin() const { return data_; }
+  const T* end() const { return data_ + size_; }
+  T& operator[](std::size_t i) { return data_[i]; }
+  const T& operator[](std::size_t i) const { return data_[i]; }
+  T& front() { return data_[0]; }
+  const T& front() const { return data_[0]; }
+
+  operator std::span<const T>() const { return {data_, size_}; }
+
+  void clear() { size_ = 0; }
+
+  void reserve(std::size_t capacity) {
+    if (capacity <= capacity_) return;
+    T* grown = arena_->alloc<T>(capacity);
+    if (size_ != 0) std::memcpy(grown, data_, size_ * sizeof(T));
+    data_ = grown;
+    capacity_ = capacity;
+  }
+
+  void push_back(const T& value) {
+    if (size_ == capacity_) reserve(capacity_ == 0 ? 8 : capacity_ * 2);
+    data_[size_++] = value;
+  }
+
+  /// Size to `n` default-filled elements (contents unspecified beyond the
+  /// copied prefix — callers overwrite, as with the placed bitmap).
+  void assign(std::size_t n, const T& value) {
+    reserve(n);
+    size_ = n;
+    for (std::size_t i = 0; i < n; ++i) data_[i] = value;
+  }
+
+ private:
+  PlacementArena* arena_;
+  T* data_ = nullptr;
+  std::size_t size_ = 0;
+  std::size_t capacity_ = 0;
+};
+
+}  // namespace bgl

@@ -6,26 +6,33 @@
 
 namespace bgl {
 
-std::optional<Reservation> compute_reservation(const PartitionCatalog& catalog,
-                                               const NodeSet& occupied,
-                                               const std::vector<RunningJob>& running,
-                                               int alloc_size, double now) {
+namespace {
+
+// Shared body, generic over the scratch container type (std::vector on the
+// reference path, ArenaVector when the engine passes its decision arena).
+template <typename IntVec, typename JobVec>
+std::optional<Reservation> reservation_impl(const PartitionCatalog& catalog,
+                                            const NodeSet& occupied,
+                                            const std::vector<RunningJob>& running,
+                                            int alloc_size, double now,
+                                            IntVec& candidates, JobVec& order) {
   // Immediate fit (callers normally ask only after failing to place, but be
   // correct regardless).
-  std::vector<int> candidates;
   catalog.free_entries_of_size(occupied, alloc_size, candidates);
   if (!candidates.empty()) {
     return Reservation{now, catalog.entry(candidates.front()).mask};
   }
 
-  std::vector<RunningJob> order = running;
-  std::sort(order.begin(), order.end(), [](const RunningJob& a, const RunningJob& b) {
-    if (a.est_finish != b.est_finish) return a.est_finish < b.est_finish;
-    return a.id < b.id;
-  });
+  for (const RunningJob& r : running) order.push_back(r);
+  std::sort(order.data(), order.data() + order.size(),
+            [](const RunningJob& a, const RunningJob& b) {
+              if (a.est_finish != b.est_finish) return a.est_finish < b.est_finish;
+              return a.id < b.id;
+            });
 
   NodeSet scratch = occupied;
-  for (const RunningJob& r : order) {
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    const RunningJob& r = order[i];
     BGL_CHECK(r.entry_index >= 0, "running job without a partition");
     scratch.subtract(catalog.entry(r.entry_index).mask);
     candidates.clear();
@@ -36,6 +43,27 @@ std::optional<Reservation> compute_reservation(const PartitionCatalog& catalog,
     }
   }
   return std::nullopt;
+}
+
+}  // namespace
+
+std::optional<Reservation> compute_reservation(const PartitionCatalog& catalog,
+                                               const NodeSet& occupied,
+                                               const std::vector<RunningJob>& running,
+                                               int alloc_size, double now,
+                                               PlacementArena* arena) {
+  if (arena != nullptr) {
+    ArenaVector<int> candidates(*arena);
+    ArenaVector<RunningJob> order(*arena);
+    order.reserve(running.size());
+    return reservation_impl(catalog, occupied, running, alloc_size, now,
+                            candidates, order);
+  }
+  std::vector<int> candidates;
+  std::vector<RunningJob> order;
+  order.reserve(running.size());
+  return reservation_impl(catalog, occupied, running, alloc_size, now,
+                          candidates, order);
 }
 
 }  // namespace bgl

@@ -7,18 +7,26 @@
 
 namespace bgl {
 
-std::optional<RepackResult> try_repack(const PartitionCatalog& catalog,
-                                       const std::vector<RunningJob>& running,
-                                       int head_alloc_size,
-                                       const NodeSet* obstacles) {
-  std::vector<RunningJob> order = running;
-  std::sort(order.begin(), order.end(), [&](const RunningJob& a, const RunningJob& b) {
-    const int sa = catalog.entry(a.entry_index).size;
-    const int sb = catalog.entry(b.entry_index).size;
-    if (sa != sb) return sa > sb;  // largest first packs best
-    if (a.est_finish != b.est_finish) return a.est_finish > b.est_finish;
-    return a.id < b.id;
-  });
+namespace {
+
+// Shared body, generic over the scratch container type (std::vector on the
+// reference path, ArenaVector when the engine passes its decision arena).
+template <typename JobVec, typename IntVec>
+std::optional<RepackResult> repack_impl(const PartitionCatalog& catalog,
+                                        const std::vector<RunningJob>& running,
+                                        int head_alloc_size,
+                                        const NodeSet* obstacles,
+                                        PlacementArena* arena, JobVec& order,
+                                        IntVec& candidates) {
+  for (const RunningJob& r : running) order.push_back(r);
+  std::sort(order.data(), order.data() + order.size(),
+            [&](const RunningJob& a, const RunningJob& b) {
+              const int sa = catalog.entry(a.entry_index).size;
+              const int sb = catalog.entry(b.entry_index).size;
+              if (sa != sb) return sa > sb;  // largest first packs best
+              if (a.est_finish != b.est_finish) return a.est_finish > b.est_finish;
+              return a.id < b.id;
+            });
 
   RepackResult result;
   if (obstacles != nullptr) {
@@ -32,9 +40,9 @@ std::optional<RepackResult> try_repack(const PartitionCatalog& catalog,
 
   MfpLossPolicy packer;
   NodeSet no_flags(catalog.num_nodes());
-  std::vector<int> candidates;
 
-  for (const RunningJob& r : order) {
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    const RunningJob& r = order[i];
     const int size = catalog.entry(r.entry_index).size;
     candidates.clear();
     catalog.free_entries_of_size(result.occupied_after, size, candidates);
@@ -48,7 +56,9 @@ std::optional<RepackResult> try_repack(const PartitionCatalog& catalog,
         ctx.mfp_before_index < 0 ? 0 : catalog.entry(ctx.mfp_before_index).size;
     ctx.flagged = &no_flags;
     ctx.job_size = size;
-    const int chosen = packer.choose(ctx, candidates);
+    ctx.arena = arena;
+    const int chosen = packer.choose(
+        ctx, std::span<const int>(candidates.data(), candidates.size()));
 
     result.occupied_after |= catalog.entry(chosen).mask;
     RunningJob moved = r;
@@ -63,6 +73,27 @@ std::optional<RepackResult> try_repack(const PartitionCatalog& catalog,
     return std::nullopt;  // compaction does not help the head job
   }
   return result;
+}
+
+}  // namespace
+
+std::optional<RepackResult> try_repack(const PartitionCatalog& catalog,
+                                       const std::vector<RunningJob>& running,
+                                       int head_alloc_size,
+                                       const NodeSet* obstacles,
+                                       PlacementArena* arena) {
+  if (arena != nullptr) {
+    ArenaVector<RunningJob> order(*arena);
+    order.reserve(running.size());
+    ArenaVector<int> candidates(*arena);
+    return repack_impl(catalog, running, head_alloc_size, obstacles, arena,
+                       order, candidates);
+  }
+  std::vector<RunningJob> order;
+  order.reserve(running.size());
+  std::vector<int> candidates;
+  return repack_impl(catalog, running, head_alloc_size, obstacles, arena, order,
+                     candidates);
 }
 
 }  // namespace bgl

@@ -62,7 +62,7 @@ double partition_failure_probability(int flagged_in_partition, double confidence
 }
 
 int MfpLossPolicy::choose(const PlacementContext& ctx,
-                          const std::vector<int>& candidates,
+                          std::span<const int> candidates,
                           PlacementExplain* explain) const {
   BGL_CHECK(!candidates.empty(), "policy invoked with no candidates");
   int best = candidates.front();
@@ -79,7 +79,7 @@ int MfpLossPolicy::choose(const PlacementContext& ctx,
 }
 
 int BalancingPolicy::choose(const PlacementContext& ctx,
-                            const std::vector<int>& candidates,
+                            std::span<const int> candidates,
                             PlacementExplain* explain) const {
   BGL_CHECK(!candidates.empty(), "policy invoked with no candidates");
   BGL_CHECK(ctx.flagged != nullptr, "balancing policy requires predictor flags");
@@ -111,13 +111,22 @@ int BalancingPolicy::choose(const PlacementContext& ctx,
 }
 
 int TieBreakPolicy::choose(const PlacementContext& ctx,
-                           const std::vector<int>& candidates,
+                           std::span<const int> candidates,
                            PlacementExplain* explain) const {
   BGL_CHECK(!candidates.empty(), "policy invoked with no candidates");
   BGL_CHECK(ctx.flagged != nullptr, "tie-break policy requires predictor flags");
   // Pass 1: the optimal (maximal) resulting MFP, exactly as Krevat's policy.
+  // The per-candidate score buffer comes from the decision arena when the
+  // engine provides one; the heap fallback is the reference behaviour.
   int best_mfp = -1;
-  std::vector<int> mfps(candidates.size());
+  std::vector<int> heap_mfps;
+  int* mfps;
+  if (ctx.arena != nullptr) {
+    mfps = ctx.arena->alloc<int>(candidates.size());
+  } else {
+    heap_mfps.resize(candidates.size());
+    mfps = heap_mfps.data();
+  }
   for (std::size_t i = 0; i < candidates.size(); ++i) {
     mfps[i] = mfp_after(ctx, candidates[i]);
     if (mfps[i] > best_mfp) best_mfp = mfps[i];

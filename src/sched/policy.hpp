@@ -18,10 +18,13 @@
 // already folded their coins into ctx.flagged).
 #pragma once
 
+#include <initializer_list>
 #include <memory>
+#include <span>
 #include <string>
 #include <vector>
 
+#include "sched/arena.hpp"
 #include "sched/types.hpp"
 #include "torus/catalog.hpp"
 #include "torus/index.hpp"
@@ -49,6 +52,10 @@ struct PlacementContext {
   PartitionFailureRule pf_rule = PartitionFailureRule::kProduct;
   int job_size = 1;                    ///< s_j (requested, not rounded).
   obs::CounterRegistry* counters = nullptr;  ///< Hot-path stats (nullable).
+  /// Per-decision scratch arena (nullable). Policies draw their score
+  /// buffers from it when present; with nullptr they fall back to heap
+  /// allocation (the pre-arena reference behaviour).
+  PlacementArena* arena = nullptr;
 };
 
 /// Why a policy chose the candidate it chose: the loss terms of the chosen
@@ -71,30 +78,41 @@ class PlacementPolicy {
   /// Pick one of `candidates` (catalog entry indices, all free, non-empty).
   /// When `explain` is non-null, fill it for the chosen candidate (tracing
   /// path only; a null explain must not change the choice or its cost).
-  virtual int choose(const PlacementContext& ctx,
-                     const std::vector<int>& candidates,
+  /// The span form lets the engine pass arena-backed candidate arrays
+  /// without copying into a std::vector.
+  virtual int choose(const PlacementContext& ctx, std::span<const int> candidates,
                      PlacementExplain* explain = nullptr) const = 0;
+
+  /// Brace-list convenience for tests and examples: choose(ctx, {a, b}).
+  int choose(const PlacementContext& ctx, std::initializer_list<int> candidates,
+             PlacementExplain* explain = nullptr) const {
+    return choose(ctx, std::span<const int>(candidates.begin(), candidates.size()),
+                  explain);
+  }
 
   virtual std::string name() const = 0;
 };
 
 class MfpLossPolicy final : public PlacementPolicy {
  public:
-  int choose(const PlacementContext& ctx, const std::vector<int>& candidates,
+  using PlacementPolicy::choose;
+  int choose(const PlacementContext& ctx, std::span<const int> candidates,
              PlacementExplain* explain = nullptr) const override;
   std::string name() const override { return "mfp-loss"; }
 };
 
 class BalancingPolicy final : public PlacementPolicy {
  public:
-  int choose(const PlacementContext& ctx, const std::vector<int>& candidates,
+  using PlacementPolicy::choose;
+  int choose(const PlacementContext& ctx, std::span<const int> candidates,
              PlacementExplain* explain = nullptr) const override;
   std::string name() const override { return "balancing"; }
 };
 
 class TieBreakPolicy final : public PlacementPolicy {
  public:
-  int choose(const PlacementContext& ctx, const std::vector<int>& candidates,
+  using PlacementPolicy::choose;
+  int choose(const PlacementContext& ctx, std::span<const int> candidates,
              PlacementExplain* explain = nullptr) const override;
   std::string name() const override { return "tie-break"; }
 };

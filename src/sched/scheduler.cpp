@@ -22,6 +22,21 @@ const char* to_string(BackfillMode mode) {
   return "?";
 }
 
+/// Everything one scheduling pass needs that would otherwise be allocated
+/// fresh per decision: the bump arena feeding the int/job scratch arrays, the
+/// three full-width node sets, and the containers whose elements own heap
+/// memory (Reservation masks) and therefore stay std::vector. With
+/// config.arena_scratch the engine keeps one of these across passes; without
+/// it a fresh local instance reproduces the pre-arena allocating behaviour.
+struct SchedulerPassScratch {
+  PlacementArena arena;
+  NodeSet occ;        ///< Pass-local occupancy (occupied + this pass's starts).
+  NodeSet flagged;    ///< Predictor verdict for the job under consideration.
+  NodeSet obstacles;  ///< Non-job occupancy seeded into migration re-packs.
+  std::vector<RunningJob> live;
+  std::vector<Reservation> reservations;
+};
+
 Scheduler::Scheduler(const PartitionCatalog& catalog,
                      std::unique_ptr<PlacementPolicy> policy,
                      const FaultPredictor& predictor, SchedulerConfig config)
@@ -33,9 +48,12 @@ Scheduler::Scheduler(const PartitionCatalog& catalog,
   BGL_CHECK(config_.backfill_depth >= 0, "backfill depth must be non-negative");
 }
 
+Scheduler::~Scheduler() = default;
+
 PlacementContext Scheduler::make_context(const NodeSet& occ, const NodeSet& flagged,
                                          int job_size,
-                                         const FreePartitionIndex* index) const {
+                                         const FreePartitionIndex* index,
+                                         PlacementArena* arena) const {
   PlacementContext ctx;
   ctx.catalog = catalog_;
   ctx.occupied = &occ;
@@ -49,6 +67,7 @@ PlacementContext Scheduler::make_context(const NodeSet& occ, const NodeSet& flag
   ctx.pf_rule = config_.pf_rule;
   ctx.job_size = job_size;
   ctx.counters = obs_.counters;
+  ctx.arena = arena;
   return ctx;
 }
 
@@ -68,10 +87,26 @@ SchedulingDecision Scheduler::schedule(double now, const std::vector<WaitingJob>
   const bool tracing = obs_.trace != nullptr;
 
   SchedulingDecision decision;
-  NodeSet occ = occupied;
-  std::vector<RunningJob> live = running;
-  std::vector<bool> placed(queue.size(), false);
-  std::vector<int> candidates;
+
+  // Scratch selection: the pooled member in arena mode (steady state: zero
+  // heap allocations per pass), a throwaway local otherwise (every buffer
+  // below allocates fresh — the reference cost profile the perf gate
+  // measures against).
+  SchedulerPassScratch local;
+  if (config_.arena_scratch && pass_scratch_ == nullptr) {
+    pass_scratch_ = std::make_unique<SchedulerPassScratch>();
+  }
+  SchedulerPassScratch& s = config_.arena_scratch ? *pass_scratch_ : local;
+  PlacementArena* arena = config_.arena_scratch ? &s.arena : nullptr;
+  s.arena.reset();
+  s.occ = occupied;  // copy-assign reuses the pooled buffer when widths match
+  s.live.assign(running.begin(), running.end());
+  NodeSet& occ = s.occ;
+  std::vector<RunningJob>& live = s.live;
+
+  ArenaVector<char> placed(s.arena);  // hoisted: was vector<bool> per pass
+  placed.assign(queue.size(), 0);
+  ArenaVector<int> candidates(s.arena);
   bool migration_tried = false;
 
   // Working copy of the caller's incremental index, kept in lockstep with
@@ -90,11 +125,17 @@ SchedulingDecision Scheduler::schedule(double now, const std::vector<WaitingJob>
   }
 
   // Consult the predictor for a job's execution window, accounting the
-  // query (and its verdict size) to the observer.
-  auto query_predictor = [&](const WaitingJob& job) {
-    NodeSet flagged = predictor_->flagged_nodes(now, now + job.estimate, job.id);
+  // query (and its verdict size) to the observer. The verdict lands in the
+  // pooled s.flagged (allocation-free in arena mode; the by-value call is
+  // the reference behaviour, one fresh NodeSet per query).
+  auto query_predictor = [&](const WaitingJob& job) -> const NodeSet& {
+    if (config_.arena_scratch) {
+      predictor_->flagged_nodes_into(s.flagged, now, now + job.estimate, job.id);
+    } else {
+      s.flagged = predictor_->flagged_nodes(now, now + job.estimate, job.id);
+    }
     if (obs_.counters != nullptr || tracing) {
-      const int n_flagged = flagged.count();
+      const int n_flagged = s.flagged.count();
       if (obs_.counters != nullptr) {
         obs_.counters->add(obs::Counter::kPredictorQueries);
         obs_.counters->add(obs::Counter::kPredictorNodesFlagged,
@@ -105,7 +146,7 @@ SchedulingDecision Scheduler::schedule(double now, const std::vector<WaitingJob>
             PredictorQueryRecord{job.id, now, now + job.estimate, n_flagged});
       }
     }
-    return flagged;
+    return s.flagged;
   };
 
   // Account one catalog free-list scan for partitions of `alloc_size` that
@@ -120,7 +161,7 @@ SchedulingDecision Scheduler::schedule(double now, const std::vector<WaitingJob>
   };
 
   auto start_job = [&](const WaitingJob& job, int entry_index, const NodeSet& flagged,
-                       const std::vector<int>& considered,
+                       std::span<const int> considered,
                        const PlacementExplain& explain, bool backfill) {
     decision.starts.push_back(Start{job.id, entry_index});
     if (catalog_->entry(entry_index).mask.intersects(flagged)) {
@@ -169,13 +210,13 @@ SchedulingDecision Scheduler::schedule(double now, const std::vector<WaitingJob>
     }
     note_scan(job.alloc_size, candidates.size());
     if (!candidates.empty()) {
-      const NodeSet flagged = query_predictor(job);
-      const PlacementContext ctx = make_context(occ, flagged, job.size, idx);
+      const NodeSet& flagged = query_predictor(job);
+      const PlacementContext ctx = make_context(occ, flagged, job.size, idx, arena);
       PlacementExplain explain;
       const int chosen =
           policy_->choose(ctx, candidates, tracing ? &explain : nullptr);
       start_job(job, chosen, flagged, candidates, explain, /*backfill=*/false);
-      placed[head] = true;
+      placed[head] = 1;
       ++head;
       continue;
     }
@@ -188,11 +229,12 @@ SchedulingDecision Scheduler::schedule(double now, const std::vector<WaitingJob>
       // try_repack rebuilds the occupancy from the re-placed jobs, so without
       // this seed it would silently resurrect down nodes as free space and
       // the retried head (or a backfill filler) could start on them.
-      NodeSet obstacles = occ;
+      s.obstacles = occ;
       for (const RunningJob& r : live) {
-        obstacles.subtract(catalog_->entry(r.entry_index).mask);
+        s.obstacles.subtract(catalog_->entry(r.entry_index).mask);
       }
-      if (auto repack = try_repack(*catalog_, live, job.alloc_size, &obstacles)) {
+      if (auto repack =
+              try_repack(*catalog_, live, job.alloc_size, &s.obstacles, arena)) {
         for (const Migration& m : repack->migrations) {
           // A job started earlier in this same pass has not been committed
           // by the driver yet; rewrite its pending start instead of
@@ -228,7 +270,8 @@ SchedulingDecision Scheduler::schedule(double now, const std::vector<WaitingJob>
       // reservation is computed against the current running set, which
       // yields reservation times no later than the true ones — a stricter
       // (hence safe) admission constraint for fillers.
-      std::vector<Reservation> reservations;
+      std::vector<Reservation>& reservations = s.reservations;
+      reservations.clear();
       const int reservation_count =
           config_.backfill == BackfillMode::kEasy
               ? 1
@@ -238,7 +281,8 @@ SchedulingDecision Scheduler::schedule(double now, const std::vector<WaitingJob>
            static_cast<int>(reservations.size()) < reservation_count;
            ++q) {
         if (placed[q]) continue;
-        auto r = compute_reservation(*catalog_, occ, live, queue[q].alloc_size, now);
+        auto r = compute_reservation(*catalog_, occ, live, queue[q].alloc_size,
+                                     now, arena);
         if (!r) {
           if (q == head) break;  // head can never fit: no safe backfilling
           continue;
@@ -269,20 +313,21 @@ SchedulingDecision Scheduler::schedule(double now, const std::vector<WaitingJob>
         }
         note_scan(filler.alloc_size, candidates.size());
         if (candidates.empty()) continue;
-        std::vector<int> allowed;
+        ArenaVector<int> allowed(s.arena);
         for (const int c : candidates) {
           if (admissible(now + filler.estimate, catalog_->entry(c).mask)) {
             allowed.push_back(c);
           }
         }
         if (allowed.empty()) continue;
-        const NodeSet flagged = query_predictor(filler);
-        const PlacementContext ctx = make_context(occ, flagged, filler.size, idx);
+        const NodeSet& flagged = query_predictor(filler);
+        const PlacementContext ctx =
+            make_context(occ, flagged, filler.size, idx, arena);
         PlacementExplain explain;
         const int chosen =
             policy_->choose(ctx, allowed, tracing ? &explain : nullptr);
         start_job(filler, chosen, flagged, allowed, explain, /*backfill=*/true);
-        placed[j] = true;
+        placed[j] = 1;
       }
     }
     break;  // FCFS: the head job stays first in line

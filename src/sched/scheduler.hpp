@@ -26,10 +26,13 @@
 
 namespace bgl {
 
+struct SchedulerPassScratch;
+
 class Scheduler {
  public:
   Scheduler(const PartitionCatalog& catalog, std::unique_ptr<PlacementPolicy> policy,
             const FaultPredictor& predictor, SchedulerConfig config = {});
+  ~Scheduler();
 
   /// Decide which jobs to start (and which running jobs to migrate) at time
   /// `now`. `queue` must be in FCFS priority order; `running` carries the
@@ -60,8 +63,8 @@ class Scheduler {
 
  private:
   PlacementContext make_context(const NodeSet& occ, const NodeSet& flagged,
-                                int job_size,
-                                const FreePartitionIndex* index) const;
+                                int job_size, const FreePartitionIndex* index,
+                                PlacementArena* arena) const;
 
   const PartitionCatalog* catalog_;
   std::unique_ptr<PlacementPolicy> policy_;
@@ -73,6 +76,12 @@ class Scheduler {
   /// index at the top of every pass (reusing its buffers; the immutable
   /// CSR layout is shared) and never read across calls.
   mutable std::unique_ptr<FreePartitionIndex> scratch_index_;
+  /// Pooled per-pass scratch (arena + occupancy/flag sets + live-job copy),
+  /// reused across schedule() calls when config_.arena_scratch is set so the
+  /// steady-state pass performs no heap allocation. Purely a cache: it is
+  /// overwritten from the call's inputs before any read, so schedule()
+  /// remains a pure function of its arguments.
+  mutable std::unique_ptr<SchedulerPassScratch> pass_scratch_;
 };
 
 /// Factory helpers for the three paper schedulers.

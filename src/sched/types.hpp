@@ -103,6 +103,10 @@ struct SchedulerConfig {
   /// Reservations computed per pass under kConservative.
   int reservation_depth = 8;
   PartitionFailureRule pf_rule = PartitionFailureRule::kProduct;
+  /// Reuse one arena + scratch-set pool across scheduling passes instead of
+  /// allocating per decision. Decisions are identical either way; false is
+  /// the pre-arena allocating behaviour, kept as the perf-gate reference.
+  bool arena_scratch = true;
 };
 
 }  // namespace bgl

@@ -1,6 +1,7 @@
 #include "sim/driver.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <limits>
 #include <unordered_map>
 
@@ -72,12 +73,13 @@ class Driver {
   Driver(const Workload& workload, const FailureTrace& trace, const SimConfig& config,
          const PartitionCatalog* shared_catalog)
       : config_(config),
-        owned_catalog_(shared_catalog
-                           ? nullptr
-                           : new PartitionCatalog(config.dims, config.topology)),
+        owned_catalog_(shared_catalog ? nullptr
+                                      : new PartitionCatalog(config.dims, config.topology,
+                                                             config.catalog)),
         catalog_(shared_catalog ? shared_catalog : owned_catalog_.get()),
         torus_(*catalog_),
         trace_(&trace),
+        events_(config.event_queue),
         down_(config.dims.volume()),
         down_until_(static_cast<std::size_t>(config.dims.volume()), 0.0),
         tr_(config.obs.trace),
@@ -572,8 +574,8 @@ SimResult Driver::run() {
   integrator_.start(min_arrival_, catalog_->num_nodes(), 0);
 
   if (tr_ != nullptr) {
-    tr_->event("sim_begin", std::min(first_event, min_arrival_))
-        .field("machine", to_string(config_.dims))
+    auto begin = tr_->event("sim_begin", std::min(first_event, min_arrival_));
+    begin.field("machine", to_string(config_.dims))
         .field("nodes", catalog_->num_nodes())
         .field("topology", to_string(config_.topology))
         .field("scheduler", to_string(config_.scheduler))
@@ -584,6 +586,15 @@ SimResult Driver::run() {
         .field("migration", config_.sched.migration)
         .field("jobs", static_cast<std::int64_t>(jobs_.size()))
         .field("failure_events", static_cast<std::int64_t>(trace_->size()));
+    // Scale-up knobs are emitted only when they deviate from the defaults so
+    // every pre-existing trace stays byte-identical.
+    if (catalog_->options().mode != CatalogOptions::Mode::kBoxes) {
+      begin.field("catalog", to_string(catalog_->options().mode))
+          .field("min_block", catalog_->options().min_block);
+    }
+    if (config_.event_queue != EventQueueKind::kCalendar) {
+      begin.field("event_queue", to_string(config_.event_queue));
+    }
     if (config_.snapshot_interval > 0.0) {
       next_snapshot_ =
           std::min(first_event, min_arrival_) + config_.snapshot_interval;
@@ -734,8 +745,13 @@ SimResult run_simulation(const Workload& workload, const FailureTrace& trace,
                          const SimConfig& config,
                          const PartitionCatalog* shared_catalog) {
   validate(config.dims);
+  const auto t_begin = std::chrono::steady_clock::now();
   Driver driver(workload, trace, config, shared_catalog);
-  return driver.run();
+  SimResult result = driver.run();
+  result.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t_begin)
+          .count();
+  return result;
 }
 
 }  // namespace bgl

@@ -20,6 +20,7 @@
 #include <memory>
 
 #include "ckpt/checkpoint.hpp"
+#include "des/event_queue.hpp"
 #include "failure/trace.hpp"
 #include "obs/observer.hpp"
 #include "sched/types.hpp"
@@ -66,6 +67,16 @@ struct SimConfig {
   /// kTorus (the paper's model) or kMesh (no wrap-around; Krevat et al.
   /// studied both — see bench_ablation_topology).
   Topology topology = Topology::kTorus;
+  /// Catalog construction for the driver-owned catalog (ignored when a
+  /// shared catalog is passed in): kBoxes at paper scale, kBlocks for
+  /// full-machine runs where box enumeration is infeasible.
+  CatalogOptions catalog;
+  /// Pending-event store of the simulation loop. The calendar queue is the
+  /// default (O(1) amortised); the binary heap is the reference
+  /// implementation, kept selectable for perf baselines and differential
+  /// tests. Event order — and therefore every trace and metric — is
+  /// identical for both.
+  EventQueueKind event_queue = EventQueueKind::kCalendar;
   SchedulerKind scheduler = SchedulerKind::kBalancing;
 
   /// Prediction quality knob: confidence a for the balancing scheduler,

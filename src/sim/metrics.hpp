@@ -99,6 +99,9 @@ struct SimResult {
   double unused = 0.0;              ///< ω_unused
   double lost = 0.0;                ///< ω_lost
   double work_lost_node_seconds = 0.0;  ///< Raw work destroyed by kills.
+  /// Host wall-clock seconds spent inside run_simulation (perf reporting
+  /// only; never part of the simulated metrics above).
+  double wall_seconds = 0.0;
 
   RunningStats wait_stats;
   RunningStats response_stats;

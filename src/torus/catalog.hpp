@@ -13,6 +13,19 @@
 // Canonicality: along any dimension whose extent equals the torus extent the
 // base is fixed at 0 (all bases are wrap-equivalent), which makes the
 // (shape, base) description of a node set unique — no dedup pass needed.
+//
+// Scaling to the full 64 x 32 x 32 machine (65 536 nodes) needs two things
+// the paper-scale catalog does not:
+//
+//   * kBlocks mode — full box enumeration is O(volume^2) entries (~4e9 at
+//     full scale), so the catalog instead enumerates aligned power-of-two
+//     blocks of contiguous node ids (buddy-allocator style, 511 entries at
+//     min_block = 256). Row-major id layout makes every such block a legal
+//     canonical box, so the rest of the stack is unchanged.
+//   * word-range scans — every entry records the [word_begin, word_end)
+//     span its mask occupies (plus whether the span is solid all-ones), so a
+//     free test touches O(entry words), not O(machine words). At full scale
+//     that is the difference between 4 and 1 024 words per probe.
 #pragma once
 
 #include <utility>
@@ -24,18 +37,47 @@
 
 namespace bgl {
 
+struct CatalogOptions {
+  enum class Mode {
+    kBoxes,   ///< Every canonical rectangular box (the paper's catalog).
+    kBlocks,  ///< Aligned power-of-two contiguous-id blocks (full scale).
+  };
+
+  Mode mode = Mode::kBoxes;
+
+  /// kBlocks only: smallest block size (rounded up to a power of two and
+  /// clamped to the machine). Jobs smaller than this round up to one block.
+  int min_block = 256;
+
+  /// Reference kernels: scan every occupancy word per entry instead of the
+  /// entry's word span — the pre-optimization scan shape, kept selectable
+  /// for perf baselines and differential tests.
+  bool full_width_scans = false;
+};
+
+const char* to_string(CatalogOptions::Mode mode);
+
 class PartitionCatalog {
  public:
   struct Entry {
     Box box;
     NodeSet mask;
     int size = 0;
+    /// Tightest span of 64-bit words containing every set mask bit.
+    std::size_t word_begin = 0;
+    std::size_t word_end = 0;
+    /// True when every word in [word_begin, word_end) is all-ones: the free
+    /// test degenerates to "any occupied bit in the span?" and never touches
+    /// the mask at all.
+    bool solid = false;
   };
 
-  explicit PartitionCatalog(Dims dims, Topology topology = Topology::kTorus);
+  explicit PartitionCatalog(Dims dims, Topology topology = Topology::kTorus,
+                            CatalogOptions options = {});
 
   const Dims& dims() const { return dims_; }
   Topology topology() const { return topology_; }
+  const CatalogOptions& options() const { return options_; }
   int num_nodes() const { return dims_.volume(); }
   int num_entries() const { return static_cast<int>(entries_.size()); }
   const Entry& entry(int index) const { return entries_[static_cast<std::size_t>(index)]; }
@@ -72,14 +114,30 @@ class PartitionCatalog {
   int mfp_with(const NodeSet& occ, const NodeSet& extra, int mfp_hint = 0) const;
 
   /// Indices of all free entries of exactly size s (appended to out).
-  void free_entries_of_size(const NodeSet& occ, int s, std::vector<int>& out) const;
+  /// Generic over the output container (std::vector<int> or the scheduler's
+  /// arena-backed ArenaVector<int>) — anything with push_back(int).
+  template <typename OutVec>
+  void free_entries_of_size(const NodeSet& occ, int s, OutVec& out) const {
+    const auto [first, last] = size_range(s);
+    for (int i = first; i < last; ++i) {
+      if (entry_free(entries_[static_cast<std::size_t>(i)], occ)) out.push_back(i);
+    }
+  }
 
   /// True if at least one free partition of exactly size s exists.
   bool has_free_of_size(const NodeSet& occ, int s) const;
 
  private:
+  void build_boxes();
+  void build_blocks();
+  void finalize_entries();
+
+  bool entry_free(const Entry& e, const NodeSet& occ) const;
+  bool entry_free_with(const Entry& e, const NodeSet& occ, const NodeSet& extra) const;
+
   Dims dims_;
   Topology topology_ = Topology::kTorus;
+  CatalogOptions options_;
   std::vector<Entry> entries_;
   std::vector<std::pair<int, int>> range_by_size_;   ///< indexed by size, [first,last)
   std::vector<int> allocatable_size_;                ///< indexed by requested size

@@ -100,7 +100,18 @@ class FreePartitionIndex {
   int free_count_of_size(int s) const;
 
   /// Indices of all free entries of exactly size s, ascending (appended).
-  void free_entries_of_size(int s, std::vector<int>& out) const;
+  /// Generic over the output container (std::vector<int> or an arena-backed
+  /// ArenaVector<int>) — anything with push_back(int).
+  template <typename OutVec>
+  void free_entries_of_size(int s, OutVec& out) const {
+    const auto [first, last] = catalog_->size_range(s);
+    for (int i = first; i < last;) {
+      const int found = first_free_index(i);
+      if (found < 0 || found >= last) return;
+      out.push_back(found);
+      i = found + 1;
+    }
+  }
 
   /// True if entry `index` has no occupied node.
   bool entry_free(int index) const;
@@ -114,11 +125,23 @@ class FreePartitionIndex {
   void check_invariants() const;
 
  private:
-  /// Immutable per-catalog layout, shared across copies.
+  /// Immutable per-catalog layout, shared across copies. Two inverted
+  /// indexes over the same coverage relation: per-node (single-node deltas,
+  /// box catalogs, and the full_width_scans reference path) and per-word
+  /// (bulk deltas on block catalogs — one popcount per covering entry per
+  /// delta word instead of one counter update per node, the difference
+  /// between O(|mask|) and O(|mask|/64) work on the 65 536-node machine).
+  /// The per-word arrays are only built for block catalogs: blocks are
+  /// solid and disjoint within a size class (9 entries per word at full
+  /// scale), whereas thousands of overlapping boxes cover every word of
+  /// the paper-scale machine, making word granularity a pessimization.
   struct Layout {
     std::vector<std::int32_t> node_offsets;  ///< CSR offsets, nodes + 1.
     std::vector<std::int32_t> node_entries;  ///< Covering entry indices.
     std::vector<std::int32_t> entry_size;    ///< Entry size, flat copy.
+    std::vector<std::int32_t> word_offsets;  ///< CSR offsets, words + 1.
+    std::vector<std::int32_t> word_entries;  ///< Entries with bits in word.
+    std::vector<std::uint64_t> word_masks;   ///< That entry's mask word.
   };
 
   void block(int entry);
@@ -133,6 +156,8 @@ class FreePartitionIndex {
   /// Lazily-decreasing upper bound on the MFP size: raised eagerly on
   /// unblock, lowered on demand in mfp(). Amortised O(1) per update.
   mutable int mfp_cursor_ = 0;
+  /// Bulk occupy/release go word-at-a-time (block catalogs only).
+  bool word_deltas_ = false;
 };
 
 }  // namespace bgl

@@ -1,13 +1,18 @@
 // Dense bitset over torus nodes.
 //
 // The scheduler's hot loops are "is this partition free" tests, which reduce
-// to word-wise AND over at most a handful of 64-bit words (128 supernodes =
-// 2 words). NodeSet keeps the words in a small vector and exposes allocation-
-// free combined tests (intersects_or) so the partition catalog can test
-// (occupancy | candidate) against an entry mask without building temporaries.
+// to word-wise AND over 64-bit words. At the paper's scheduler-visible scale
+// (128 supernodes = 2 words) the words live inline in the object — no heap
+// allocation at all — while the full 64x32x32 BlueGene/L machine (65 536
+// nodes = 1 024 words) spills to a flat heap array. All kernels run over
+// 4-word unrolled strides and NodeSet exposes allocation-free combined tests
+// (intersects_or) plus word-range probes (any_in_word_range) so the partition
+// catalog can test (occupancy | candidate) against an entry mask without
+// building temporaries and without touching words outside the entry's span.
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "util/error.hpp"
@@ -16,13 +21,31 @@ namespace bgl {
 
 class NodeSet {
  public:
+  /// Lightweight read-only view of the backing words (the catalog's fused
+  /// scan loops index this directly). Valid until the NodeSet is resized,
+  /// assigned, or destroyed.
+  struct WordSpan {
+    const std::uint64_t* data = nullptr;
+    std::size_t count = 0;
+    std::size_t size() const { return count; }
+    std::uint64_t operator[](std::size_t i) const { return data[i]; }
+    const std::uint64_t* begin() const { return data; }
+    const std::uint64_t* end() const { return data + count; }
+  };
+
   NodeSet() = default;
 
   /// An empty set over `bits` node ids.
   explicit NodeSet(int bits);
 
+  NodeSet(const NodeSet& other);
+  NodeSet(NodeSet&& other) noexcept;
+  NodeSet& operator=(const NodeSet& other);
+  NodeSet& operator=(NodeSet&& other) noexcept;
+  ~NodeSet() = default;
+
   int bits() const { return bits_; }
-  bool empty() const { return count() == 0; }
+  bool empty() const;  ///< Early-exits on the first nonzero word.
   int count() const;
 
   void set(int id);
@@ -43,11 +66,15 @@ class NodeSet {
   /// True if every set bit of this is also set in other.
   bool is_subset_of(const NodeSet& other) const;
 
+  /// True if any bit is set in words [word_begin, word_end). The catalog's
+  /// scan loops use this to probe only the span an entry can occupy.
+  bool any_in_word_range(std::size_t word_begin, std::size_t word_end) const;
+
   NodeSet& operator|=(const NodeSet& other);
   NodeSet& operator&=(const NodeSet& other);
   NodeSet& subtract(const NodeSet& other);  ///< this &= ~other
 
-  friend bool operator==(const NodeSet&, const NodeSet&) = default;
+  friend bool operator==(const NodeSet& a, const NodeSet& b);
 
   /// Stable 64-bit hash for dedup containers.
   std::uint64_t hash() const;
@@ -56,13 +83,29 @@ class NodeSet {
   std::vector<int> to_ids() const;
 
   /// Direct word access for the catalog's fused-scan loops.
-  const std::vector<std::uint64_t>& words() const { return words_; }
+  WordSpan words() const { return {data(), nwords_}; }
+
+  /// Mutable word access for incremental maintainers (the partition index's
+  /// bulk delta loops). Bits at or above bits() must stay zero.
+  std::uint64_t* mutable_words() { return data(); }
 
  private:
+  // 128 supernodes (the paper's scheduler-visible machine) fit the inline
+  // buffer exactly; anything larger takes one flat allocation.
+  static constexpr std::size_t kInlineWords = 2;
+
+  const std::uint64_t* data() const {
+    return nwords_ <= kInlineWords ? inline_ : heap_.get();
+  }
+  std::uint64_t* data() {
+    return nwords_ <= kInlineWords ? inline_ : heap_.get();
+  }
   void check_compatible(const NodeSet& other) const;
 
   int bits_ = 0;
-  std::vector<std::uint64_t> words_;
+  std::size_t nwords_ = 0;
+  std::uint64_t inline_[kInlineWords] = {0, 0};
+  std::unique_ptr<std::uint64_t[]> heap_;
 };
 
 }  // namespace bgl

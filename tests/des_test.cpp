@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include "util/error.hpp"
+#include "util/rng.hpp"
 
 namespace bgl {
 namespace {
@@ -117,6 +118,87 @@ TEST(Engine, MaxEventsBound) {
   for (int i = 0; i < 10; ++i) engine.schedule(i, EventType::kCustom, 0);
   EXPECT_EQ(engine.run(3), 3u);
   EXPECT_EQ(count, 3);
+}
+
+TEST(EventQueueKindNames, AllNamed) {
+  EXPECT_STREQ(to_string(EventQueueKind::kCalendar), "calendar");
+  EXPECT_STREQ(to_string(EventQueueKind::kHeap), "heap");
+}
+
+TEST(EventQueue, HeapReferenceKindSelectable) {
+  EventQueue q(EventQueueKind::kHeap);
+  EXPECT_EQ(q.kind(), EventQueueKind::kHeap);
+  q.push(Event{2.0, EventType::kArrival, 1, 0, 0});
+  q.push(Event{1.0, EventType::kFinish, 2, 0, 0});
+  EXPECT_EQ(q.pop().id, 2u);
+  EXPECT_EQ(q.pop().id, 1u);
+}
+
+// Differential fuzz: the calendar queue must pop the exact event sequence of
+// the binary-heap reference — time, semantic type, and FIFO seq included —
+// across randomized push/pop interleavings with duplicate timestamps,
+// zero-delay events, bursts (bucket-table growth), deep drains (shrink), and
+// far-future jumps (the direct-search fallback).
+TEST(EventQueueFuzz, CalendarMatchesHeapDifferential) {
+  constexpr int kOpsPerSeed = 5000;
+  for (const std::uint64_t seed : {11ULL, 23ULL, 47ULL}) {
+    Rng rng(seed);
+    EventQueue cal(EventQueueKind::kCalendar);
+    EventQueue heap(EventQueueKind::kHeap);
+    std::uint64_t next_id = 0;
+    std::size_t pending = 0;
+
+    auto push_one = [&](SimTime t) {
+      const auto type = static_cast<EventType>(rng.uniform_int(0, 4));
+      const Event e{t, type, next_id, next_id * 3 + 1, 0};
+      cal.push(e);
+      heap.push(e);
+      ++next_id;
+      ++pending;
+    };
+    auto pop_both = [&] {
+      const Event a = cal.top();
+      const Event b = heap.top();
+      EXPECT_DOUBLE_EQ(a.time, b.time);
+      const Event ca = cal.pop();
+      const Event hb = heap.pop();
+      ASSERT_DOUBLE_EQ(ca.time, hb.time);
+      ASSERT_EQ(ca.type, hb.type);
+      ASSERT_EQ(ca.id, hb.id);
+      ASSERT_EQ(ca.tag, hb.tag);
+      ASSERT_EQ(ca.seq, hb.seq);  // FIFO seq stability
+      --pending;
+    };
+
+    for (int op = 0; op < kOpsPerSeed; ++op) {
+      if (pending == 0 || rng.bernoulli(0.55)) {
+        const double now = cal.now();
+        const double r = rng.uniform();
+        SimTime t;
+        if (r < 0.25) {
+          t = now;  // zero-delay event
+        } else if (r < 0.90) {
+          // Coarse grid: duplicate timestamps are common by construction.
+          t = now + 0.25 * static_cast<double>(rng.uniform_int(0, 40));
+        } else {
+          t = now + rng.uniform(1e3, 1e6);  // far-future jump
+        }
+        push_one(t);
+        if (rng.bernoulli(0.05)) {
+          for (int burst = 0; burst < 64; ++burst) push_one(t);
+        }
+      } else {
+        pop_both();
+        // Occasionally drain deep to force the bucket table to shrink.
+        if (rng.bernoulli(0.03)) {
+          while (pending > 1) pop_both();
+        }
+      }
+    }
+    while (pending > 0) pop_both();
+    EXPECT_TRUE(cal.empty());
+    EXPECT_TRUE(heap.empty());
+  }
 }
 
 TEST(EventTypeNames, AllNamed) {

@@ -169,9 +169,13 @@ TEST(SweepRunner, ParallelRunIsBitIdenticalToSerial) {
 
   ASSERT_EQ(a.num_cells(), b.num_cells());
   for (std::size_t i = 0; i < a.num_cells(); ++i) {
-    const PointSummary& pa = a.cell(i);
-    const PointSummary& pb = b.cell(i);
-    // Bit equality, not tolerance: the reduction order is fixed.
+    // Host-clock fields (wall time and the decision-latency quantile it
+    // feeds) are the one legitimate run-to-run difference; everything else
+    // must be bit-equal, not tolerance-equal — the reduction order is fixed.
+    PointSummary pa = a.cell(i);
+    PointSummary pb = b.cell(i);
+    pa.wall_seconds = pb.wall_seconds = 0.0;
+    pa.decision_p99_us = pb.decision_p99_us = 0.0;
     EXPECT_EQ(std::memcmp(&pa, &pb, sizeof(PointSummary)), 0) << "cell " << i;
   }
 
@@ -226,6 +230,49 @@ TEST(SweepRunner, FigureCsvBytesAreThreadCountInvariant) {
   EXPECT_FALSE(serial.empty());
   EXPECT_EQ(serial, parallel);
   unsetenv("BGL_BENCH_SEEDS");
+}
+
+TEST(SweepSpec, RepeatCapBoundsEnvironmentAndFloor) {
+  SweepSpec spec;
+  spec.repeat_floor = 5;
+  ASSERT_EQ(setenv("BGL_BENCH_SEEDS", "9", 1), 0);
+  EXPECT_EQ(spec.repeats(), 9);
+  spec.repeat_cap = 2;  // expensive scale benches pin one repeat
+  EXPECT_EQ(spec.repeats(), 2);
+  spec.repeat_cap = 0;  // uncapped again
+  EXPECT_EQ(spec.repeats(), 9);
+  unsetenv("BGL_BENCH_SEEDS");
+  spec.repeat_cap = 2;
+  EXPECT_EQ(spec.repeats(), 2);  // cap also bounds the floor
+}
+
+TEST(SweepRunner, ThroughputFieldsAreTotalsOverRepeats) {
+  ASSERT_EQ(setenv("BGL_BENCH_SEEDS", "2", 1), 0);
+  SweepSpec spec = tiny_spec();
+  spec.load_scales = {1.0};
+  spec.failure_budgets = {100};
+  spec.alphas = {0.1};
+
+  const SweepResult result = SweepRunner().run(spec, RunOptions{});
+  unsetenv("BGL_BENCH_SEEDS");
+
+  ASSERT_EQ(result.num_cells(), 1u);
+  const PointSummary& p = result.cell(0);
+  ASSERT_EQ(p.seeds, 2);
+  // jobs_completed totals both repeats of the tiny model's log.
+  EXPECT_EQ(p.jobs_completed,
+            2.0 * static_cast<double>(spec.models[0].model.num_jobs));
+  EXPECT_GT(p.decisions, 0.0);
+  EXPECT_GE(p.wall_seconds, 0.0);
+  EXPECT_GE(p.decision_p99_us, 0.0);
+  // Derived rates divide by total wall time (0 only on a sub-resolution run).
+  if (p.wall_seconds > 0.0) {
+    EXPECT_NEAR(p.jobs_per_sec(), p.jobs_completed / p.wall_seconds, 1e-9);
+    EXPECT_NEAR(p.decisions_per_sec(), p.decisions / p.wall_seconds, 1e-9);
+  } else {
+    EXPECT_EQ(p.jobs_per_sec(), 0.0);
+    EXPECT_EQ(p.decisions_per_sec(), 0.0);
+  }
 }
 
 }  // namespace

@@ -1,0 +1,162 @@
+// End-to-end equivalence and observability of the scale-up machinery: the
+// optimized engine (calendar event queue, pooled arena scratch, word-range
+// scan kernels, bulk index deltas) must replay a trace decision-for-
+// decision identically to the pre-optimization reference configuration;
+// full-scale block-catalog traces must carry the new sim_begin fields and
+// pass the strict auditor.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "failure/generator.hpp"
+#include "obs/audit.hpp"
+#include "obs/reader.hpp"
+#include "obs/trace.hpp"
+#include "sim/driver.hpp"
+#include "workload/synthetic.hpp"
+
+namespace bgl {
+namespace {
+
+struct Inputs {
+  Workload workload;
+  FailureTrace trace;
+};
+
+Inputs make_inputs(int num_jobs, int nodes, std::uint64_t seed) {
+  SyntheticModel model = SyntheticModel::sdsc();
+  model.num_jobs = num_jobs;
+  Workload w = generate_workload(model, seed);
+  w = rescale_sizes(w, nodes);
+  const double span = w.arrival_span() * 1.05 + 2.0 * 36.0 * 3600.0;
+  FailureModel fm = FailureModel::bluegene_l(80, span);
+  fm.num_nodes = nodes;
+  return Inputs{std::move(w), generate_failures(fm, seed ^ 0x5bd1e995)};
+}
+
+SimConfig scale_config() {
+  SimConfig config;
+  config.dims = Dims{16, 16, 16};  // 4 096 nodes: full machine in miniature
+  config.catalog.mode = CatalogOptions::Mode::kBlocks;
+  config.catalog.min_block = 16;
+  config.scheduler = SchedulerKind::kBalancing;
+  config.alpha = 0.1;
+  return config;
+}
+
+// Every optimization this pass introduced, toggled off together — the
+// perf gate's reference configuration — must change nothing observable.
+TEST(ScaleEquivalence, OptimizedAndReferenceEnginesMatchExactly) {
+  const Inputs in = make_inputs(250, 16 * 16 * 16, 4242);
+
+  const SimConfig optimized = scale_config();
+  SimConfig reference = scale_config();
+  reference.event_queue = EventQueueKind::kHeap;
+  reference.sched.arena_scratch = false;
+  reference.catalog.full_width_scans = true;
+
+  std::ostringstream opt_trace, ref_trace;
+  obs::TraceSink opt_sink(opt_trace), ref_sink(ref_trace);
+  SimConfig a = optimized, b = reference;
+  a.obs.trace = &opt_sink;
+  b.obs.trace = &ref_sink;
+  const SimResult ra = run_simulation(in.workload, in.trace, a);
+  const SimResult rb = run_simulation(in.workload, in.trace, b);
+
+  EXPECT_EQ(ra.jobs_completed, rb.jobs_completed);
+  EXPECT_EQ(ra.avg_wait, rb.avg_wait);
+  EXPECT_EQ(ra.utilization, rb.utilization);
+
+  // Byte-identical traces apart from the sim_begin configuration fields
+  // (the reference announces its non-default queue/scan knobs) and host
+  // wall-clock stamps, which we strip line by line.
+  auto strip = [](const std::string& text) {
+    std::istringstream lines(text);
+    std::ostringstream out;
+    std::string line;
+    while (std::getline(lines, line)) {
+      const auto wall = line.find("\"wall_us\":");
+      if (wall != std::string::npos) {
+        const auto end = line.find_first_of(",}", wall + 10);
+        line.erase(wall, end - wall);
+      }
+      if (line.find("\"type\":\"sim_begin\"") != std::string::npos) continue;
+      out << line << '\n';
+    }
+    return out.str();
+  };
+  EXPECT_EQ(strip(opt_trace.str()), strip(ref_trace.str()));
+}
+
+TEST(ScaleTrace, SimBeginAnnouncesNonDefaultEngineConfig) {
+  const Inputs in = make_inputs(40, 16 * 16 * 16, 7);
+
+  std::ostringstream text;
+  {
+    obs::TraceSink sink(text);
+    SimConfig config = scale_config();
+    config.event_queue = EventQueueKind::kHeap;
+    config.obs.trace = &sink;
+    run_simulation(in.workload, in.trace, config);
+  }
+  std::istringstream stream(text.str());
+  obs::TraceReader reader(stream);
+  obs::TraceRecord record;
+  ASSERT_TRUE(reader.next(record));
+  const obs::SimBeginEvent begin = obs::SimBeginEvent::from(record);
+  EXPECT_EQ(begin.catalog, "blocks");
+  EXPECT_EQ(begin.min_block, 16);
+  EXPECT_EQ(begin.event_queue, "heap");
+}
+
+TEST(ScaleTrace, SimBeginOmitsDefaultEngineConfig) {
+  // Default engine (boxes catalog, calendar queue) at paper scale: the new
+  // fields must be absent so pre-existing traces stay byte-identical.
+  const Inputs in = make_inputs(40, 128, 7);
+  std::ostringstream text;
+  {
+    obs::TraceSink sink(text);
+    SimConfig config;
+    config.obs.trace = &sink;
+    run_simulation(in.workload, in.trace, config);
+  }
+  const std::string first = text.str().substr(0, text.str().find('\n'));
+  EXPECT_EQ(first.find("\"catalog\""), std::string::npos);
+  EXPECT_EQ(first.find("\"event_queue\""), std::string::npos);
+  std::istringstream stream2(text.str());
+  obs::TraceReader reader(stream2);
+  obs::TraceRecord record;
+  ASSERT_TRUE(reader.next(record));
+  const obs::SimBeginEvent begin = obs::SimBeginEvent::from(record);
+  EXPECT_EQ(begin.catalog, "");
+  EXPECT_EQ(begin.min_block, 0);
+  EXPECT_EQ(begin.event_queue, "");
+}
+
+TEST(ScaleAudit, BlockCatalogTracePassesStrictAudit) {
+  // The auditor reconstructs a block catalog of any volume (the node cap
+  // applies to boxes mode only), so a full-scale trace stays fully
+  // checkable: lifecycle, partition overlap, metric re-derivation.
+  const Inputs in = make_inputs(120, 16 * 16 * 16, 99);
+  std::ostringstream text;
+  {
+    obs::TraceSink sink(text);
+    SimConfig config = scale_config();
+    config.obs.trace = &sink;
+    config.snapshot_interval = 43200.0;
+    run_simulation(in.workload, in.trace, config);
+  }
+  obs::AuditOptions options;
+  options.strict = true;
+  std::istringstream stream(text.str());
+  const obs::AuditReport report = obs::audit_trace(stream, options);
+  EXPECT_TRUE(report.violations.empty())
+      << report.violations.size() << " violations, first: "
+      << (report.violations.empty() ? "" : report.violations.front().message);
+  EXPECT_GT(report.events, 0u);
+  EXPECT_TRUE(report.ok());
+}
+
+}  // namespace
+}  // namespace bgl

@@ -1,0 +1,158 @@
+// PlacementArena / ArenaVector (src/sched/arena.hpp) and the scheduler's
+// pooled-scratch mode: bump allocation semantics, reset reuse, and the
+// contract that SchedulerConfig::arena_scratch changes no decision — the
+// arena path and the pre-arena allocating reference must produce identical
+// simulations.
+#include "sched/arena.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <numeric>
+#include <vector>
+
+#include "failure/generator.hpp"
+#include "sim/driver.hpp"
+#include "workload/synthetic.hpp"
+
+namespace bgl {
+namespace {
+
+TEST(PlacementArena, AllocatesAlignedDistinctBlocks) {
+  PlacementArena arena;
+  EXPECT_EQ(arena.reserved_bytes(), 0u);  // lazy: no chunk until first use
+
+  int* a = arena.alloc<int>(10);
+  double* b = arena.alloc<double>(4);
+  ASSERT_NE(a, nullptr);
+  ASSERT_NE(b, nullptr);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(a) % alignof(int), 0u);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(b) % alignof(double), 0u);
+
+  // Blocks do not overlap: writes through one stay invisible to the other.
+  for (int i = 0; i < 10; ++i) a[i] = i;
+  for (int i = 0; i < 4; ++i) b[i] = -1.0;
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(a[i], i);
+  EXPECT_GT(arena.reserved_bytes(), 0u);
+}
+
+TEST(PlacementArena, ResetReusesCapacityWithoutGrowth) {
+  PlacementArena arena;
+  (void)arena.alloc<std::uint64_t>(1000);
+  const std::size_t reserved = arena.reserved_bytes();
+  for (int pass = 0; pass < 50; ++pass) {
+    arena.reset();
+    (void)arena.alloc<std::uint64_t>(1000);
+  }
+  // Steady state: the same pass re-run after reset() allocates no new heap.
+  EXPECT_EQ(arena.reserved_bytes(), reserved);
+}
+
+TEST(PlacementArena, GrowsBeyondFirstChunk) {
+  PlacementArena arena;
+  // Far more than the 64 KiB first chunk; spans several doubling chunks.
+  char* big = arena.alloc<char>(1 << 20);
+  ASSERT_NE(big, nullptr);
+  big[0] = 'x';
+  big[(1 << 20) - 1] = 'y';
+  EXPECT_GE(arena.reserved_bytes(), static_cast<std::size_t>(1 << 20));
+}
+
+TEST(ArenaVector, PushBackGrowthPreservesContents) {
+  PlacementArena arena;
+  ArenaVector<int> v(arena);
+  EXPECT_TRUE(v.empty());
+  for (int i = 0; i < 1000; ++i) v.push_back(i);  // many regrowths
+  ASSERT_EQ(v.size(), 1000u);
+  for (int i = 0; i < 1000; ++i) ASSERT_EQ(v[static_cast<std::size_t>(i)], i);
+
+  const std::span<const int> view = v;
+  EXPECT_EQ(view.size(), 1000u);
+  EXPECT_EQ(std::accumulate(view.begin(), view.end(), 0), 999 * 1000 / 2);
+}
+
+TEST(ArenaVector, AssignAndClear) {
+  PlacementArena arena;
+  ArenaVector<char> v(arena);
+  v.assign(64, 0);
+  ASSERT_EQ(v.size(), 64u);
+  for (const char c : v) EXPECT_EQ(c, 0);
+  v[5] = 1;
+  v.clear();
+  EXPECT_TRUE(v.empty());
+  v.assign(8, 2);
+  ASSERT_EQ(v.size(), 8u);
+  for (const char c : v) EXPECT_EQ(c, 2);
+}
+
+// --- Scheduler-level differential -----------------------------------------
+
+struct Inputs {
+  Workload workload;
+  FailureTrace trace;
+};
+
+Inputs small_inputs(int num_jobs, int nodes, std::uint64_t seed) {
+  SyntheticModel model = SyntheticModel::sdsc();
+  model.num_jobs = num_jobs;
+  Workload w = generate_workload(model, seed);
+  w = rescale_sizes(w, nodes);
+  const double span = w.arrival_span() * 1.05 + 2.0 * 36.0 * 3600.0;
+  FailureModel fm = FailureModel::bluegene_l(60, span);
+  fm.num_nodes = nodes;
+  return Inputs{std::move(w), generate_failures(fm, seed ^ 0x5bd1e995)};
+}
+
+void expect_identical(const SimResult& a, const SimResult& b) {
+  EXPECT_EQ(a.jobs_completed, b.jobs_completed);
+  EXPECT_EQ(a.job_kills, b.job_kills);
+  EXPECT_EQ(a.migrations, b.migrations);
+  EXPECT_EQ(a.starts_on_flagged, b.starts_on_flagged);
+  EXPECT_EQ(a.avoidable_kills, b.avoidable_kills);
+  // Bitwise equality: same decisions means the same arithmetic in the same
+  // order, not merely close answers.
+  EXPECT_EQ(a.span, b.span);
+  EXPECT_EQ(a.avg_wait, b.avg_wait);
+  EXPECT_EQ(a.avg_response, b.avg_response);
+  EXPECT_EQ(a.avg_bounded_slowdown, b.avg_bounded_slowdown);
+  EXPECT_EQ(a.utilization, b.utilization);
+  EXPECT_EQ(a.unused, b.unused);
+  EXPECT_EQ(a.lost, b.lost);
+}
+
+TEST(ArenaScratch, SimulationIdenticalWithAndWithoutArena) {
+  const Inputs in = small_inputs(350, 128, 97);
+  for (const SchedulerKind kind :
+       {SchedulerKind::kKrevat, SchedulerKind::kBalancing,
+        SchedulerKind::kTieBreak}) {
+    SimConfig with_arena;
+    with_arena.scheduler = kind;
+    with_arena.alpha = 0.1;
+    SimConfig without_arena = with_arena;
+    without_arena.sched.arena_scratch = false;
+
+    const SimResult a = run_simulation(in.workload, in.trace, with_arena);
+    const SimResult b = run_simulation(in.workload, in.trace, without_arena);
+    expect_identical(a, b);
+  }
+}
+
+TEST(ArenaScratch, IdenticalAtBlockCatalogScale) {
+  // The scale-up configuration in miniature: 4 096 nodes, block catalog.
+  const int nodes = 16 * 16 * 16;
+  const Inputs in = small_inputs(200, nodes, 1234);
+  SimConfig with_arena;
+  with_arena.dims = Dims{16, 16, 16};
+  with_arena.catalog.mode = CatalogOptions::Mode::kBlocks;
+  with_arena.catalog.min_block = 16;
+  with_arena.scheduler = SchedulerKind::kBalancing;
+  with_arena.alpha = 0.1;
+  SimConfig without_arena = with_arena;
+  without_arena.sched.arena_scratch = false;
+
+  expect_identical(run_simulation(in.workload, in.trace, with_arena),
+                   run_simulation(in.workload, in.trace, without_arena));
+}
+
+}  // namespace
+}  // namespace bgl

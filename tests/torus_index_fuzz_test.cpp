@@ -26,8 +26,9 @@ int naive_mfp(const Dims& dims, const NodeSet& occ) {
 
 /// >= `deltas` random mutations; every answer compared against the catalog
 /// scans, the full invariant check and the naive finder sampled.
-void fuzz(const Dims& dims, Topology topology, std::uint64_t seed, int deltas) {
-  const PartitionCatalog catalog(dims, topology);
+void fuzz(const Dims& dims, Topology topology, std::uint64_t seed, int deltas,
+          CatalogOptions options = {}) {
+  const PartitionCatalog catalog(dims, topology, options);
   FreePartitionIndex index(catalog);
   NodeSet occ(dims.volume());  // reference occupancy, mutated in lockstep
   Rng rng(seed);
@@ -99,9 +100,12 @@ void fuzz(const Dims& dims, Topology topology, std::uint64_t seed, int deltas) {
 
     if (t % 100 == 0) {
       ASSERT_NO_THROW(index.check_invariants()) << "delta " << t;
-      // The naive box enumerator assumes wrap-around, so it is only a
-      // valid independent reference on the torus.
-      if (topology == Topology::kTorus) {
+      // The naive box enumerator assumes wrap-around and the full box
+      // catalog, so it is only a valid independent reference on the torus
+      // in boxes mode (a block catalog deliberately enumerates fewer
+      // shapes and can have a smaller MFP).
+      if (topology == Topology::kTorus &&
+          options.mode == CatalogOptions::Mode::kBoxes) {
         ASSERT_EQ(index.mfp(), naive_mfp(dims, occ)) << "delta " << t;
       }
     }
@@ -119,6 +123,26 @@ TEST(IndexFuzz, BlueGeneMesh) {
 
 TEST(IndexFuzz, AsymmetricSmallTorus) {
   fuzz(Dims{3, 4, 5}, Topology::kTorus, 0xCAFEu, 1000);
+}
+
+TEST(IndexFuzz, BlockCatalogTorus) {
+  // The scale-up configuration in miniature: contiguous-id blocks and the
+  // index's word-level bulk occupy/release path (full_width_scans off).
+  CatalogOptions options;
+  options.mode = CatalogOptions::Mode::kBlocks;
+  options.min_block = 16;
+  fuzz(Dims{16, 8, 8}, Topology::kTorus, 0xB10C5u, 900, options);
+}
+
+TEST(IndexFuzz, BlockCatalogPerNodeReferencePath) {
+  // full_width_scans also routes the index through the per-node counter
+  // walk — the pre-optimization reference the perf gate compares against —
+  // which must stay answer-identical to the bulk word path above.
+  CatalogOptions options;
+  options.mode = CatalogOptions::Mode::kBlocks;
+  options.min_block = 16;
+  options.full_width_scans = true;
+  fuzz(Dims{16, 8, 8}, Topology::kTorus, 0xB10C5u, 900, options);
 }
 
 }  // namespace

@@ -159,5 +159,103 @@ TEST(NodeSet, RandomizedCountMatchesReference) {
   for (int i = 0; i < 200; ++i) EXPECT_EQ(s.test(i), ref[static_cast<std::size_t>(i)]);
 }
 
+// --- Small-buffer / full-machine-scale behaviour ---------------------------
+
+TEST(NodeSet, LargeSetKernelsMatchSmallSetSemantics) {
+  // 65 536 bits = 1 024 words: heap storage and the 4-word unrolled
+  // kernels, validated against a bit-by-bit reference.
+  const int bits = 65536;
+  Rng rng(0xBEEF);
+  NodeSet a(bits), b(bits);
+  std::vector<bool> ra(static_cast<std::size_t>(bits), false);
+  std::vector<bool> rb(static_cast<std::size_t>(bits), false);
+  for (int k = 0; k < 4000; ++k) {
+    const int id = static_cast<int>(
+        rng.uniform_int(0, static_cast<std::uint64_t>(bits - 1)));
+    if (rng.bernoulli(0.5)) {
+      a.set(id);
+      ra[static_cast<std::size_t>(id)] = true;
+    } else {
+      b.set(id);
+      rb[static_cast<std::size_t>(id)] = true;
+    }
+  }
+
+  int expect_count = 0, expect_both = 0;
+  bool expect_intersects = false;
+  for (int i = 0; i < bits; ++i) {
+    expect_count += ra[static_cast<std::size_t>(i)] ? 1 : 0;
+    if (ra[static_cast<std::size_t>(i)] && rb[static_cast<std::size_t>(i)]) {
+      ++expect_both;
+      expect_intersects = true;
+    }
+  }
+  EXPECT_EQ(a.count(), expect_count);
+  EXPECT_EQ(a.intersects(b), expect_intersects);
+  EXPECT_EQ(a.intersect_count(b), expect_both);
+
+  NodeSet u = a;
+  u |= b;
+  NodeSet d = a;
+  d.subtract(b);
+  for (int i = 0; i < bits; i += 97) {  // sampled verification
+    const auto si = static_cast<std::size_t>(i);
+    EXPECT_EQ(u.test(i), ra[si] || rb[si]);
+    EXPECT_EQ(d.test(i), ra[si] && !rb[si]);
+  }
+}
+
+TEST(NodeSet, EmptyEarlyExitsAndTracksState) {
+  NodeSet s(65536);
+  EXPECT_TRUE(s.empty());
+  s.set(65535);  // worst case for a scan, still correct
+  EXPECT_FALSE(s.empty());
+  s.reset(65535);
+  EXPECT_TRUE(s.empty());
+}
+
+TEST(NodeSet, AnyInWordRangeProbesExactSpan) {
+  NodeSet s(1024);  // 16 words
+  s.set(64 * 5 + 3);
+  EXPECT_TRUE(s.any_in_word_range(5, 6));
+  EXPECT_TRUE(s.any_in_word_range(0, 16));
+  EXPECT_FALSE(s.any_in_word_range(0, 5));
+  EXPECT_FALSE(s.any_in_word_range(6, 16));
+  EXPECT_FALSE(s.any_in_word_range(5, 5));  // empty range
+}
+
+TEST(NodeSet, CopyAndMoveAcrossStorageModes) {
+  // Inline (128 bits) and heap (65 536 bits) objects must copy and move
+  // with identical value semantics.
+  for (const int bits : {128, 65536}) {
+    NodeSet s(bits);
+    s.set(1);
+    s.set(bits - 1);
+
+    NodeSet copy = s;
+    EXPECT_EQ(copy, s);
+    copy.set(2);
+    EXPECT_FALSE(s.test(2));  // deep copy, no sharing
+
+    NodeSet assigned(bits);
+    assigned.set(7);
+    assigned = s;
+    EXPECT_EQ(assigned, s);
+
+    NodeSet moved = std::move(copy);
+    EXPECT_TRUE(moved.test(2));
+    EXPECT_TRUE(moved.test(bits - 1));
+    EXPECT_EQ(moved.bits(), bits);
+  }
+}
+
+TEST(NodeSet, MutableWordsWriteThrough) {
+  NodeSet s(256);
+  s.mutable_words()[2] = 0x5ULL;
+  EXPECT_TRUE(s.test(128));
+  EXPECT_TRUE(s.test(130));
+  EXPECT_EQ(s.count(), 2);
+}
+
 }  // namespace
 }  // namespace bgl
