@@ -11,6 +11,9 @@
 //     --failures N        failure events to inject (default: paper density)
 //     --failure-csv PATH  use a recorded failure trace instead
 //     --scheduler <krevat|balancing|tiebreak> (default balancing)
+//     --algorithm <krevat|easy|conservative|easy-holdback>
+//                         backfill discipline (default krevat; see
+//                         docs/SCHEDULERS.md)
 //     --alpha A           confidence/accuracy in [0,1] (default 0.1)
 //     --no-backfill --conservative-backfill --no-migration
 //     --ckpt-interval S   enable checkpointing with this interval (seconds)
@@ -52,6 +55,7 @@ struct Options {
   std::optional<std::size_t> failures;
   std::optional<std::string> failure_csv;
   std::string scheduler = "balancing";
+  std::string algorithm = "krevat";
   double alpha = 0.1;
   BackfillMode backfill = BackfillMode::kEasy;
   bool migration = true;
@@ -91,6 +95,8 @@ std::optional<Options> parse(int argc, char** argv) {
       if (auto v = next()) o.failure_csv = *v; else return std::nullopt;
     } else if (arg == "--scheduler") {
       if (auto v = next()) o.scheduler = *v; else return std::nullopt;
+    } else if (arg == "--algorithm") {
+      if (auto v = next()) o.algorithm = *v; else return std::nullopt;
     } else if (arg == "--alpha") {
       if (auto v = next()) o.alpha = parse_double(*v).value_or(0.0);
       else return std::nullopt;
@@ -178,6 +184,12 @@ int main(int argc, char** argv) {
       std::cerr << "unknown scheduler: " << o.scheduler << '\n';
       return usage();
     }
+    if (const auto algo = parse_sched_algorithm(o.algorithm)) {
+      config.sched.algorithm = *algo;
+    } else {
+      std::cerr << "unknown algorithm: " << o.algorithm << '\n';
+      return usage();
+    }
     config.alpha = o.alpha;
     config.sched.backfill = o.backfill;
     config.sched.migration = o.migration;
@@ -225,6 +237,7 @@ int main(int argc, char** argv) {
             << "\"machine\":\"" << to_string(config.dims) << "\""
             << ",\"topology\":\"" << to_string(config.topology) << "\""
             << ",\"scheduler\":\"" << to_string(config.scheduler) << "\""
+            << ",\"algorithm\":\"" << to_string(config.sched.algorithm) << "\""
             << ",\"predictor\":\"" << to_string(config.predictor_model) << "\""
             << ",\"alpha\":" << format_double(config.alpha, 10)
             << ",\"backfill\":\"" << to_string(config.sched.backfill) << "\""
@@ -244,6 +257,7 @@ int main(int argc, char** argv) {
 
     Table table({"metric", "value"});
     table.add_row().add("scheduler").add(std::string(to_string(config.scheduler)));
+    table.add_row().add("algorithm").add(std::string(to_string(config.sched.algorithm)));
     table.add_row().add("alpha").add(o.alpha, 2);
     table.add_row().add("jobs completed").add(static_cast<long long>(r.jobs_completed));
     table.add_row().add("makespan").add(format_duration(r.span));

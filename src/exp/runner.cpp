@@ -52,6 +52,7 @@ void run_unit(const SweepSpec& spec, const Cell& cell, int repeat,
 
   SimConfig config = cell.config->proto;
   config.scheduler = cell.scheduler;
+  if (cell.algorithm) config.sched.algorithm = *cell.algorithm;
   config.alpha = cell.alpha;
   config.seed = seeds.sim;
   apply_partition_index_env(config);
@@ -77,16 +78,20 @@ void run_unit(const SweepSpec& spec, const Cell& cell, int repeat,
 
 const PointSummary& SweepResult::at(std::size_t model, std::size_t load,
                                     std::size_t failures,
-                                    std::size_t scheduler, std::size_t alpha,
+                                    std::size_t scheduler,
+                                    std::size_t algorithm, std::size_t alpha,
                                     std::size_t config) const {
   BGL_CHECK(model < shape_.models && load < shape_.loads &&
                 failures < shape_.failures && scheduler < shape_.schedulers &&
-                alpha < shape_.alphas && config < shape_.configs,
+                algorithm < shape_.algorithms && alpha < shape_.alphas &&
+                config < shape_.configs,
             "sweep cell coordinate out of range");
   const std::size_t index =
-      ((((model * shape_.loads + load) * shape_.failures + failures) *
-            shape_.schedulers +
-        scheduler) *
+      (((((model * shape_.loads + load) * shape_.failures + failures) *
+             shape_.schedulers +
+         scheduler) *
+            shape_.algorithms +
+        algorithm) *
            shape_.alphas +
        alpha) *
           shape_.configs +
@@ -124,6 +129,7 @@ SweepResult SweepRunner::run(const SweepSpec& spec,
   result.shape_.loads = std::max<std::size_t>(1, spec.load_scales.size());
   result.shape_.failures = std::max<std::size_t>(1, spec.failure_budgets.size());
   result.shape_.schedulers = std::max<std::size_t>(1, spec.schedulers.size());
+  result.shape_.algorithms = std::max<std::size_t>(1, spec.algorithms.size());
   result.shape_.alphas = std::max<std::size_t>(1, spec.alphas.size());
   result.shape_.configs = std::max<std::size_t>(1, spec.configs.size());
 

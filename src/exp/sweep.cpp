@@ -16,7 +16,8 @@ std::size_t axis_size(std::size_t n) { return n == 0 ? 1 : n; }
 std::size_t SweepSpec::num_cells() const {
   return models.size() * axis_size(load_scales.size()) *
          axis_size(failure_budgets.size()) * axis_size(schedulers.size()) *
-         axis_size(alphas.size()) * axis_size(configs.size());
+         axis_size(algorithms.size()) * axis_size(alphas.size()) *
+         axis_size(configs.size());
 }
 
 int SweepSpec::repeats() const {
@@ -35,6 +36,7 @@ std::vector<Cell> expand_cells(const SweepSpec& spec) {
   const std::size_t n_load = axis_size(spec.load_scales.size());
   const std::size_t n_fail = axis_size(spec.failure_budgets.size());
   const std::size_t n_sched = axis_size(spec.schedulers.size());
+  const std::size_t n_algo = axis_size(spec.algorithms.size());
   const std::size_t n_alpha = axis_size(spec.alphas.size());
   const std::size_t n_cfg = axis_size(spec.configs.size());
   static const ConfigCase kDefaultConfig{"", SimConfig{}, std::nullopt};
@@ -45,26 +47,31 @@ std::vector<Cell> expand_cells(const SweepSpec& spec) {
     for (std::size_t li = 0; li < n_load; ++li) {
       for (std::size_t fi = 0; fi < n_fail; ++fi) {
         for (std::size_t si = 0; si < n_sched; ++si) {
-          for (std::size_t ai = 0; ai < n_alpha; ++ai) {
-            for (std::size_t ci = 0; ci < n_cfg; ++ci) {
-              Cell cell;
-              cell.index = cells.size();
-              cell.coord = {mi, li, fi, si, ai, ci};
-              cell.model = &spec.models[mi];
-              cell.load_scale =
-                  spec.load_scales.empty() ? 1.0 : spec.load_scales[li];
-              cell.nominal_failures =
-                  spec.failure_budgets.empty()
-                      ? paper_failure_count(cell.model->model)
-                      : spec.failure_budgets[fi];
-              cell.scheduler = spec.schedulers.empty()
-                                   ? SchedulerKind::kBalancing
-                                   : spec.schedulers[si];
-              cell.config =
-                  spec.configs.empty() ? &kDefaultConfig : &spec.configs[ci];
-              cell.alpha = cell.config->alpha.value_or(
-                  spec.alphas.empty() ? 0.0 : spec.alphas[ai]);
-              cells.push_back(cell);
+          for (std::size_t gi = 0; gi < n_algo; ++gi) {
+            for (std::size_t ai = 0; ai < n_alpha; ++ai) {
+              for (std::size_t ci = 0; ci < n_cfg; ++ci) {
+                Cell cell;
+                cell.index = cells.size();
+                cell.coord = {mi, li, fi, si, gi, ai, ci};
+                cell.model = &spec.models[mi];
+                cell.load_scale =
+                    spec.load_scales.empty() ? 1.0 : spec.load_scales[li];
+                cell.nominal_failures =
+                    spec.failure_budgets.empty()
+                        ? paper_failure_count(cell.model->model)
+                        : spec.failure_budgets[fi];
+                cell.scheduler = spec.schedulers.empty()
+                                     ? SchedulerKind::kBalancing
+                                     : spec.schedulers[si];
+                if (!spec.algorithms.empty()) {
+                  cell.algorithm = spec.algorithms[gi];
+                }
+                cell.config =
+                    spec.configs.empty() ? &kDefaultConfig : &spec.configs[ci];
+                cell.alpha = cell.config->alpha.value_or(
+                    spec.alphas.empty() ? 0.0 : spec.alphas[ai]);
+                cells.push_back(cell);
+              }
             }
           }
         }

@@ -72,6 +72,8 @@ enum class SeedScheme {
 ///   load_scales      {1.0}
 ///   failure_budgets  the paper's per-log budget, paper_failure_count(model)
 ///   schedulers       {SchedulerKind::kBalancing}
+///   algorithms       whatever each ConfigCase proto carries (i.e. the axis
+///                    does not override SchedulerConfig::algorithm at all)
 ///   alphas           {0.0}
 ///   configs          one default-constructed SimConfig, no alpha override
 struct SweepSpec {
@@ -81,6 +83,10 @@ struct SweepSpec {
   std::vector<double> load_scales;        ///< The paper's c.
   std::vector<std::size_t> failure_budgets;
   std::vector<SchedulerKind> schedulers;
+  /// Scheduling-algorithm axis (docs/SCHEDULERS.md): which backfill
+  /// discipline drives the pass, orthogonal to the `schedulers` axis (which
+  /// picks the placement-scoring policy + predictor pairing).
+  std::vector<SchedAlgorithm> algorithms;
   std::vector<double> alphas;
   std::vector<ConfigCase> configs;
 
@@ -106,6 +112,7 @@ struct CellCoord {
   std::size_t load = 0;
   std::size_t failures = 0;
   std::size_t scheduler = 0;
+  std::size_t algorithm = 0;
   std::size_t alpha = 0;
   std::size_t config = 0;
 };
@@ -120,6 +127,10 @@ struct Cell {
   /// left empty).
   std::size_t nominal_failures = 0;
   SchedulerKind scheduler = SchedulerKind::kBalancing;
+  /// Set iff the spec's algorithm axis is non-empty; nullopt means "keep the
+  /// ConfigCase proto's SchedulerConfig::algorithm" (the degenerate-axis
+  /// default, which keeps pre-axis sweeps byte-identical).
+  std::optional<SchedAlgorithm> algorithm;
   double alpha = 0.0;       ///< After any ConfigCase override.
   const ConfigCase* config = nullptr;
 };

@@ -34,6 +34,7 @@ const char* to_string(ViolationCode code) {
     case ViolationCode::kWorkAccounting: return "work_accounting";
     case ViolationCode::kVictimsMismatch: return "victims_mismatch";
     case ViolationCode::kFieldMismatch: return "field_mismatch";
+    case ViolationCode::kReservation: return "reservation";
     case ViolationCode::kSnapshotMismatch: return "snapshot_mismatch";
     case ViolationCode::kAggregateMismatch: return "aggregate_mismatch";
     case ViolationCode::kTruncated: return "truncated";
@@ -386,8 +387,62 @@ class Auditor {
       }
       check_entry(e.entry, *j, e.job, line, "sched_decision");
     }
+    check_reservation(e, j, line);
     pending_decision_ = e;
     pending_line_ = line;
+  }
+
+  /// Reservation provenance (docs/SCHEDULERS.md). When sim_begin declares a
+  /// reservation-carrying algorithm, every backfill decision must stamp the
+  /// binding reservation, and the admission rule must be re-derivable from
+  /// the trace alone: the filler's estimated finish (t + submit estimate)
+  /// precedes res_time, or its partition avoids the reserved one entirely.
+  /// Conversely, the default (krevat) algorithm never emits these fields.
+  void check_reservation(const SchedDecisionEvent& e, const JobAudit* j,
+                         std::size_t line) {
+    const bool res_algo =
+        begin_ && !begin_->algorithm.empty() && begin_->algorithm != "krevat";
+    const bool has_res = e.res_entry >= 0;
+    if (!has_res) {
+      if (res_algo && e.backfill) {
+        add(ViolationCode::kReservation, line, e.job,
+            "backfill decision without res_time/res_entry under algorithm '" +
+                begin_->algorithm + "'");
+      }
+      return;
+    }
+    if (!e.backfill) {
+      add(ViolationCode::kReservation, line, e.job,
+          "reservation fields on a non-backfill decision");
+      return;
+    }
+    if (begin_ && !res_algo) {
+      add(ViolationCode::kReservation, line, e.job,
+          "reservation fields from the default (krevat) algorithm");
+      return;
+    }
+    if (catalog_ == nullptr) return;
+    if (e.res_entry >= catalog_->num_entries()) {
+      add(ViolationCode::kReservation, line, e.job,
+          "res_entry " + std::to_string(e.res_entry) + " outside catalog [0, " +
+              std::to_string(catalog_->num_entries()) + ")");
+      return;
+    }
+    if (j == nullptr || e.entry < 0 || e.entry >= catalog_->num_entries()) {
+      return;  // entry/lifecycle problems already reported above
+    }
+    const double est_finish = e.t + j->estimate;
+    // The scheduler admits on est_finish <= res_time + 1e-9; both sides
+    // round-trip through %.10g here, so compare with the trace tolerance.
+    const bool in_time =
+        est_finish <= e.res_time || near(est_finish, e.res_time, e.t);
+    if (!in_time && catalog_->entry(e.entry).mask.intersects(
+                        catalog_->entry(e.res_entry).mask)) {
+      add(ViolationCode::kReservation, line, e.job,
+          "filler finishing at t=" + fmt(est_finish) +
+              " delays the reservation at t=" + fmt(e.res_time) +
+              " on an intersecting partition");
+    }
   }
 
   void on_start(const JobStartEvent& e, std::size_t line) {

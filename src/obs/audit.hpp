@@ -21,6 +21,12 @@
 //   snapshots          machine_state queue/running/free/mfp/frag consistent
 //                      with the reconstructed machine state
 //   aggregates         sim_end matches values recomputed from the stream
+//   reservations       when sim_begin declares a reservation-carrying
+//                      algorithm (easy/conservative/easy-holdback), every
+//                      backfill decision must carry res_time/res_entry and
+//                      satisfy the admission rule: the filler's estimated
+//                      finish (start t + submit estimate) precedes res_time,
+//                      or its partition is disjoint from the reserved one
 //
 // Used by tools/trace_audit (CLI) and tests/obs_audit_test.cpp (seeded
 // corruptions); CI pipes fresh traces from all three schedulers through it.
@@ -47,6 +53,7 @@ enum class ViolationCode {
   kWorkAccounting,    ///< work_lost/work_saved out of bounds or inconsistent.
   kVictimsMismatch,   ///< node_failure.victims vs job_kill events.
   kFieldMismatch,     ///< Event field disagrees with reconstructed state.
+  kReservation,       ///< Backfill reservation invariant broken (see below).
   kSnapshotMismatch,  ///< machine_state disagrees with reconstruction.
   kAggregateMismatch, ///< sim_end aggregate != recomputed value.
   kTruncated,         ///< Trace ends without sim_end / unfinished jobs.

@@ -322,6 +322,7 @@ SimBeginEvent SimBeginEvent::from(const TraceRecord& r) {
   if (const auto c = r.str("catalog")) e.catalog = std::string(*c);
   if (const auto m = r.num("min_block")) e.min_block = static_cast<int>(*m);
   if (const auto q = r.str("event_queue")) e.event_queue = std::string(*q);
+  if (const auto a = r.str("algorithm")) e.algorithm = std::string(*a);
   return e;
 }
 
@@ -359,6 +360,8 @@ SchedDecisionEvent SchedDecisionEvent::from(const TraceRecord& r) {
   e.mfp_after = static_cast<int>(r.require_int("mfp_after"));
   e.flags_in_chosen = static_cast<int>(r.require_int("flags_in_chosen"));
   e.backfill = r.require_bool("backfill");
+  if (const auto rt = r.num("res_time")) e.res_time = *rt;
+  if (const auto re = r.num("res_entry")) e.res_entry = static_cast<int>(*re);
   return e;
 }
 

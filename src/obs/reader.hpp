@@ -128,6 +128,7 @@ struct SimBeginEvent {
   std::string catalog;     ///< "" (boxes) | "blocks".
   int min_block = 0;       ///< kBlocks only: smallest block size.
   std::string event_queue; ///< "" (calendar) | "heap".
+  std::string algorithm;   ///< "" (krevat) | "easy" | "conservative" | ...
   static SimBeginEvent from(const TraceRecord& r);
 };
 
@@ -162,6 +163,12 @@ struct SchedDecisionEvent {
   int mfp_after = 0;
   int flags_in_chosen = 0;
   bool backfill = false;
+  // Reservation provenance, written only by the reservation-carrying
+  // algorithms (easy/conservative/easy-holdback) on backfill placements:
+  // the binding reservation this filler was admitted against. res_entry < 0
+  // means the fields were absent (krevat, or a non-backfill start).
+  double res_time = -1.0;
+  int res_entry = -1;
   static SchedDecisionEvent from(const TraceRecord& r);
 };
 

@@ -1,0 +1,235 @@
+#include "sched/algorithm.hpp"
+
+#include "obs/counters.hpp"
+#include "obs/histogram.hpp"
+#include "sched/migration.hpp"
+#include "util/error.hpp"
+
+namespace bgl {
+
+const char* to_string(SchedAlgorithm algorithm) {
+  switch (algorithm) {
+    case SchedAlgorithm::kKrevat: return "krevat";
+    case SchedAlgorithm::kEasy: return "easy";
+    case SchedAlgorithm::kConservative: return "conservative";
+    case SchedAlgorithm::kEasyHoldback: return "easy-holdback";
+  }
+  return "?";
+}
+
+std::optional<SchedAlgorithm> parse_sched_algorithm(std::string_view name) {
+  if (name == "krevat") return SchedAlgorithm::kKrevat;
+  if (name == "easy") return SchedAlgorithm::kEasy;
+  if (name == "conservative") return SchedAlgorithm::kConservative;
+  if (name == "easy-holdback") return SchedAlgorithm::kEasyHoldback;
+  return std::nullopt;
+}
+
+std::unique_ptr<ISchedulingAlgorithm> make_scheduling_algorithm(
+    SchedAlgorithm algorithm) {
+  switch (algorithm) {
+    case SchedAlgorithm::kKrevat: return make_krevat_algorithm();
+    case SchedAlgorithm::kEasy: return make_easy_algorithm(/*holdback=*/false);
+    case SchedAlgorithm::kEasyHoldback:
+      return make_easy_algorithm(/*holdback=*/true);
+    case SchedAlgorithm::kConservative: return make_conservative_algorithm();
+  }
+  BGL_CHECK(false, "unknown scheduling algorithm");
+  return nullptr;
+}
+
+SchedulingPass::SchedulingPass(const PartitionCatalog& catalog,
+                               PlacementPolicy& policy,
+                               const FaultPredictor& predictor,
+                               const SchedulerConfig& config,
+                               const obs::Observer& obs, double now,
+                               const std::vector<WaitingJob>& queue,
+                               SchedulerPassScratch& scratch,
+                               PlacementArena* explain_arena,
+                               FreePartitionIndex* index,
+                               SchedulingDecision& decision)
+    : catalog_(&catalog),
+      policy_(&policy),
+      predictor_(&predictor),
+      config_(&config),
+      obs_(&obs),
+      tracing_(obs.trace != nullptr),
+      now_(now),
+      queue_(&queue),
+      s_(&scratch),
+      explain_arena_(explain_arena),
+      idx_(index),
+      decision_(&decision),
+      placed_(scratch.arena),
+      candidates_(scratch.arena) {
+  placed_.assign(queue.size(), 0);
+}
+
+const std::vector<RunningJob>& SchedulingPass::live() const { return s_->live; }
+
+const NodeSet& SchedulingPass::occupied() const { return s_->occ; }
+
+PlacementArena& SchedulingPass::scratch_arena() { return s_->arena; }
+
+std::vector<Reservation>& SchedulingPass::reservation_scratch() {
+  return s_->reservations;
+}
+
+// Consult the predictor for a job's execution window, accounting the query
+// (and its verdict size) to the observer. The verdict lands in the pooled
+// s_->flagged (allocation-free in arena mode; the by-value call is the
+// reference behaviour, one fresh NodeSet per query).
+const NodeSet& SchedulingPass::query_predictor(const WaitingJob& job) {
+  if (config_->arena_scratch) {
+    predictor_->flagged_nodes_into(s_->flagged, now_, now_ + job.estimate,
+                                   job.id);
+  } else {
+    s_->flagged = predictor_->flagged_nodes(now_, now_ + job.estimate, job.id);
+  }
+  if (obs_->counters != nullptr || tracing_) {
+    const int n_flagged = s_->flagged.count();
+    if (obs_->counters != nullptr) {
+      obs_->counters->add(obs::Counter::kPredictorQueries);
+      obs_->counters->add(obs::Counter::kPredictorNodesFlagged,
+                          static_cast<std::uint64_t>(n_flagged));
+    }
+    if (tracing_) {
+      decision_->predictor_queries.push_back(
+          PredictorQueryRecord{job.id, now_, now_ + job.estimate, n_flagged});
+    }
+  }
+  return s_->flagged;
+}
+
+std::span<const int> SchedulingPass::free_candidates(int alloc_size) {
+  BGL_CHECK(alloc_size > 0 && alloc_size <= catalog_->num_nodes(),
+            "waiting job has invalid alloc size");
+  candidates_.clear();
+  if (idx_ != nullptr) {
+    idx_->free_entries_of_size(alloc_size, candidates_);
+  } else {
+    catalog_->free_entries_of_size(s_->occ, alloc_size, candidates_);
+  }
+  // Account one free-list scan over the entries of this size that offered
+  // candidates_.size() candidates.
+  if (obs_->counters != nullptr) {
+    const auto [first, last] = catalog_->size_range(alloc_size);
+    obs_->counters->add(obs::Counter::kPartitionsScanned,
+                        static_cast<std::uint64_t>(last - first));
+    obs_->counters->add(obs::Counter::kCandidatesConsidered,
+                        static_cast<std::uint64_t>(candidates_.size()));
+  }
+  return candidates_;
+}
+
+void SchedulingPass::place(std::size_t q, std::span<const int> candidates,
+                           bool backfill, const Reservation* res) {
+  const WaitingJob& job = (*queue_)[q];
+  const NodeSet& flagged = query_predictor(job);
+
+  PlacementContext ctx;
+  ctx.catalog = catalog_;
+  ctx.occupied = &s_->occ;
+  ctx.index = idx_;
+  ctx.mfp_before_index = idx_ != nullptr ? idx_->first_free_index()
+                                         : catalog_->first_free_index(s_->occ);
+  ctx.mfp_before_size =
+      ctx.mfp_before_index < 0 ? 0 : catalog_->entry(ctx.mfp_before_index).size;
+  ctx.flagged = &flagged;
+  ctx.confidence = predictor_->confidence();
+  ctx.pf_rule = config_->pf_rule;
+  ctx.job_size = job.size;
+  ctx.counters = obs_->counters;
+  ctx.arena = explain_arena_;
+
+  PlacementExplain explain;
+  const int chosen =
+      policy_->choose(ctx, candidates, tracing_ ? &explain : nullptr);
+
+  decision_->starts.push_back(Start{job.id, chosen});
+  if (catalog_->entry(chosen).mask.intersects(flagged)) {
+    ++decision_->starts_on_flagged;
+    for (const int c : candidates) {
+      if (!catalog_->entry(c).mask.intersects(flagged)) {
+        ++decision_->flagged_with_alternative;
+        break;
+      }
+    }
+  }
+  s_->occ |= catalog_->entry(chosen).mask;
+  if (idx_ != nullptr) idx_->occupy(catalog_->entry(chosen).mask);
+  s_->live.push_back(RunningJob{job.id, chosen, now_ + job.estimate});
+  if (obs_->counters != nullptr) {
+    obs_->counters->add(obs::Counter::kSchedStarts);
+    if (backfill) obs_->counters->add(obs::Counter::kSchedBackfillStarts);
+  }
+  if (obs_->histograms != nullptr) {
+    obs_->histograms->add(obs::Hist::kCandidates,
+                          static_cast<double>(candidates.size()));
+  }
+  if (tracing_) {
+    PlacementRecord record{job.id, chosen, static_cast<int>(candidates.size()),
+                           explain.flags, explain.l_mfp, explain.l_pf,
+                           explain.e_loss, explain.mfp_after, backfill};
+    if (res != nullptr) {
+      record.res_time = res->time;
+      record.res_entry = res->entry;
+    }
+    decision_->placements.push_back(record);
+  }
+  placed_[q] = 1;
+}
+
+bool SchedulingPass::try_migration(int alloc_size) {
+  if (!config_->migration || migration_tried_ || s_->live.empty()) return false;
+  migration_tried_ = true;
+  // Occupancy that does not belong to any live job — failed nodes still
+  // inside their downtime window — must survive the compaction intact.
+  // try_repack rebuilds the occupancy from the re-placed jobs, so without
+  // this seed it would silently resurrect down nodes as free space and
+  // the retried job (or a backfill filler) could start on them.
+  s_->obstacles = s_->occ;
+  for (const RunningJob& r : s_->live) {
+    s_->obstacles.subtract(catalog_->entry(r.entry_index).mask);
+  }
+  auto repack = try_repack(*catalog_, s_->live, alloc_size, &s_->obstacles,
+                           explain_arena_);
+  if (!repack) return false;
+  for (const Migration& m : repack->migrations) {
+    // A job started earlier in this same pass has not been committed by the
+    // driver yet; rewrite its pending start instead of reporting a
+    // migration of a not-yet-running job. The paired placement audit record
+    // (placements[i] explains starts[i]) must follow, or the trace would
+    // report a placement that was never committed.
+    bool was_started_here = false;
+    for (std::size_t s_i = 0; s_i < decision_->starts.size(); ++s_i) {
+      if (decision_->starts[s_i].id == m.id) {
+        decision_->starts[s_i].entry_index = m.to_entry;
+        if (tracing_) decision_->placements[s_i].entry_index = m.to_entry;
+        was_started_here = true;
+        break;
+      }
+    }
+    if (!was_started_here) decision_->migrations.push_back(m);
+  }
+  s_->occ = std::move(repack->occupied_after);
+  s_->live = std::move(repack->running_after);
+  // Compaction rewrote the occupancy wholesale; resync the scratch index
+  // with one rebuild (migration passes are rare and already
+  // O(running x catalog) in try_repack itself).
+  if (idx_ != nullptr) idx_->reset(s_->occ);
+  return true;
+}
+
+std::optional<Reservation> SchedulingPass::reservation(int alloc_size) const {
+  return compute_reservation(*catalog_, s_->occ, s_->live, alloc_size, now_,
+                             explain_arena_);
+}
+
+void SchedulingPass::note_reservation(std::uint64_t job_id,
+                                      const Reservation& r) {
+  if (!tracing_) return;
+  decision_->reservations.push_back(ReservationRecord{job_id, r.time, r.entry});
+}
+
+}  // namespace bgl

@@ -1,0 +1,171 @@
+// The scheduling-algorithm seam (docs/SCHEDULERS.md).
+//
+// A pass of the engine has three orthogonal policy dimensions:
+//
+//   queue traversal + reservation discipline   ISchedulingAlgorithm (here)
+//   placement scoring                          PlacementPolicy (policy.hpp)
+//   fault prediction                           FaultPredictor (predict/)
+//
+// The Scheduler prepares one SchedulingPass — pass-local occupancy, the
+// live-job view, the cloned free-partition index, the decision being built,
+// counters/trace plumbing — and hands it to the configured algorithm, which
+// owns only the *discipline*: which queued jobs to try, in what order, and
+// under which reservation constraints. Every mutation goes through the pass
+// (place / try_migration / reservation), so any algorithm composes with any
+// scorer, any predictor, the migration machinery, and the incremental index
+// without re-implementing the bookkeeping or the observability contract.
+//
+// Four disciplines ship (SchedAlgorithm in types.hpp):
+//
+//   krevat        algo_krevat.cpp — the paper's engine, frozen: decisions,
+//                 counters and traces are byte-identical to the pre-seam
+//                 scheduler (differential-tested and pinned by the golden
+//                 figure-CSV hashes in bench/golden/).
+//   easy          algo_easy.cpp — EASY backfilling; the blocked head holds
+//                 one explicit reservation recorded in the decision trail.
+//   easy-holdback algo_easy.cpp — EASY plus a free-node floor for fillers.
+//   conservative  algo_conservative.cpp — a queue-order reservation profile;
+//                 fillers may delay no reserved job.
+//
+// To add an algorithm: implement ISchedulingAlgorithm in a new
+// algo_*.cpp, extend SchedAlgorithm + to_string/parse_sched_algorithm
+// (types.hpp / algorithm.cpp), and register it in
+// make_scheduling_algorithm(). docs/SCHEDULERS.md walks through it.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "obs/observer.hpp"
+#include "predict/predictor.hpp"
+#include "sched/arena.hpp"
+#include "sched/backfill.hpp"
+#include "sched/policy.hpp"
+#include "sched/types.hpp"
+#include "torus/catalog.hpp"
+#include "torus/index.hpp"
+
+namespace bgl {
+
+/// Everything one scheduling pass needs that would otherwise be allocated
+/// fresh per decision: the bump arena feeding the int/job scratch arrays, the
+/// three full-width node sets, and the containers whose elements own heap
+/// memory (Reservation masks) and therefore stay std::vector. With
+/// config.arena_scratch the engine keeps one of these across passes; without
+/// it a fresh local instance reproduces the pre-arena allocating behaviour.
+struct SchedulerPassScratch {
+  PlacementArena arena;
+  NodeSet occ;        ///< Pass-local occupancy (occupied + this pass's starts).
+  NodeSet flagged;    ///< Predictor verdict for the job under consideration.
+  NodeSet obstacles;  ///< Non-job occupancy seeded into migration re-packs.
+  std::vector<RunningJob> live;
+  std::vector<Reservation> reservations;
+};
+
+/// One scheduling pass: the engine-owned state an algorithm drives. All
+/// mutation of the decision / occupancy / index happens through the methods
+/// here, which also keep the observability contract (counters, histograms,
+/// audit records) identical across algorithms.
+class SchedulingPass {
+ public:
+  SchedulingPass(const PartitionCatalog& catalog, PlacementPolicy& policy,
+                 const FaultPredictor& predictor, const SchedulerConfig& config,
+                 const obs::Observer& obs, double now,
+                 const std::vector<WaitingJob>& queue,
+                 SchedulerPassScratch& scratch, PlacementArena* explain_arena,
+                 FreePartitionIndex* index, SchedulingDecision& decision);
+
+  SchedulingPass(const SchedulingPass&) = delete;
+  SchedulingPass& operator=(const SchedulingPass&) = delete;
+
+  // --- read-only views ---
+  double now() const { return now_; }
+  const std::vector<WaitingJob>& queue() const { return *queue_; }
+  const PartitionCatalog& catalog() const { return *catalog_; }
+  const SchedulerConfig& config() const { return *config_; }
+  /// Running jobs plus everything started earlier in this pass.
+  const std::vector<RunningJob>& live() const;
+  /// Pass-local occupancy (occupied + this pass's starts).
+  const NodeSet& occupied() const;
+  bool placed(std::size_t q) const { return placed_[q] != 0; }
+
+  /// The per-decision bump arena backing short-lived algorithm scratch
+  /// (always valid — non-arena mode uses the throwaway local scratch's).
+  PlacementArena& scratch_arena();
+  /// The arena handed to compute_reservation / try_repack / the policy:
+  /// null when config().arena_scratch is off (the allocating reference
+  /// behaviour the perf gate measures against).
+  PlacementArena* explain_arena() const { return explain_arena_; }
+  /// Pooled reservation scratch (elements own heap masks, so it stays a
+  /// std::vector reused across passes).
+  std::vector<Reservation>& reservation_scratch();
+
+  // --- actions ---
+  /// Enumerate the free partitions of `alloc_size` into an internal scratch
+  /// list (via the incremental index when present, catalog scans otherwise)
+  /// and account the scan. The span is valid until the next call.
+  std::span<const int> free_candidates(int alloc_size);
+
+  /// Score `candidates` with the placement policy and commit the winner:
+  /// occupancy, index, live set, counters, histogram, audit record. Marks
+  /// queue position `q` placed. `res`, when non-null, is the binding
+  /// reservation the placement was admitted against (recorded on the
+  /// PlacementRecord so the trace carries reservation provenance).
+  void place(std::size_t q, std::span<const int> candidates, bool backfill,
+             const Reservation* res = nullptr);
+
+  /// One compaction attempt for a blocked job of `alloc_size` — at most one
+  /// per pass, and only when config().migration is on and jobs are live.
+  /// On success the occupancy/live/index are rewritten (and same-pass
+  /// starts re-pointed); the caller should retry the blocked job.
+  bool try_migration(int alloc_size);
+
+  /// Earliest-start reservation for `alloc_size` against the live set.
+  std::optional<Reservation> reservation(int alloc_size) const;
+
+  /// Record a granted reservation in the decision audit trail (no-op unless
+  /// tracing; krevat deliberately never calls this — see types.hpp).
+  void note_reservation(std::uint64_t job_id, const Reservation& r);
+
+ private:
+  const NodeSet& query_predictor(const WaitingJob& job);
+
+  const PartitionCatalog* catalog_;
+  PlacementPolicy* policy_;
+  const FaultPredictor* predictor_;
+  const SchedulerConfig* config_;
+  const obs::Observer* obs_;
+  bool tracing_;
+  double now_;
+  const std::vector<WaitingJob>* queue_;
+  SchedulerPassScratch* s_;
+  PlacementArena* explain_arena_;
+  FreePartitionIndex* idx_;
+  SchedulingDecision* decision_;
+  ArenaVector<char> placed_;
+  ArenaVector<int> candidates_;
+  bool migration_tried_ = false;
+};
+
+/// A scheduling discipline. Stateless across passes: run() must be a pure
+/// function of the pass (the Scheduler reuses one instance for its
+/// lifetime and schedule() must stay a pure function of its inputs).
+class ISchedulingAlgorithm {
+ public:
+  virtual ~ISchedulingAlgorithm() = default;
+  virtual const char* name() const = 0;
+  virtual void run(SchedulingPass& pass) const = 0;
+};
+
+/// Registry: the concrete algorithm for a SchedAlgorithm value.
+std::unique_ptr<ISchedulingAlgorithm> make_scheduling_algorithm(
+    SchedAlgorithm algorithm);
+
+// Factories, one per algo_*.cpp (exposed for direct construction in tests).
+std::unique_ptr<ISchedulingAlgorithm> make_krevat_algorithm();
+std::unique_ptr<ISchedulingAlgorithm> make_easy_algorithm(bool holdback);
+std::unique_ptr<ISchedulingAlgorithm> make_conservative_algorithm();
+
+}  // namespace bgl

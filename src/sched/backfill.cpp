@@ -20,7 +20,8 @@ std::optional<Reservation> reservation_impl(const PartitionCatalog& catalog,
   // correct regardless).
   catalog.free_entries_of_size(occupied, alloc_size, candidates);
   if (!candidates.empty()) {
-    return Reservation{now, catalog.entry(candidates.front()).mask};
+    return Reservation{now, catalog.entry(candidates.front()).mask,
+                       candidates.front()};
   }
 
   for (const RunningJob& r : running) order.push_back(r);
@@ -39,7 +40,8 @@ std::optional<Reservation> reservation_impl(const PartitionCatalog& catalog,
     catalog.free_entries_of_size(scratch, alloc_size, candidates);
     if (!candidates.empty()) {
       const double at = std::max(r.est_finish, now);
-      return Reservation{at, catalog.entry(candidates.front()).mask};
+      return Reservation{at, catalog.entry(candidates.front()).mask,
+                         candidates.front()};
     }
   }
   return std::nullopt;

@@ -1,15 +1,11 @@
 #include "sched/scheduler.hpp"
 
-#include <algorithm>
 #include <chrono>
 
 #include "obs/counters.hpp"
 #include "obs/histogram.hpp"
-#include "obs/trace.hpp"
-#include "sched/backfill.hpp"
-#include "sched/migration.hpp"
+#include "sched/algorithm.hpp"
 #include "util/error.hpp"
-#include "util/logging.hpp"
 
 namespace bgl {
 
@@ -22,54 +18,21 @@ const char* to_string(BackfillMode mode) {
   return "?";
 }
 
-/// Everything one scheduling pass needs that would otherwise be allocated
-/// fresh per decision: the bump arena feeding the int/job scratch arrays, the
-/// three full-width node sets, and the containers whose elements own heap
-/// memory (Reservation masks) and therefore stay std::vector. With
-/// config.arena_scratch the engine keeps one of these across passes; without
-/// it a fresh local instance reproduces the pre-arena allocating behaviour.
-struct SchedulerPassScratch {
-  PlacementArena arena;
-  NodeSet occ;        ///< Pass-local occupancy (occupied + this pass's starts).
-  NodeSet flagged;    ///< Predictor verdict for the job under consideration.
-  NodeSet obstacles;  ///< Non-job occupancy seeded into migration re-packs.
-  std::vector<RunningJob> live;
-  std::vector<Reservation> reservations;
-};
-
 Scheduler::Scheduler(const PartitionCatalog& catalog,
                      std::unique_ptr<PlacementPolicy> policy,
                      const FaultPredictor& predictor, SchedulerConfig config)
     : catalog_(&catalog),
       policy_(std::move(policy)),
       predictor_(&predictor),
-      config_(config) {
+      config_(config),
+      algorithm_(make_scheduling_algorithm(config.algorithm)) {
   BGL_CHECK(policy_ != nullptr, "scheduler requires a placement policy");
   BGL_CHECK(config_.backfill_depth >= 0, "backfill depth must be non-negative");
 }
 
 Scheduler::~Scheduler() = default;
 
-PlacementContext Scheduler::make_context(const NodeSet& occ, const NodeSet& flagged,
-                                         int job_size,
-                                         const FreePartitionIndex* index,
-                                         PlacementArena* arena) const {
-  PlacementContext ctx;
-  ctx.catalog = catalog_;
-  ctx.occupied = &occ;
-  ctx.index = index;
-  ctx.mfp_before_index =
-      index != nullptr ? index->first_free_index() : catalog_->first_free_index(occ);
-  ctx.mfp_before_size =
-      ctx.mfp_before_index < 0 ? 0 : catalog_->entry(ctx.mfp_before_index).size;
-  ctx.flagged = &flagged;
-  ctx.confidence = predictor_->confidence();
-  ctx.pf_rule = config_.pf_rule;
-  ctx.job_size = job_size;
-  ctx.counters = obs_.counters;
-  ctx.arena = arena;
-  return ctx;
-}
+std::string Scheduler::algorithm_name() const { return algorithm_->name(); }
 
 SchedulingDecision Scheduler::schedule(double now, const std::vector<WaitingJob>& queue,
                                        const std::vector<RunningJob>& running,
@@ -84,7 +47,6 @@ SchedulingDecision Scheduler::schedule(double now, const std::vector<WaitingJob>
   if (obs_.counters != nullptr) {
     obs_.counters->add(obs::Counter::kSchedInvocations);
   }
-  const bool tracing = obs_.trace != nullptr;
 
   SchedulingDecision decision;
 
@@ -101,16 +63,9 @@ SchedulingDecision Scheduler::schedule(double now, const std::vector<WaitingJob>
   s.arena.reset();
   s.occ = occupied;  // copy-assign reuses the pooled buffer when widths match
   s.live.assign(running.begin(), running.end());
-  NodeSet& occ = s.occ;
-  std::vector<RunningJob>& live = s.live;
-
-  ArenaVector<char> placed(s.arena);  // hoisted: was vector<bool> per pass
-  placed.assign(queue.size(), 0);
-  ArenaVector<int> candidates(s.arena);
-  bool migration_tried = false;
 
   // Working copy of the caller's incremental index, kept in lockstep with
-  // the pass-local `occ`. Reassignment reuses the scratch's buffers and
+  // the pass-local `s.occ`. Reassignment reuses the scratch's buffers and
   // shares the immutable CSR layout, so this is a ~40 KB copy, not a build.
   FreePartitionIndex* idx = nullptr;
   if (index != nullptr) {
@@ -124,214 +79,12 @@ SchedulingDecision Scheduler::schedule(double now, const std::vector<WaitingJob>
     idx = scratch_index_.get();
   }
 
-  // Consult the predictor for a job's execution window, accounting the
-  // query (and its verdict size) to the observer. The verdict lands in the
-  // pooled s.flagged (allocation-free in arena mode; the by-value call is
-  // the reference behaviour, one fresh NodeSet per query).
-  auto query_predictor = [&](const WaitingJob& job) -> const NodeSet& {
-    if (config_.arena_scratch) {
-      predictor_->flagged_nodes_into(s.flagged, now, now + job.estimate, job.id);
-    } else {
-      s.flagged = predictor_->flagged_nodes(now, now + job.estimate, job.id);
-    }
-    if (obs_.counters != nullptr || tracing) {
-      const int n_flagged = s.flagged.count();
-      if (obs_.counters != nullptr) {
-        obs_.counters->add(obs::Counter::kPredictorQueries);
-        obs_.counters->add(obs::Counter::kPredictorNodesFlagged,
-                           static_cast<std::uint64_t>(n_flagged));
-      }
-      if (tracing) {
-        decision.predictor_queries.push_back(
-            PredictorQueryRecord{job.id, now, now + job.estimate, n_flagged});
-      }
-    }
-    return s.flagged;
-  };
-
-  // Account one catalog free-list scan for partitions of `alloc_size` that
-  // offered `found` candidates.
-  auto note_scan = [&](int alloc_size, std::size_t found) {
-    if (obs_.counters == nullptr) return;
-    const auto [first, last] = catalog_->size_range(alloc_size);
-    obs_.counters->add(obs::Counter::kPartitionsScanned,
-                       static_cast<std::uint64_t>(last - first));
-    obs_.counters->add(obs::Counter::kCandidatesConsidered,
-                       static_cast<std::uint64_t>(found));
-  };
-
-  auto start_job = [&](const WaitingJob& job, int entry_index, const NodeSet& flagged,
-                       std::span<const int> considered,
-                       const PlacementExplain& explain, bool backfill) {
-    decision.starts.push_back(Start{job.id, entry_index});
-    if (catalog_->entry(entry_index).mask.intersects(flagged)) {
-      ++decision.starts_on_flagged;
-      for (const int c : considered) {
-        if (!catalog_->entry(c).mask.intersects(flagged)) {
-          ++decision.flagged_with_alternative;
-          break;
-        }
-      }
-    }
-    occ |= catalog_->entry(entry_index).mask;
-    if (idx != nullptr) idx->occupy(catalog_->entry(entry_index).mask);
-    live.push_back(RunningJob{job.id, entry_index, now + job.estimate});
-    if (obs_.counters != nullptr) {
-      obs_.counters->add(obs::Counter::kSchedStarts);
-      if (backfill) obs_.counters->add(obs::Counter::kSchedBackfillStarts);
-    }
-    if (obs_.histograms != nullptr) {
-      obs_.histograms->add(obs::Hist::kCandidates,
-                           static_cast<double>(considered.size()));
-    }
-    if (tracing) {
-      decision.placements.push_back(PlacementRecord{
-          job.id, entry_index, static_cast<int>(considered.size()),
-          explain.flags, explain.l_mfp, explain.l_pf, explain.e_loss,
-          explain.mfp_after, backfill});
-    }
-  };
-
-  std::size_t head = 0;
-  while (head < queue.size()) {
-    if (placed[head]) {
-      ++head;
-      continue;
-    }
-    const WaitingJob& job = queue[head];
-    BGL_CHECK(job.alloc_size > 0 && job.alloc_size <= catalog_->num_nodes(),
-              "waiting job has invalid alloc size");
-
-    candidates.clear();
-    if (idx != nullptr) {
-      idx->free_entries_of_size(job.alloc_size, candidates);
-    } else {
-      catalog_->free_entries_of_size(occ, job.alloc_size, candidates);
-    }
-    note_scan(job.alloc_size, candidates.size());
-    if (!candidates.empty()) {
-      const NodeSet& flagged = query_predictor(job);
-      const PlacementContext ctx = make_context(occ, flagged, job.size, idx, arena);
-      PlacementExplain explain;
-      const int chosen =
-          policy_->choose(ctx, candidates, tracing ? &explain : nullptr);
-      start_job(job, chosen, flagged, candidates, explain, /*backfill=*/false);
-      placed[head] = 1;
-      ++head;
-      continue;
-    }
-
-    // Head job blocked: first try compaction, once per pass.
-    if (config_.migration && !migration_tried && !live.empty()) {
-      migration_tried = true;
-      // Occupancy that does not belong to any live job — failed nodes still
-      // inside their downtime window — must survive the compaction intact.
-      // try_repack rebuilds the occupancy from the re-placed jobs, so without
-      // this seed it would silently resurrect down nodes as free space and
-      // the retried head (or a backfill filler) could start on them.
-      s.obstacles = occ;
-      for (const RunningJob& r : live) {
-        s.obstacles.subtract(catalog_->entry(r.entry_index).mask);
-      }
-      if (auto repack =
-              try_repack(*catalog_, live, job.alloc_size, &s.obstacles, arena)) {
-        for (const Migration& m : repack->migrations) {
-          // A job started earlier in this same pass has not been committed
-          // by the driver yet; rewrite its pending start instead of
-          // reporting a migration of a not-yet-running job. The paired
-          // placement audit record (placements[i] explains starts[i]) must
-          // follow, or the trace would report a placement that was never
-          // committed.
-          bool was_started_here = false;
-          for (std::size_t s_i = 0; s_i < decision.starts.size(); ++s_i) {
-            if (decision.starts[s_i].id == m.id) {
-              decision.starts[s_i].entry_index = m.to_entry;
-              if (tracing) decision.placements[s_i].entry_index = m.to_entry;
-              was_started_here = true;
-              break;
-            }
-          }
-          if (!was_started_here) decision.migrations.push_back(m);
-        }
-        occ = std::move(repack->occupied_after);
-        live = std::move(repack->running_after);
-        // Compaction rewrote the occupancy wholesale; resync the scratch
-        // index with one rebuild (migration passes are rare and already
-        // O(running x catalog) in try_repack itself).
-        if (idx != nullptr) idx->reset(occ);
-        continue;  // retry the head job on the compacted torus
-      }
-    }
-
-    // Backfill behind the blocked head job.
-    if (config_.backfill != BackfillMode::kNone && config_.backfill_depth > 0) {
-      // Reservations a filler must not delay. EASY: the head job only.
-      // Conservative: the first reservation_depth waiting jobs; each
-      // reservation is computed against the current running set, which
-      // yields reservation times no later than the true ones — a stricter
-      // (hence safe) admission constraint for fillers.
-      std::vector<Reservation>& reservations = s.reservations;
-      reservations.clear();
-      const int reservation_count =
-          config_.backfill == BackfillMode::kEasy
-              ? 1
-              : std::max(1, config_.reservation_depth);
-      for (std::size_t q = head;
-           q < queue.size() &&
-           static_cast<int>(reservations.size()) < reservation_count;
-           ++q) {
-        if (placed[q]) continue;
-        auto r = compute_reservation(*catalog_, occ, live, queue[q].alloc_size,
-                                     now, arena);
-        if (!r) {
-          if (q == head) break;  // head can never fit: no safe backfilling
-          continue;
-        }
-        reservations.push_back(std::move(*r));
-      }
-      if (reservations.empty()) break;
-
-      auto admissible = [&](double est_finish, const NodeSet& mask) {
-        for (const Reservation& r : reservations) {
-          const bool in_time = est_finish <= r.time + 1e-9;
-          if (!in_time && mask.intersects(r.mask)) return false;
-        }
-        return true;
-      };
-
-      int examined = 0;
-      for (std::size_t j = head + 1;
-           j < queue.size() && examined < config_.backfill_depth; ++j) {
-        if (placed[j]) continue;
-        ++examined;
-        const WaitingJob& filler = queue[j];
-        candidates.clear();
-        if (idx != nullptr) {
-          idx->free_entries_of_size(filler.alloc_size, candidates);
-        } else {
-          catalog_->free_entries_of_size(occ, filler.alloc_size, candidates);
-        }
-        note_scan(filler.alloc_size, candidates.size());
-        if (candidates.empty()) continue;
-        ArenaVector<int> allowed(s.arena);
-        for (const int c : candidates) {
-          if (admissible(now + filler.estimate, catalog_->entry(c).mask)) {
-            allowed.push_back(c);
-          }
-        }
-        if (allowed.empty()) continue;
-        const NodeSet& flagged = query_predictor(filler);
-        const PlacementContext ctx =
-            make_context(occ, flagged, filler.size, idx, arena);
-        PlacementExplain explain;
-        const int chosen =
-            policy_->choose(ctx, allowed, tracing ? &explain : nullptr);
-        start_job(filler, chosen, flagged, allowed, explain, /*backfill=*/true);
-        placed[j] = 1;
-      }
-    }
-    break;  // FCFS: the head job stays first in line
-  }
+  // The configured algorithm drives the pass; every commit — occupancy,
+  // index, live set, counters, audit records — goes through SchedulingPass
+  // so the observability contract is discipline-independent.
+  SchedulingPass pass(*catalog_, *policy_, *predictor_, config_, obs_, now,
+                      queue, s, arena, idx, decision);
+  algorithm_->run(pass);
 
   if (obs_.counters != nullptr) {
     obs_.counters->add(obs::Counter::kSchedMigrations,

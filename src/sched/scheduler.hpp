@@ -1,15 +1,21 @@
 // The scheduling engine (§5).
 //
-// One engine implements the FCFS + backfilling + migration structure shared
-// by all three schedulers in the paper; the placement policy and the fault
-// predictor are the two injection points:
+// One engine hosts every scheduling discipline; three orthogonal policies
+// plug into it (docs/SCHEDULERS.md):
 //
-//   Krevat baseline  = MfpLossPolicy  + any predictor (ignored)
-//   Balancing        = BalancingPolicy + BalancingPredictor(confidence a)
-//   Tie-breaking     = TieBreakPolicy  + TieBreakPredictor(accuracy a)
+//   algorithm   ISchedulingAlgorithm (algorithm.hpp): queue traversal and
+//               reservation discipline — krevat (the paper's engine, the
+//               default), easy, conservative, easy-holdback.
+//   scoring     PlacementPolicy: Krevat baseline = MfpLossPolicy (predictor
+//               ignored), Balancing = BalancingPolicy + Balancing-
+//               Predictor(confidence a), Tie-breaking = TieBreakPolicy +
+//               TieBreakPredictor(accuracy a).
+//   prediction  FaultPredictor (predict/): which nodes get flagged.
 //
 // The engine is stateless: schedule() is a pure function of (now, queue,
-// running, occupancy). The simulation driver owns all mutable state and
+// running, occupancy). It prepares the pass scratch and the cloned index,
+// hands a SchedulingPass to the configured algorithm, and accounts the
+// pass-level timing. The simulation driver owns all mutable state and
 // applies the returned decision, which keeps the engine trivially testable
 // and lets benches share one driver across schedulers.
 #pragma once
@@ -27,6 +33,7 @@
 namespace bgl {
 
 struct SchedulerPassScratch;
+class ISchedulingAlgorithm;
 
 class Scheduler {
  public:
@@ -54,6 +61,8 @@ class Scheduler {
 
   const SchedulerConfig& config() const { return config_; }
   std::string name() const { return policy_->name(); }
+  /// The discipline's registry name ("krevat", "easy", ...).
+  std::string algorithm_name() const;
 
   /// Attach observability hooks (nullable; see src/obs/observer.hpp). With
   /// the default (disabled) observer, schedule() behaves and costs exactly
@@ -62,14 +71,12 @@ class Scheduler {
   const obs::Observer& observer() const { return obs_; }
 
  private:
-  PlacementContext make_context(const NodeSet& occ, const NodeSet& flagged,
-                                int job_size, const FreePartitionIndex* index,
-                                PlacementArena* arena) const;
-
   const PartitionCatalog* catalog_;
   std::unique_ptr<PlacementPolicy> policy_;
   const FaultPredictor* predictor_;
   SchedulerConfig config_;
+  /// The configured discipline (config_.algorithm), stateless across passes.
+  std::unique_ptr<ISchedulingAlgorithm> algorithm_;
   obs::Observer obs_{};
   /// Per-pass working copy of the caller's index. schedule() stays a pure
   /// function of its inputs — the scratch is reassigned from the caller's

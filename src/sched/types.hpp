@@ -2,6 +2,8 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
+#include <string_view>
 #include <vector>
 
 namespace bgl {
@@ -55,6 +57,13 @@ struct PlacementRecord {
   double e_loss = 0.0;        ///< Combined loss the policy minimised.
   int mfp_after = 0;          ///< MFP size after the placement.
   bool backfill = false;      ///< Placed by the backfill pass.
+  /// The binding reservation this backfill placement was admitted against
+  /// (the earliest-queued blocked job's). Recorded only by the
+  /// reservation-carrying algorithms; res_entry stays -1 for head starts
+  /// and for the krevat baseline, and the driver then omits the trace
+  /// fields so pre-seam traces remain byte-identical.
+  double res_time = -1.0;
+  int res_entry = -1;
 };
 
 /// One predictor consultation, captured only when tracing is enabled.
@@ -63,6 +72,17 @@ struct PredictorQueryRecord {
   double window_start = 0.0;   ///< Query window (t0, t1].
   double window_end = 0.0;
   int nodes_flagged = 0;
+};
+
+/// One reservation granted during a pass, captured only when tracing is
+/// enabled and only by the reservation-carrying algorithms (easy,
+/// conservative, easy-holdback). The krevat baseline computes reservations
+/// internally but does not record them, keeping its traces byte-identical
+/// to every pre-seam run.
+struct ReservationRecord {
+  std::uint64_t id = 0;   ///< Scheduler-facing id of the job holding it.
+  double time = 0.0;      ///< Earliest estimated start.
+  int entry_index = -1;   ///< Catalog entry reserved for it.
 };
 
 struct SchedulingDecision {
@@ -76,6 +96,7 @@ struct SchedulingDecision {
   // Decision audit trail; empty unless the scheduler's observer traces.
   std::vector<PlacementRecord> placements;
   std::vector<PredictorQueryRecord> predictor_queries;
+  std::vector<ReservationRecord> reservations;
 
   bool empty() const { return migrations.empty() && starts.empty(); }
 };
@@ -94,14 +115,45 @@ enum class BackfillMode {
 
 const char* to_string(BackfillMode mode);
 
+/// Which scheduling algorithm drives a pass (src/sched/algorithm.hpp). The
+/// algorithm owns queue traversal and the reservation discipline; placement
+/// scoring (PlacementPolicy) and fault prediction (FaultPredictor) remain
+/// orthogonal injection points, so every algorithm composes with every
+/// scorer/predictor pair and with the migration machinery.
+enum class SchedAlgorithm {
+  kKrevat,        ///< The paper's engine: FCFS + spatial backfill behind a
+                  ///  blocked head, parameterised by BackfillMode. Default;
+                  ///  byte-identical to the pre-seam scheduler.
+  kEasy,          ///< EASY backfilling: the blocked head job holds one
+                  ///  explicit reservation (time + partition), recorded in
+                  ///  the decision trail; fillers must finish before it or
+                  ///  avoid the reserved partition.
+  kConservative,  ///< Conservative backfilling: every examined waiting job
+                  ///  holds a reservation in a queue-order profile; a filler
+                  ///  is admitted only if it delays none of them.
+  kEasyHoldback,  ///< EASY plus a free-node floor: fillers may not shrink
+                  ///  the free pool below SchedulerConfig::holdback_nodes,
+                  ///  keeping room for imminent arrivals.
+};
+
+const char* to_string(SchedAlgorithm algorithm);
+std::optional<SchedAlgorithm> parse_sched_algorithm(std::string_view name);
+
 struct SchedulerConfig {
+  /// Queue/reservation discipline of the pass (see SchedAlgorithm).
+  SchedAlgorithm algorithm = SchedAlgorithm::kKrevat;
   BackfillMode backfill = BackfillMode::kEasy;
   bool migration = true;
   /// Max queued jobs examined per backfill pass (the head job excluded);
   /// under kConservative also the number of jobs holding reservations.
   int backfill_depth = 64;
-  /// Reservations computed per pass under kConservative.
+  /// Reservations computed per pass under kConservative (krevat only; the
+  /// conservative *algorithm* reserves for every job it examines, capped by
+  /// backfill_depth).
   int reservation_depth = 8;
+  /// kEasyHoldback: free nodes a filler must leave behind. A filler of
+  /// alloc size a is admitted only if free_nodes - a >= holdback_nodes.
+  int holdback_nodes = 8;
   PartitionFailureRule pf_rule = PartitionFailureRule::kProduct;
   /// Reuse one arena + scratch-set pool across scheduling passes instead of
   /// allocating per decision. Decisions are identical either way; false is

@@ -372,17 +372,26 @@ void Driver::invoke_scheduler(double now) {
     }
     if (tr_ != nullptr) {
       const PlacementRecord& p = decision.placements[start_i];
-      tr_->event("sched_decision", now)
-          .field("job", s.job.id)
-          .field("policy", scheduler_->name())
-          .field("entry", p.entry_index)
-          .field("candidates", p.candidates)
-          .field("l_mfp", p.l_mfp)
-          .field("l_pf", p.l_pf)
-          .field("e_loss", p.e_loss)
-          .field("mfp_after", p.mfp_after)
-          .field("flags_in_chosen", p.flags_in_chosen)
-          .field("backfill", p.backfill);
+      {
+        auto ev = tr_->event("sched_decision", now);
+        ev.field("job", s.job.id)
+            .field("policy", scheduler_->name())
+            .field("entry", p.entry_index)
+            .field("candidates", p.candidates)
+            .field("l_mfp", p.l_mfp)
+            .field("l_pf", p.l_pf)
+            .field("e_loss", p.e_loss)
+            .field("mfp_after", p.mfp_after)
+            .field("flags_in_chosen", p.flags_in_chosen)
+            .field("backfill", p.backfill);
+        // Reservation provenance exists only on backfill placements made by
+        // the reservation-carrying algorithms (easy/conservative/holdback);
+        // the krevat baseline never sets it, keeping its traces
+        // byte-identical with pre-seam output.
+        if (p.res_entry >= 0) {
+          ev.field("res_time", p.res_time).field("res_entry", p.res_entry);
+        }
+      }
       tr_->event("job_start", now)
           .field("job", s.job.id)
           .field("entry", start.entry_index)
@@ -594,6 +603,9 @@ SimResult Driver::run() {
     }
     if (config_.event_queue != EventQueueKind::kCalendar) {
       begin.field("event_queue", to_string(config_.event_queue));
+    }
+    if (config_.sched.algorithm != SchedAlgorithm::kKrevat) {
+      begin.field("algorithm", to_string(config_.sched.algorithm));
     }
     if (config_.snapshot_interval > 0.0) {
       next_snapshot_ =
