@@ -83,37 +83,6 @@ SimConfig smoke_config() {
   return config;
 }
 
-std::uint64_t mix(std::uint64_t h, std::uint64_t v) {
-  return h * 1315423911ull + v + 1;
-}
-
-std::uint64_t bits(double v) { return std::bit_cast<std::uint64_t>(v); }
-
-/// Order-sensitive digest of every scalar a scheduling decision can move.
-/// Bitwise double comparison is intentional: the reference and optimized
-/// configurations must take literally identical decisions, not merely
-/// statistically similar ones.
-std::uint64_t result_checksum(const SimResult& r) {
-  std::uint64_t h = 0;
-  h = mix(h, r.jobs_completed);
-  h = mix(h, r.job_kills);
-  h = mix(h, r.avoidable_kills);
-  h = mix(h, r.starts_on_flagged);
-  h = mix(h, r.flagged_with_alternative);
-  h = mix(h, r.failures_hitting_jobs);
-  h = mix(h, r.failures_total);
-  h = mix(h, r.migrations);
-  h = mix(h, r.checkpoints_taken);
-  h = mix(h, bits(r.span));
-  h = mix(h, bits(r.avg_wait));
-  h = mix(h, bits(r.avg_response));
-  h = mix(h, bits(r.avg_bounded_slowdown));
-  h = mix(h, bits(r.utilization));
-  h = mix(h, bits(r.unused));
-  h = mix(h, bits(r.lost));
-  h = mix(h, bits(r.work_lost_node_seconds));
-  return h;
-}
 
 int run_perf_smoke(int jobs) {
   const ScaleInputs in = make_inputs(jobs);
@@ -154,8 +123,8 @@ int run_perf_smoke(int jobs) {
   const SimResult opt = timed_run(
       optimized, "optimized (calendar queue, arena scratch, word-range scans)");
 
-  const std::uint64_t ref_sum = result_checksum(ref);
-  const std::uint64_t opt_sum = result_checksum(opt);
+  const std::uint64_t ref_sum = sim_result_checksum(ref);
+  const std::uint64_t opt_sum = sim_result_checksum(opt);
   if (ref_sum != opt_sum) {
     std::printf(
         "perf-smoke: FAIL — results diverge (reference %016llx, optimized "

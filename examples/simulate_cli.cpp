@@ -32,6 +32,7 @@
 #include <optional>
 #include <string>
 
+#include "cli_options.hpp"
 #include "failure/generator.hpp"
 #include "obs/counters.hpp"
 #include "obs/histogram.hpp"
@@ -47,95 +48,23 @@
 namespace {
 
 using namespace bgl;
-
-struct Options {
-  std::string workload = "sdsc";
-  int jobs = 2000;
-  double load = 1.0;
-  std::optional<std::size_t> failures;
-  std::optional<std::string> failure_csv;
-  std::string scheduler = "balancing";
-  std::string algorithm = "krevat";
-  double alpha = 0.1;
-  BackfillMode backfill = BackfillMode::kEasy;
-  bool migration = true;
-  double ckpt_interval = 0.0;
-  double downtime = 0.0;
-  std::uint64_t seed = 42;
-  std::optional<std::string> trace_out;
-  std::optional<std::string> stats_out;
-  double snapshot_interval = 0.0;
-};
+using bgl_cli::Options;
 
 int usage() {
   std::cerr << "see the header comment of examples/simulate_cli.cpp for usage\n";
   return 2;
 }
 
-std::optional<Options> parse(int argc, char** argv) {
-  Options o;
-  for (int i = 1; i < argc; ++i) {
-    const std::string arg = argv[i];
-    auto next = [&]() -> std::optional<std::string> {
-      if (i + 1 >= argc) return std::nullopt;
-      return std::string(argv[++i]);
-    };
-    if (arg == "--workload") {
-      if (auto v = next()) o.workload = *v; else return std::nullopt;
-    } else if (arg == "--jobs") {
-      if (auto v = next()) o.jobs = static_cast<int>(parse_int(*v).value_or(0));
-      else return std::nullopt;
-    } else if (arg == "--load") {
-      if (auto v = next()) o.load = parse_double(*v).value_or(1.0);
-      else return std::nullopt;
-    } else if (arg == "--failures") {
-      if (auto v = next()) o.failures = static_cast<std::size_t>(parse_int(*v).value_or(0));
-      else return std::nullopt;
-    } else if (arg == "--failure-csv") {
-      if (auto v = next()) o.failure_csv = *v; else return std::nullopt;
-    } else if (arg == "--scheduler") {
-      if (auto v = next()) o.scheduler = *v; else return std::nullopt;
-    } else if (arg == "--algorithm") {
-      if (auto v = next()) o.algorithm = *v; else return std::nullopt;
-    } else if (arg == "--alpha") {
-      if (auto v = next()) o.alpha = parse_double(*v).value_or(0.0);
-      else return std::nullopt;
-    } else if (arg == "--no-backfill") {
-      o.backfill = BackfillMode::kNone;
-    } else if (arg == "--conservative-backfill") {
-      o.backfill = BackfillMode::kConservative;
-    } else if (arg == "--no-migration") {
-      o.migration = false;
-    } else if (arg == "--ckpt-interval") {
-      if (auto v = next()) o.ckpt_interval = parse_double(*v).value_or(0.0);
-      else return std::nullopt;
-    } else if (arg == "--downtime") {
-      if (auto v = next()) o.downtime = parse_double(*v).value_or(0.0);
-      else return std::nullopt;
-    } else if (arg == "--seed") {
-      if (auto v = next()) o.seed = static_cast<std::uint64_t>(parse_int(*v).value_or(42));
-      else return std::nullopt;
-    } else if (arg == "--trace-out") {
-      if (auto v = next()) o.trace_out = *v; else return std::nullopt;
-    } else if (arg == "--snapshot-interval") {
-      if (auto v = next()) o.snapshot_interval = parse_double(*v).value_or(0.0);
-      else return std::nullopt;
-    } else if (arg == "--stats-out") {
-      if (auto v = next()) o.stats_out = *v; else return std::nullopt;
-    } else {
-      std::cerr << "unknown option: " << arg << '\n';
-      return std::nullopt;
-    }
-  }
-  return o;
-}
-
 }  // namespace
 
 int main(int argc, char** argv) {
-  const auto options = parse(argc, argv);
-  if (!options) return usage();
-  const Options& o = *options;
+  Options o;
+  try {
+    o = bgl_cli::parse_cli_options(argc, argv);
+  } catch (const ConfigError& e) {
+    std::cerr << "error: " << e.what() << '\n';
+    return usage();
+  }
 
   // `--trace-out -` streams the trace to stdout (for piping into
   // trace_audit); all human-readable output then moves to stderr.

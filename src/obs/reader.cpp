@@ -242,10 +242,19 @@ bool TraceReader::next(TraceRecord& record) {
       }
     }
     if (blank) continue;
+    TraceReader::parse_line(line_, line_number_, record);
+    return true;
+  }
+  return false;
+}
 
+void TraceReader::parse_line(std::string_view line, std::size_t line_number,
+                             TraceRecord& record) {
+  const std::size_t line_number_ = line_number;  // for fail() messages below
+  {
     record.num_fields_ = 0;
     record.line_number_ = line_number_;
-    LineScanner s(line_, line_number_);
+    LineScanner s(line, line_number_);
     s.skip_ws();
     s.expect('{');
     bool first = true;
@@ -298,9 +307,7 @@ bool TraceReader::next(TraceRecord& record) {
     const auto t = record.num("t");
     if (!t) fail(line_number_, "missing mandatory \"t\" field");
     record.t_ = *t;
-    return true;
   }
-  return false;
 }
 
 // --- typed decoders ---

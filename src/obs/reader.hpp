@@ -100,6 +100,13 @@ class TraceReader {
   /// number) on malformed JSON or a line without the mandatory type/t pair.
   bool next(TraceRecord& record);
 
+  /// Parse one already-read line (no trailing newline) into `record`,
+  /// tagging errors and the record with `line_number`. Shared by next() and
+  /// callers that own their line transport (tools/loadgen reads reply lines
+  /// from a pipe). Throws ParseError exactly like next().
+  static void parse_line(std::string_view line, std::size_t line_number,
+                         TraceRecord& record);
+
   std::size_t lines_read() const { return line_number_; }
 
  private:

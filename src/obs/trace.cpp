@@ -1,5 +1,7 @@
 #include "obs/trace.hpp"
 
+#include <charconv>
+#include <cmath>
 #include <cstdio>
 #include <fstream>
 #include <ostream>
@@ -8,6 +10,18 @@
 #include "util/error.hpp"
 
 namespace bgl::obs {
+
+void append_json_double(std::string& out, double value) {
+  if (!std::isfinite(value)) {
+    out += "null";
+    return;
+  }
+  // std::to_chars with no precision argument emits the shortest string that
+  // parses back to exactly `value` (Ryū); 32 bytes cover every double.
+  char buf[32];
+  const auto res = std::to_chars(buf, buf + sizeof(buf), value);
+  out.append(buf, static_cast<std::size_t>(res.ptr - buf));
+}
 
 TraceSink::TraceSink(std::ostream& out)
     : out_(&out), epoch_(std::chrono::steady_clock::now()) {
@@ -65,11 +79,7 @@ void TraceSink::finish_line() {
   if (counters_ != nullptr) counters_->add(Counter::kTraceEvents);
 }
 
-void TraceSink::append_double(double value) {
-  char buf[32];
-  const int n = std::snprintf(buf, sizeof(buf), "%.10g", value);
-  line_.append(buf, static_cast<std::size_t>(n));
-}
+void TraceSink::append_double(double value) { append_json_double(line_, value); }
 
 TraceSink::Event TraceSink::event(std::string_view type, double sim_time) {
   BGL_CHECK(line_.empty(), "previous trace event still under construction");

@@ -18,10 +18,13 @@
 //
 //   sink.event("job_kill", now).field("job", id).field("node", n);
 //
-// Field values are escaped per RFC 8259; doubles are printed with '%.10g'
-// (round-trippable for the second-resolution sim times the driver produces).
-// The sink tracks the largest sim time seen (max_sim_time) so tests and the
-// driver can assert monotonicity cheaply.
+// Field values are escaped per RFC 8259; doubles are printed with the
+// shortest round-trip representation (std::to_chars), so every value a
+// reader parses back is bit-identical to the one the simulator held — the
+// earlier '%.10g' formatting lost low-order bits at large sim times, letting
+// trace_audit's re-derived metrics drift from the in-memory values. The sink
+// tracks the largest sim time seen (max_sim_time) so tests and the driver
+// can assert monotonicity cheaply.
 #pragma once
 
 #include <cstdint>
@@ -35,6 +38,12 @@
 namespace bgl::obs {
 
 class CounterRegistry;
+
+/// Append the shortest decimal representation of `value` that parses back
+/// to the same double (std::to_chars), JSON-compatible: infinities and NaN
+/// (not representable in JSON) are written as "null". Shared by the trace
+/// sink and the svc protocol writers so every emitted number round-trips.
+void append_json_double(std::string& out, double value);
 
 class TraceSink {
  public:

@@ -1,6 +1,7 @@
 #include "sim/metrics.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <ostream>
 
 #include "util/error.hpp"
@@ -39,7 +40,33 @@ void json_stats(std::ostream& out, const char* key, const RunningStats& s,
       << ",\"min\":" << format_double(s.min(), 6)
       << ",\"max\":" << format_double(s.max(), 6) << '}';
 }
+std::uint64_t mix(std::uint64_t h, std::uint64_t v) {
+  return h * 1315423911ull + v + 1;
+}
+std::uint64_t bits(double v) { return std::bit_cast<std::uint64_t>(v); }
 }  // namespace
+
+std::uint64_t sim_result_checksum(const SimResult& r) {
+  std::uint64_t h = 0;
+  h = mix(h, r.jobs_completed);
+  h = mix(h, r.job_kills);
+  h = mix(h, r.avoidable_kills);
+  h = mix(h, r.starts_on_flagged);
+  h = mix(h, r.flagged_with_alternative);
+  h = mix(h, r.failures_hitting_jobs);
+  h = mix(h, r.failures_total);
+  h = mix(h, r.migrations);
+  h = mix(h, r.checkpoints_taken);
+  h = mix(h, bits(r.span));
+  h = mix(h, bits(r.avg_wait));
+  h = mix(h, bits(r.avg_response));
+  h = mix(h, bits(r.avg_bounded_slowdown));
+  h = mix(h, bits(r.utilization));
+  h = mix(h, bits(r.unused));
+  h = mix(h, bits(r.lost));
+  h = mix(h, bits(r.work_lost_node_seconds));
+  return h;
+}
 
 void write_result_json(std::ostream& out, const SimResult& result) {
   bool first = true;

@@ -111,6 +111,14 @@ struct SimResult {
   std::vector<ReplayEvent> replay;   ///< Filled when record_replay is set.
 };
 
+/// Order-sensitive digest of every scalar a scheduling decision can move
+/// (counts plus the bit patterns of the aggregate doubles; wall_seconds and
+/// the per-job vectors are excluded). Two runs that took literally identical
+/// decisions — not merely statistically similar ones — produce equal digests,
+/// which is what the engine-vs-service and reference-vs-optimized
+/// differential tests compare.
+std::uint64_t sim_result_checksum(const SimResult& result);
+
 /// One JSON object with the scalar metrics of `result` plus spread
 /// (stddev/min/max) for the per-job timing distributions. Composed with the
 /// counter dump into the CLI's --stats-out file (docs/OBSERVABILITY.md).

@@ -1,0 +1,210 @@
+#include "svc/protocol.hpp"
+
+#include <cmath>
+
+#include "obs/reader.hpp"
+#include "obs/trace.hpp"
+
+namespace bgl::svc {
+
+const char* to_string(EventKind kind) {
+  switch (kind) {
+    case EventKind::kSubmit: return "submit";
+    case EventKind::kComplete: return "complete";
+    case EventKind::kFail: return "fail";
+    case EventKind::kRepair: return "repair";
+    case EventKind::kTick: return "tick";
+  }
+  return "?";
+}
+
+const char* to_string(DecisionKind kind) {
+  switch (kind) {
+    case DecisionKind::kStart: return "start";
+    case DecisionKind::kKill: return "kill";
+    case DecisionKind::kMigrate: return "migrate";
+  }
+  return "?";
+}
+
+const char* to_string(RejectCode code) {
+  switch (code) {
+    case RejectCode::kParse: return "parse";
+    case RejectCode::kUnknownType: return "unknown-type";
+    case RejectCode::kBadField: return "bad-field";
+    case RejectCode::kBadValue: return "bad-value";
+    case RejectCode::kTimeOrder: return "time-order";
+    case RejectCode::kDuplicateJob: return "duplicate-job";
+    case RejectCode::kUnknownJob: return "unknown-job";
+    case RejectCode::kNotRunning: return "not-running";
+    case RejectCode::kBadNode: return "bad-node";
+    case RejectCode::kNodeState: return "node-state";
+    case RejectCode::kNoPartition: return "no-partition";
+  }
+  return "?";
+}
+
+namespace {
+
+/// Required finite numeric field, rejected (not defaulted) when absent or
+/// non-numeric — the whole point of the protocol error model.
+double need_num(const obs::TraceRecord& r, std::string_view key) {
+  const auto v = r.num(key);
+  if (!v || !std::isfinite(*v)) {
+    throw ProtocolError(RejectCode::kBadField, r.line_number(),
+                        std::string(to_string(RejectCode::kBadField)) + ": '" +
+                            std::string(key) + "' missing or not a number");
+  }
+  return *v;
+}
+
+std::uint64_t need_job(const obs::TraceRecord& r) {
+  const double v = need_num(r, "job");
+  if (v < 0.0 || v != std::floor(v) || v > 9.007199254740992e15) {
+    throw ProtocolError(RejectCode::kBadValue, r.line_number(),
+                        "'job' must be a non-negative integer");
+  }
+  return static_cast<std::uint64_t>(v);
+}
+
+int need_int(const obs::TraceRecord& r, std::string_view key) {
+  const double v = need_num(r, key);
+  if (v != std::floor(v) || v < -2147483648.0 || v > 2147483647.0) {
+    throw ProtocolError(RejectCode::kBadValue, r.line_number(),
+                        "'" + std::string(key) + "' must be an integer");
+  }
+  return static_cast<int>(v);
+}
+
+}  // namespace
+
+Event event_from(const obs::TraceRecord& record) {
+  Event e;
+  e.time = record.t();
+  const std::string_view type = record.type_name();
+  if (type == "submit") {
+    e.kind = EventKind::kSubmit;
+    e.job = need_job(record);
+    e.size = need_int(record, "size");
+    e.estimate = need_num(record, "estimate");
+    if (record.has("runtime")) e.runtime = need_num(record, "runtime");
+  } else if (type == "complete") {
+    e.kind = EventKind::kComplete;
+    e.job = need_job(record);
+  } else if (type == "fail") {
+    e.kind = EventKind::kFail;
+    e.node = need_int(record, "node");
+    if (record.has("down")) {
+      const auto d = record.boolean("down");
+      if (!d) {
+        throw ProtocolError(RejectCode::kBadField, record.line_number(),
+                            "'down' must be a boolean");
+      }
+      e.down = *d;
+    }
+  } else if (type == "repair") {
+    e.kind = EventKind::kRepair;
+    e.node = need_int(record, "node");
+  } else if (type == "tick") {
+    e.kind = EventKind::kTick;
+  } else {
+    throw ProtocolError(RejectCode::kUnknownType, record.line_number(),
+                        "unknown event type '" + std::string(type) + "'");
+  }
+  return e;
+}
+
+namespace {
+
+void open_line(std::string& out, const char* type, double t) {
+  out += "{\"type\":\"";
+  out += type;
+  out += "\",\"t\":";
+  obs::append_json_double(out, t);
+}
+
+void num_field(std::string& out, const char* key, double value) {
+  out += ",\"";
+  out += key;
+  out += "\":";
+  obs::append_json_double(out, value);
+}
+
+void int_field(std::string& out, const char* key, long long value) {
+  out += ",\"";
+  out += key;
+  out += "\":";
+  out += std::to_string(value);
+}
+
+}  // namespace
+
+void append_event_line(std::string& out, const Event& event) {
+  open_line(out, to_string(event.kind), event.time);
+  switch (event.kind) {
+    case EventKind::kSubmit:
+      int_field(out, "job", static_cast<long long>(event.job));
+      int_field(out, "size", event.size);
+      num_field(out, "estimate", event.estimate);
+      if (event.runtime >= 0.0) num_field(out, "runtime", event.runtime);
+      break;
+    case EventKind::kComplete:
+      int_field(out, "job", static_cast<long long>(event.job));
+      break;
+    case EventKind::kFail:
+      int_field(out, "node", event.node);
+      if (event.down) out += ",\"down\":true";
+      break;
+    case EventKind::kRepair:
+      int_field(out, "node", event.node);
+      break;
+    case EventKind::kTick:
+      break;
+  }
+  out += "}\n";
+}
+
+void append_decision_line(std::string& out, const Decision& decision) {
+  open_line(out, to_string(decision.kind), decision.time);
+  int_field(out, "job", static_cast<long long>(decision.job));
+  switch (decision.kind) {
+    case DecisionKind::kStart:
+      int_field(out, "entry", decision.entry);
+      break;
+    case DecisionKind::kKill:
+      int_field(out, "entry", decision.entry);
+      int_field(out, "node", decision.node);
+      break;
+    case DecisionKind::kMigrate:
+      int_field(out, "from_entry", decision.from_entry);
+      int_field(out, "to_entry", decision.entry);
+      break;
+  }
+  out += "}\n";
+}
+
+void append_error_line(std::string& out, double t, const ProtocolError& error) {
+  open_line(out, "error", t);
+  int_field(out, "line", static_cast<long long>(error.line()));
+  out += ",\"code\":\"";
+  out += to_string(error.code());
+  out += "\",\"message\":\"";
+  for (const char c : std::string_view(error.what())) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          out += ' ';  // control characters never carry meaning here
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += "\"}\n";
+}
+
+}  // namespace bgl::svc

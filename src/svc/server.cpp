@@ -1,0 +1,210 @@
+#include "svc/server.hpp"
+
+#include <csignal>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <istream>
+#include <ostream>
+#include <streambuf>
+#include <string>
+#include <vector>
+
+#include "obs/histogram.hpp"
+#include "obs/reader.hpp"
+#include "obs/trace.hpp"
+#include "svc/protocol.hpp"
+#include "svc/service.hpp"
+#include "util/error.hpp"
+
+namespace bgl::svc {
+
+SessionStats run_session(std::istream& in, std::ostream& out,
+                         SchedulerService& service,
+                         const SessionOptions& options) {
+  SessionStats stats;
+  obs::TraceReader reader(in);
+  obs::TraceRecord record;
+  std::vector<Decision> decisions;
+  std::string reply;
+
+  const auto emit = [&]() {
+    out.write(reply.data(), static_cast<std::streamsize>(reply.size()));
+    if (options.flush_each) out.flush();
+    reply.clear();
+  };
+
+  while (true) {
+    bool have_line = false;
+    try {
+      have_line = reader.next(record);
+    } catch (const bgl::ParseError& e) {
+      // The reader consumed the offending line (scan happens after getline),
+      // so the session continues with the next one.
+      ++stats.lines;
+      ++stats.rejected;
+      append_error_line(reply, service.now(),
+                        ProtocolError(RejectCode::kParse, reader.lines_read(),
+                                      e.what()));
+      emit();
+      continue;
+    }
+    if (!have_line) break;
+    ++stats.lines;
+
+    decisions.clear();
+    try {
+      const Event event = event_from(record);
+      service.handle(event, decisions, record.line_number());
+    } catch (const ProtocolError& e) {
+      ++stats.rejected;
+      append_error_line(reply, service.now(), e);
+      emit();
+      continue;
+    }
+
+    ++stats.accepted;
+    stats.decisions += decisions.size();
+    for (const Decision& d : decisions) append_decision_line(reply, d);
+    if (options.echo_ok) {
+      reply += "{\"type\":\"ok\",\"t\":";
+      obs::append_json_double(reply, service.now());
+      reply += ",\"line\":" + std::to_string(record.line_number());
+      reply += ",\"decisions\":" + std::to_string(decisions.size()) + "}\n";
+    }
+    emit();
+  }
+
+  service.finish_stream();
+  if (options.stats_line) {
+    const ServiceStats& s = service.stats();
+    reply += "{\"type\":\"stats\",\"t\":";
+    obs::append_json_double(reply, service.now());
+    reply += ",\"lines\":" + std::to_string(stats.lines);
+    reply += ",\"accepted\":" + std::to_string(stats.accepted);
+    reply += ",\"rejected\":" + std::to_string(stats.rejected);
+    reply += ",\"decisions\":" + std::to_string(stats.decisions);
+    reply += ",\"submitted\":" + std::to_string(s.submitted);
+    reply += ",\"finished\":" + std::to_string(s.finished);
+    reply += ",\"starts\":" + std::to_string(s.starts);
+    reply += ",\"kills\":" + std::to_string(s.kills);
+    reply += ",\"migrations\":" + std::to_string(s.migrations);
+    reply += ",\"failures\":" + std::to_string(s.failures);
+    reply += ",\"waiting\":" + std::to_string(service.waiting_jobs());
+    reply += ",\"running\":" + std::to_string(service.running_jobs());
+    if (options.histograms != nullptr) {
+      const obs::LogHistogram& h =
+          options.histograms->histogram(obs::Hist::kDecisionUs);
+      reply += ",\"decision_us_count\":" + std::to_string(h.count());
+      reply += ",\"decision_us_mean\":";
+      obs::append_json_double(reply, h.mean());
+      reply += ",\"decision_us_p50\":";
+      obs::append_json_double(reply, h.quantile(0.50));
+      reply += ",\"decision_us_p99\":";
+      obs::append_json_double(reply, h.quantile(0.99));
+    }
+    reply += "}\n";
+    out.write(reply.data(), static_cast<std::streamsize>(reply.size()));
+    reply.clear();
+  }
+  out.flush();
+  return stats;
+}
+
+namespace {
+
+/// Minimal bidirectional streambuf over a file descriptor, enough to feed
+/// std::istream/std::ostream for the Unix-socket session (portable across
+/// libstdc++/libc++, unlike __gnu_cxx::stdio_filebuf).
+class FdStreambuf : public std::streambuf {
+ public:
+  explicit FdStreambuf(int fd) : fd_(fd) {
+    setg(rbuf_, rbuf_, rbuf_);
+    setp(wbuf_, wbuf_ + sizeof(wbuf_));
+  }
+
+ protected:
+  int_type underflow() override {
+    const ssize_t n = ::read(fd_, rbuf_, sizeof(rbuf_));
+    if (n <= 0) return traits_type::eof();
+    setg(rbuf_, rbuf_, rbuf_ + n);
+    return traits_type::to_int_type(rbuf_[0]);
+  }
+
+  int_type overflow(int_type ch) override {
+    if (sync() != 0) return traits_type::eof();
+    if (!traits_type::eq_int_type(ch, traits_type::eof())) {
+      *pptr() = traits_type::to_char_type(ch);
+      pbump(1);
+    }
+    return traits_type::not_eof(ch);
+  }
+
+  int sync() override {
+    const char* p = pbase();
+    while (p < pptr()) {
+      const ssize_t n = ::write(fd_, p, static_cast<std::size_t>(pptr() - p));
+      if (n <= 0) return -1;
+      p += n;
+    }
+    setp(wbuf_, wbuf_ + sizeof(wbuf_));
+    return 0;
+  }
+
+ private:
+  int fd_;
+  char rbuf_[1 << 16];
+  char wbuf_[1 << 16];
+};
+
+}  // namespace
+
+SessionStats serve_unix_socket(const char* path, SchedulerService& service,
+                               const SessionOptions& options, int connections) {
+  // A client that disconnects before the reply drains must not kill the
+  // server; writes to the dead socket fail through the streambuf instead.
+  std::signal(SIGPIPE, SIG_IGN);
+
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (std::strlen(path) >= sizeof(addr.sun_path)) {
+    throw Error(std::string("socket path too long: ") + path);
+  }
+  std::strncpy(addr.sun_path, path, sizeof(addr.sun_path) - 1);
+
+  const int listener = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (listener < 0) throw Error("cannot create unix socket");
+  ::unlink(path);
+  if (::bind(listener, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0 ||
+      ::listen(listener, 1) != 0) {
+    ::close(listener);
+    throw Error(std::string("cannot bind/listen on ") + path);
+  }
+
+  SessionStats total;
+  for (int c = 0; c < connections; ++c) {
+    const int conn = ::accept(listener, nullptr, nullptr);
+    if (conn < 0) {
+      ::close(listener);
+      ::unlink(path);
+      throw Error("accept failed");
+    }
+    FdStreambuf in_buf(conn);
+    FdStreambuf out_buf(conn);
+    std::istream in(&in_buf);
+    std::ostream out(&out_buf);
+    const SessionStats s = run_session(in, out, service, options);
+    total.lines += s.lines;
+    total.accepted += s.accepted;
+    total.rejected += s.rejected;
+    total.decisions += s.decisions;
+    ::close(conn);
+  }
+  ::close(listener);
+  ::unlink(path);
+  return total;
+}
+
+}  // namespace bgl::svc

@@ -1,0 +1,60 @@
+// Session loop of the JSONL scheduling server.
+//
+// run_session() reads protocol events line by line from an istream (stdin,
+// a Unix-socket stream, a test string), applies them to a SchedulerService,
+// and writes reply lines: the decisions each event produced, one
+// {"type":"ok","t":T,"line":L,"decisions":K} acknowledgement per accepted
+// event (framing — a client knows the event is fully answered when it sees
+// ok or error), and {"type":"error",...} for every line the service refuses.
+// A malformed or illegal line never terminates the session and never
+// silently defaults: the error reply carries the 1-based line number and a
+// stable RejectCode string, and the service state is untouched.
+//
+// At end of input the loop calls finish_stream() (emitting the sim_end
+// trace event when the session's trace is complete) and, when
+// options.stats_line is set, writes one final
+// {"type":"stats",...} line with session counts and the decision-latency
+// quantiles from the sched.decision_us histogram.
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+
+namespace bgl::obs {
+class HistogramRegistry;
+}
+
+namespace bgl::svc {
+
+class SchedulerService;
+
+struct SessionOptions {
+  bool echo_ok = true;     ///< Per-event ok acknowledgement lines.
+  bool stats_line = true;  ///< Final stats line at end of input.
+  /// Flush the output stream after every reply (required for interactive
+  /// pipe/socket clients; tests over string streams can leave it off).
+  bool flush_each = true;
+  /// Decision-latency source for the stats line (nullable).
+  const obs::HistogramRegistry* histograms = nullptr;
+};
+
+struct SessionStats {
+  std::size_t lines = 0;      ///< Non-blank input lines consumed.
+  std::size_t accepted = 0;   ///< Events applied.
+  std::size_t rejected = 0;   ///< Lines answered with an error reply.
+  std::size_t decisions = 0;  ///< start + kill + migrate replies.
+};
+
+SessionStats run_session(std::istream& in, std::ostream& out,
+                         SchedulerService& service,
+                         const SessionOptions& options = {});
+
+/// Serve `connections` sequential connections on a Unix domain socket at
+/// `path` (created fresh; an existing file is removed), running run_session
+/// on each with the same service — state persists across connections.
+/// Returns the merged stats. Throws Error on socket failures.
+SessionStats serve_unix_socket(const char* path, SchedulerService& service,
+                               const SessionOptions& options = {},
+                               int connections = 1);
+
+}  // namespace bgl::svc

@@ -1,0 +1,573 @@
+#include "svc/service.hpp"
+
+#include <algorithm>
+#include <string>
+
+#include "obs/histogram.hpp"
+#include "obs/trace.hpp"
+#include "predict/predictor.hpp"
+#include "sched/scheduler.hpp"
+#include "util/error.hpp"
+#include "util/logging.hpp"
+
+namespace bgl::svc {
+
+namespace {
+
+/// Same cap as the driver: the scheduler can start at most num_nodes jobs
+/// per pass plus examine backfill_depth fillers.
+constexpr std::size_t kQueueViewCap = 512;
+
+}  // namespace
+
+SchedulerService::SchedulerService(const ServiceConfig& config,
+                                   const FailureTrace* oracle,
+                                   const PartitionCatalog* shared_catalog)
+    : config_(config),
+      owned_catalog_(shared_catalog
+                         ? nullptr
+                         : new PartitionCatalog(config.dims, config.topology,
+                                                config.catalog)),
+      catalog_(shared_catalog ? shared_catalog : owned_catalog_.get()),
+      torus_(*catalog_),
+      down_(config.dims.volume()),
+      tr_(config.obs.trace),
+      hg_(config.obs.histograms) {
+  BGL_CHECK(catalog_->dims() == config.dims, "shared catalog dims mismatch");
+  BGL_CHECK(catalog_->topology() == config.topology,
+            "shared catalog topology mismatch");
+  if (config_.use_partition_index) {
+    index_ = std::make_unique<FreePartitionIndex>(*catalog_);
+  }
+  build_scheduler(oracle);
+}
+
+SchedulerService::~SchedulerService() = default;
+
+void SchedulerService::build_scheduler(const FailureTrace* oracle) {
+  const int n = config_.dims.volume();
+  auto need_oracle = [&]() -> const FailureTrace& {
+    if (oracle == nullptr) {
+      throw ConfigError(
+          std::string("scheduler '") + to_string(config_.scheduler) +
+          "' with predictor '" + to_string(config_.predictor_model) +
+          "' needs a failure oracle trace; pass one or use predictor 'none'");
+    }
+    BGL_CHECK(oracle->empty() || oracle->num_nodes() == n,
+              "failure oracle node count mismatch");
+    return *oracle;
+  };
+
+  switch (config_.predictor_model) {
+    case PredictorModel::kPaper:
+      switch (config_.scheduler) {
+        case SchedulerKind::kKrevat:
+          predictor_ = std::make_unique<NullPredictor>(n);
+          break;
+        case SchedulerKind::kBalancing:
+          predictor_ =
+              std::make_unique<BalancingPredictor>(need_oracle(), config_.alpha);
+          break;
+        case SchedulerKind::kTieBreak:
+          predictor_ = std::make_unique<TieBreakPredictor>(
+              need_oracle(), config_.alpha, config_.tiebreak_false_positive_rate,
+              config_.seed);
+          break;
+      }
+      break;
+    case PredictorModel::kHistory:
+      predictor_ = std::make_unique<HistoryPredictor>(
+          need_oracle(), config_.history_lookback, config_.alpha);
+      break;
+    case PredictorModel::kPerfect:
+      predictor_ = std::make_unique<PerfectPredictor>(need_oracle());
+      break;
+    case PredictorModel::kNone:
+      predictor_ = std::make_unique<NullPredictor>(n);
+      break;
+  }
+
+  switch (config_.scheduler) {
+    case SchedulerKind::kKrevat:
+      scheduler_ = make_krevat_scheduler(*catalog_, *predictor_, config_.sched);
+      break;
+    case SchedulerKind::kBalancing:
+      scheduler_ = make_balancing_scheduler(*catalog_, *predictor_, config_.sched);
+      break;
+    case SchedulerKind::kTieBreak:
+      scheduler_ = make_tiebreak_scheduler(*catalog_, *predictor_, config_.sched);
+      break;
+  }
+  scheduler_->set_observer(config_.obs);
+}
+
+NodeSet SchedulerService::scheduling_occupancy() const {
+  if (down_.empty()) return torus_.occupied();
+  NodeSet occ = torus_.occupied();
+  occ |= down_;
+  return occ;
+}
+
+int SchedulerService::usable_free_nodes() const {
+  if (down_.empty()) return torus_.free_nodes();
+  NodeSet busy = torus_.occupied();
+  busy |= down_;
+  return catalog_->num_nodes() - busy.count();
+}
+
+void SchedulerService::ensure_begin(double t) {
+  if (tr_ == nullptr || begin_emitted_) return;
+  begin_emitted_ = true;
+  auto begin = tr_->event("sim_begin", t);
+  begin.field("machine", to_string(config_.dims))
+      .field("nodes", catalog_->num_nodes())
+      .field("topology", to_string(config_.topology))
+      .field("scheduler", to_string(config_.scheduler))
+      .field("policy", scheduler_->name())
+      .field("predictor", to_string(config_.predictor_model))
+      .field("alpha", config_.alpha)
+      .field("backfill", to_string(config_.sched.backfill))
+      .field("migration", config_.sched.migration)
+      // A live stream has no job/failure census up front; 0 marks "unknown"
+      // (the auditor counts submits itself and never reads these back).
+      .field("jobs", static_cast<std::int64_t>(0))
+      .field("failure_events", static_cast<std::int64_t>(0));
+  if (catalog_->options().mode != CatalogOptions::Mode::kBoxes) {
+    begin.field("catalog", to_string(catalog_->options().mode))
+        .field("min_block", catalog_->options().min_block);
+  }
+  if (config_.sched.algorithm != SchedAlgorithm::kKrevat) {
+    begin.field("algorithm", to_string(config_.sched.algorithm));
+  }
+}
+
+/// §6.1 capacity integral, driven by the event stream: starts at the first
+/// submit (the workload's min arrival — the stream is time-ordered) and
+/// advances *before* each event's mutations, exactly like the driver's
+/// advance-then-mutate discipline.
+void SchedulerService::advance_integrator(const Event& event) {
+  if (!integrator_started_) {
+    if (event.kind != EventKind::kSubmit) return;
+    integrator_started_ = true;
+    integrator_t0_ = event.time;
+    min_submit_ = event.time;
+    integrator_.start(event.time, usable_free_nodes(), queued_demand_);
+    return;
+  }
+  if (event.time >= integrator_t0_) integrator_.advance(event.time);
+}
+
+void SchedulerService::enqueue(JobRec& job) {
+  job.phase = Phase::kWaiting;
+  job.entry = -1;
+  auto priority = [&](std::uint64_t a, std::uint64_t b) {
+    const JobRec& ja = jobs_.find(a)->second;
+    const JobRec& jb = jobs_.find(b)->second;
+    switch (config_.queue_order) {
+      case QueueOrder::kShortestJobFirst:
+        if (ja.estimate != jb.estimate) return ja.estimate < jb.estimate;
+        break;
+      case QueueOrder::kSmallestJobFirst:
+        if (ja.size != jb.size) return ja.size < jb.size;
+        break;
+      case QueueOrder::kFcfs:
+        break;
+    }
+    if (ja.arrival != jb.arrival) return ja.arrival < jb.arrival;
+    return ja.id < jb.id;
+  };
+  const auto pos = std::lower_bound(queue_.begin(), queue_.end(), job.id, priority);
+  queue_.insert(pos, job.id);
+  queued_demand_ += job.size;
+  integrator_.add_queued(job.size);
+}
+
+void SchedulerService::release_allocation(JobRec& job) {
+  index_release(catalog_->entry(job.entry).mask);
+  torus_.release(job.id);
+  const auto rpos = std::find(running_.begin(), running_.end(), job.id);
+  BGL_CHECK(rpos != running_.end(), "job missing from running set");
+  *rpos = running_.back();
+  running_.pop_back();
+}
+
+void SchedulerService::run_pass(double now, std::vector<Decision>& out) {
+  std::vector<WaitingJob> waiting;
+  waiting.reserve(std::min(queue_.size(), kQueueViewCap));
+  for (std::size_t i = 0; i < queue_.size() && i < kQueueViewCap; ++i) {
+    const JobRec& j = jobs_.find(queue_[i])->second;
+    waiting.push_back(WaitingJob{j.id, j.size, j.alloc_size, j.estimate});
+  }
+  std::vector<RunningJob> running;
+  running.reserve(running_.size());
+  for (const std::uint64_t id : running_) {
+    const JobRec& j = jobs_.find(id)->second;
+    running.push_back(RunningJob{j.id, j.entry, j.last_start + j.estimate});
+  }
+
+  const NodeSet occ = scheduling_occupancy();
+  const SchedulingDecision decision =
+      scheduler_->schedule(now, waiting, running, occ, index_.get());
+
+  if (tr_ != nullptr) {
+    for (const PredictorQueryRecord& q : decision.predictor_queries) {
+      tr_->event("predictor_query", now)
+          .field("job", q.id)
+          .field("window_start", q.window_start)
+          .field("window_end", q.window_end)
+          .field("nodes_flagged", q.nodes_flagged);
+    }
+  }
+
+  // Migrations first, in two phases (movers may rotate partitions).
+  for (const Migration& m : decision.migrations) {
+    auto it = jobs_.find(m.id);
+    BGL_CHECK(it != jobs_.end(), "migration refers to unknown job");
+    BGL_CHECK(it->second.phase == Phase::kRunning, "migrating a non-running job");
+    index_release(catalog_->entry(torus_.entry_of(m.id)).mask);
+    torus_.release(m.id);
+  }
+  for (const Migration& m : decision.migrations) {
+    torus_.allocate(m.id, m.to_entry);
+    index_occupy(catalog_->entry(m.to_entry).mask);
+    JobRec& j = jobs_.find(m.id)->second;
+    j.entry = m.to_entry;
+    ++stats_.migrations;
+    if (tr_ != nullptr) {
+      tr_->event("migration", now)
+          .field("job", j.id)
+          .field("from_entry", m.from_entry)
+          .field("to_entry", m.to_entry);
+    }
+    Decision d;
+    d.kind = DecisionKind::kMigrate;
+    d.time = now;
+    d.job = j.id;
+    d.entry = m.to_entry;
+    d.from_entry = m.from_entry;
+    out.push_back(d);
+  }
+
+  BGL_CHECK(tr_ == nullptr || decision.placements.size() == decision.starts.size(),
+            "placement audit records out of sync with starts");
+
+  for (std::size_t start_i = 0; start_i < decision.starts.size(); ++start_i) {
+    const Start& start = decision.starts[start_i];
+    auto it = jobs_.find(start.id);
+    BGL_CHECK(it != jobs_.end(), "start refers to unknown job");
+    JobRec& j = it->second;
+    BGL_CHECK(j.phase == Phase::kWaiting, "starting a non-waiting job");
+
+    const auto qpos = std::find(queue_.begin(), queue_.end(), j.id);
+    BGL_CHECK(qpos != queue_.end(), "started job missing from queue");
+    queue_.erase(qpos);
+    queued_demand_ -= j.size;
+    integrator_.add_queued(-static_cast<long long>(j.size));
+
+    torus_.allocate(j.id, start.entry_index);
+    index_occupy(catalog_->entry(start.entry_index).mask);
+    j.entry = start.entry_index;
+    j.phase = Phase::kRunning;
+    j.last_start = now;
+    if (j.first_start < 0.0) j.first_start = now;
+    running_.push_back(j.id);
+    ++stats_.starts;
+
+    if (tr_ != nullptr) {
+      const PlacementRecord& p = decision.placements[start_i];
+      {
+        auto ev = tr_->event("sched_decision", now);
+        ev.field("job", j.id)
+            .field("policy", scheduler_->name())
+            .field("entry", p.entry_index)
+            .field("candidates", p.candidates)
+            .field("l_mfp", p.l_mfp)
+            .field("l_pf", p.l_pf)
+            .field("e_loss", p.e_loss)
+            .field("mfp_after", p.mfp_after)
+            .field("flags_in_chosen", p.flags_in_chosen)
+            .field("backfill", p.backfill);
+        if (p.res_entry >= 0) {
+          ev.field("res_time", p.res_time).field("res_entry", p.res_entry);
+        }
+      }
+      tr_->event("job_start", now)
+          .field("job", j.id)
+          .field("entry", start.entry_index)
+          .field("alloc_size", j.alloc_size)
+          .field("wait_so_far", now - j.arrival)
+          .field("restarts", j.restarts);
+    }
+
+    Decision d;
+    d.kind = DecisionKind::kStart;
+    d.time = now;
+    d.job = j.id;
+    d.entry = start.entry_index;
+    out.push_back(d);
+  }
+
+  stats_.starts_on_flagged += static_cast<std::size_t>(decision.starts_on_flagged);
+  stats_.flagged_with_alternative +=
+      static_cast<std::size_t>(decision.flagged_with_alternative);
+
+  if (!decision.starts.empty() || !decision.migrations.empty()) {
+    integrator_.set_free(usable_free_nodes());
+  }
+}
+
+void SchedulerService::kill_job(JobRec& job, double now, int node,
+                                std::vector<Decision>& out) {
+  const double elapsed = now - job.last_start;
+  // The service models no checkpointing: everything since the (re)start is
+  // lost. The sim adapter does its own checkpoint-aware accounting.
+  const double lost = std::max(0.0, elapsed) * static_cast<double>(job.size);
+  stats_.work_lost_node_seconds += lost;
+  ++job.restarts;
+  ++stats_.kills;
+  if (now <= job.last_start + job.estimate + 1e-9) ++stats_.avoidable_kills;
+  if (tr_ != nullptr) {
+    tr_->event("job_kill", now)
+        .field("job", job.id)
+        .field("entry", job.entry)
+        .field("elapsed", elapsed)
+        .field("work_lost", lost)
+        .field("work_saved", 0.0)
+        .field("restarts", job.restarts);
+  }
+
+  Decision d;
+  d.kind = DecisionKind::kKill;
+  d.time = now;
+  d.job = job.id;
+  d.entry = job.entry;
+  d.node = node;
+  out.push_back(d);
+
+  release_allocation(job);
+  enqueue(job);
+}
+
+void SchedulerService::on_submit(const Event& e, std::vector<Decision>& out,
+                                 std::size_t line) {
+  if (jobs_.count(e.job) != 0) {
+    throw ProtocolError(RejectCode::kDuplicateJob, line,
+                        "job " + std::to_string(e.job) + " already submitted");
+  }
+  const int n = catalog_->num_nodes();
+  if (e.size < 1 || e.size > n) {
+    throw ProtocolError(RejectCode::kBadValue, line,
+                        "size " + std::to_string(e.size) +
+                            " outside [1, " + std::to_string(n) + "]");
+  }
+  if (e.estimate < 0.0) {
+    throw ProtocolError(RejectCode::kBadValue, line, "estimate must be >= 0");
+  }
+  const int alloc = catalog_->allocatable_size(e.size);
+  if (alloc <= 0) {
+    throw ProtocolError(RejectCode::kNoPartition, line,
+                        "no allocatable partition size for " +
+                            std::to_string(e.size) + " nodes");
+  }
+
+  advance_integrator(e);
+  ensure_begin(e.time);
+  JobRec rec;
+  rec.id = e.job;
+  rec.size = e.size;
+  rec.alloc_size = alloc;
+  rec.arrival = e.time;
+  rec.estimate = e.estimate;
+  rec.runtime = e.runtime;
+  JobRec& job = jobs_.emplace(e.job, rec).first->second;
+  enqueue(job);
+  ++stats_.submitted;
+  min_submit_ = std::min(min_submit_, e.time);
+  // sim_end utilization must equal the auditor's recomputation from the
+  // runtimes traced here, so unknown runtimes count as 0 in both places.
+  useful_work_ +=
+      static_cast<double>(job.size) * std::max(job.runtime, 0.0);
+  if (tr_ != nullptr) {
+    tr_->event("job_submit", e.time)
+        .field("job", job.id)
+        .field("size", job.size)
+        .field("alloc_size", job.alloc_size)
+        .field("estimate", job.estimate)
+        .field("runtime", std::max(job.runtime, 0.0));
+  }
+  run_pass(e.time, out);
+}
+
+void SchedulerService::on_complete(const Event& e, std::vector<Decision>& out,
+                                   std::size_t line) {
+  auto it = jobs_.find(e.job);
+  if (it == jobs_.end()) {
+    throw ProtocolError(RejectCode::kUnknownJob, line,
+                        "job " + std::to_string(e.job) + " was never submitted");
+  }
+  JobRec& job = it->second;
+  if (job.phase != Phase::kRunning) {
+    throw ProtocolError(RejectCode::kNotRunning, line,
+                        "job " + std::to_string(e.job) + " is not running");
+  }
+
+  advance_integrator(e);
+  job.phase = Phase::kDone;
+  ++stats_.finished;
+  max_finish_ = std::max(max_finish_, e.time);
+
+  JobOutcome outcome;
+  outcome.id = job.id;
+  outcome.size = job.size;
+  outcome.arrival = job.arrival;
+  outcome.first_start = job.first_start;
+  outcome.last_start = job.last_start;
+  outcome.finish = e.time;
+  // Unknown runtime: the elapsed time of the successful run is the actual
+  // execution time by definition of a complete event.
+  outcome.runtime = job.runtime >= 0.0 ? job.runtime : e.time - job.last_start;
+  outcome.estimate = job.estimate;
+  outcome.restarts = job.restarts;
+  const double slowdown = bounded_slowdown(outcome, config_.metrics);
+  wait_sum_ += outcome.wait();
+  response_sum_ += outcome.response();
+  slowdown_sum_ += slowdown;
+  if (hg_ != nullptr) {
+    hg_->add(obs::Hist::kWait, outcome.wait());
+    hg_->add(obs::Hist::kResponse, outcome.response());
+    hg_->add(obs::Hist::kSlowdown, slowdown);
+  }
+  if (tr_ != nullptr) {
+    tr_->event("job_finish", e.time)
+        .field("job", job.id)
+        .field("entry", job.entry)
+        .field("wait", outcome.wait())
+        .field("response", outcome.response())
+        .field("bounded_slowdown", slowdown)
+        .field("restarts", job.restarts);
+  }
+
+  release_allocation(job);
+  integrator_.set_free(usable_free_nodes());
+  run_pass(e.time, out);
+}
+
+void SchedulerService::on_fail(const Event& e, std::vector<Decision>& out) {
+  advance_integrator(e);
+  ensure_begin(e.time);
+  ++stats_.failures;
+  const std::vector<std::uint64_t> victims =
+      torus_.allocations_containing(e.node);
+  if (tr_ != nullptr) {
+    // A live stream's down-time ends with an explicit repair event, not a
+    // duration known up front; down_for 0 keeps the auditor's reconstruction
+    // conservative (it never un-flags overlap checks early).
+    tr_->event("node_failure", e.time)
+        .field("node", e.node)
+        .field("victims", static_cast<std::int64_t>(victims.size()))
+        .field("down_for", 0.0);
+  }
+  if (e.down) {
+    down_.set(e.node);
+    // No-op if a victim still holds the node; the victim's release keeps it
+    // blocked because index_release subtracts the down overlay.
+    if (index_ != nullptr) index_->occupy_node(e.node);
+  }
+  if (!victims.empty()) ++stats_.failures_hitting_jobs;
+  for (const std::uint64_t id : victims) {
+    kill_job(jobs_.find(id)->second, e.time, e.node, out);
+  }
+  if (!victims.empty() || e.down ||
+      config_.failure_semantics == FailureSemantics::kDownFor) {
+    integrator_.set_free(usable_free_nodes());
+    run_pass(e.time, out);
+  }
+}
+
+void SchedulerService::on_repair(const Event& e, std::vector<Decision>& out,
+                                 std::size_t line) {
+  if (!down_.test(e.node)) {
+    throw ProtocolError(RejectCode::kNodeState, line,
+                        "node " + std::to_string(e.node) + " is not down");
+  }
+  advance_integrator(e);
+  down_.reset(e.node);
+  // The node cannot be allocated while down, so releasing it in the index
+  // exactly undoes the failure-time block.
+  if (index_ != nullptr) index_->release_node(e.node);
+  integrator_.set_free(usable_free_nodes());
+  run_pass(e.time, out);
+}
+
+void SchedulerService::handle(const Event& event, std::vector<Decision>& out,
+                              std::size_t line) {
+  if (any_event_ && event.time < now_) {
+    throw ProtocolError(RejectCode::kTimeOrder, line,
+                        "time ran backwards: " + std::to_string(event.time) +
+                            " after " + std::to_string(now_));
+  }
+  if (event.kind == EventKind::kFail || event.kind == EventKind::kRepair) {
+    if (event.node < 0 || event.node >= catalog_->num_nodes()) {
+      throw ProtocolError(RejectCode::kBadNode, line,
+                          "node " + std::to_string(event.node) +
+                              " outside machine of " +
+                              std::to_string(catalog_->num_nodes()) + " nodes");
+    }
+  }
+
+  switch (event.kind) {
+    case EventKind::kSubmit:
+      on_submit(event, out, line);
+      break;
+    case EventKind::kComplete:
+      on_complete(event, out, line);
+      break;
+    case EventKind::kFail:
+      on_fail(event, out);
+      break;
+    case EventKind::kRepair:
+      on_repair(event, out, line);
+      break;
+    case EventKind::kTick:
+      advance_integrator(event);
+      run_pass(event.time, out);
+      break;
+  }
+  any_event_ = true;
+  now_ = std::max(now_, event.time);
+}
+
+bool SchedulerService::finish_stream() {
+  if (tr_ == nullptr) return false;
+  if (end_emitted_) return true;
+  if (stats_.submitted == 0 || !queue_.empty() || !running_.empty()) {
+    return false;  // trace stays truncated: jobs are still in flight
+  }
+  const double span = max_finish_ - min_submit_;
+  const double n = static_cast<double>(stats_.finished);
+  const double tn = span * static_cast<double>(catalog_->num_nodes());
+  double utilization = 0.0, unused = 0.0, lost = 0.0;
+  if (tn > 0.0) {
+    utilization = useful_work_ / tn;
+    unused = integrator_.unused_integral() / tn;
+    lost = 1.0 - utilization - unused;
+  }
+  tr_->event("sim_end", max_finish_)
+      .field("jobs_completed", static_cast<std::int64_t>(stats_.finished))
+      .field("span", span)
+      .field("avg_wait", n > 0.0 ? wait_sum_ / n : 0.0)
+      .field("avg_response", n > 0.0 ? response_sum_ / n : 0.0)
+      .field("avg_bounded_slowdown", n > 0.0 ? slowdown_sum_ / n : 0.0)
+      .field("utilization", utilization)
+      .field("unused", unused)
+      .field("lost", lost)
+      .field("job_kills", static_cast<std::int64_t>(stats_.kills))
+      .field("migrations", static_cast<std::int64_t>(stats_.migrations))
+      .field("checkpoints", static_cast<std::int64_t>(0))
+      .field("work_lost_node_seconds", stats_.work_lost_node_seconds);
+  tr_->flush();
+  end_emitted_ = true;
+  return true;
+}
+
+}  // namespace bgl::svc

@@ -1,0 +1,217 @@
+// SchedulerService: the scheduler core split from the simulation clock.
+//
+// The service owns everything a scheduling decision depends on — the
+// Scheduler engine, the PartitionCatalog + FreePartitionIndex, the waiting
+// queue, torus occupancy, and the down-node overlay — but owns no clock and
+// no pending-event set. Time only advances when an Event arrives; each
+// event is validated, applied, and answered with zero or more Decisions
+// (start/kill/migrate). That inversion is what lets one core be driven by:
+//
+//   * the discrete-event simulator (svc/sim_adapter.hpp), differentially
+//     tested byte-identical to sim/driver for every scheduler × algorithm;
+//   * a live JSONL stream over stdin or a Unix socket (svc/server.hpp,
+//     tools/sched_server);
+//   * tests and load generators (tools/loadgen).
+//
+// Semantics mirror the driver exactly (same queue comparator, same
+// scheduler-invocation sites, same index maintenance under the down
+// overlay), so decisions are bit-identical when both are fed the same
+// event sequence. Events the service refuses (unknown job, duplicate id,
+// time running backwards, ...) raise ProtocolError and leave the state
+// untouched — the online analogue of the driver's BGL_CHECK contracts,
+// recoverable because a remote client's bad line must not kill the server.
+//
+// Tracing: with ServiceConfig::obs.trace attached the service emits the
+// standard JSONL schema (sim_begin lazily at the first event, job_submit /
+// sched_decision / job_start / migration / node_failure / job_kill /
+// job_finish, and sim_end from finish_stream()), auditable by
+// tools/trace_audit --strict. Differences from driver traces are documented
+// in docs/SERVICE.md (no checkpoint modelling, sim_begin jobs=0).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "failure/trace.hpp"
+#include "obs/observer.hpp"
+#include "sched/types.hpp"
+#include "sim/driver.hpp"
+#include "sim/metrics.hpp"
+#include "svc/protocol.hpp"
+#include "torus/catalog.hpp"
+#include "torus/index.hpp"
+#include "torus/occupancy.hpp"
+
+namespace bgl {
+class Scheduler;
+class FaultPredictor;
+}  // namespace bgl
+
+namespace bgl::svc {
+
+/// Service configuration: the scheduling-relevant subset of SimConfig (the
+/// clock-side knobs — event queue kind, checkpoint model, snapshots, replay
+/// — stay with the driver/adapter). Defaults favour online use: krevat with
+/// no predictor needs no failure oracle.
+struct ServiceConfig {
+  Dims dims = Dims::bluegene_l();
+  Topology topology = Topology::kTorus;
+  CatalogOptions catalog;
+  SchedulerKind scheduler = SchedulerKind::kKrevat;
+  double alpha = 0.0;
+  double tiebreak_false_positive_rate = 0.0;
+  /// kNone by default: the oracle predictors need a failure trace, which an
+  /// online deployment does not have (pass one for simulation parity).
+  PredictorModel predictor_model = PredictorModel::kNone;
+  double history_lookback = 7.0 * 86400.0;
+  SchedulerConfig sched;
+  QueueOrder queue_order = QueueOrder::kFcfs;
+  MetricsConfig metrics;
+  /// Drives the pass-invocation rule on victimless fail events, mirroring
+  /// the driver. Event-level "down":true always applies the down overlay.
+  FailureSemantics failure_semantics = FailureSemantics::kTransient;
+  std::uint64_t seed = 1;
+  bool use_partition_index = true;
+  obs::Observer obs;
+};
+
+/// Aggregates the service accumulates across a session (for the sim_end
+/// trace event and the server's stats line).
+struct ServiceStats {
+  std::size_t submitted = 0;
+  std::size_t finished = 0;
+  std::size_t starts = 0;
+  std::size_t kills = 0;
+  std::size_t avoidable_kills = 0;
+  std::size_t migrations = 0;
+  std::size_t failures = 0;
+  std::size_t failures_hitting_jobs = 0;
+  std::size_t starts_on_flagged = 0;
+  std::size_t flagged_with_alternative = 0;
+  double work_lost_node_seconds = 0.0;
+};
+
+class SchedulerService {
+ public:
+  /// `oracle` (nullable, borrowed) feeds the paper's simulated predictors;
+  /// required iff the configured scheduler/predictor consults one (throws
+  /// ConfigError otherwise). `shared_catalog` (nullable, borrowed) skips
+  /// catalog construction, exactly like run_simulation's parameter.
+  explicit SchedulerService(const ServiceConfig& config,
+                            const FailureTrace* oracle = nullptr,
+                            const PartitionCatalog* shared_catalog = nullptr);
+  ~SchedulerService();
+
+  SchedulerService(const SchedulerService&) = delete;
+  SchedulerService& operator=(const SchedulerService&) = delete;
+
+  /// Apply one event; decisions are appended to `out` in application order
+  /// (kills of the fail event first, then migrations, then starts). Throws
+  /// ProtocolError — with the service state unchanged — on an event it
+  /// refuses. `line` tags the error with the input line for the session
+  /// loop; pass 0 from library callers.
+  void handle(const Event& event, std::vector<Decision>& out,
+              std::size_t line = 0);
+
+  /// End of stream: emit the sim_end trace event iff tracing is on, at
+  /// least one job was submitted, and no job is still waiting or running.
+  /// Returns true when sim_end was written (or already had been).
+  bool finish_stream();
+
+  // --- views (used by the sim adapter and the server's stats line) ---
+  double now() const { return now_; }
+  /// Nodes neither occupied nor down (the capacity integrator's f(t)).
+  int usable_free_nodes() const;
+  /// Σ requested sizes of waiting jobs (the integrator's q(t)).
+  long long queued_demand() const { return queued_demand_; }
+  std::size_t waiting_jobs() const { return queue_.size(); }
+  std::size_t running_jobs() const { return running_.size(); }
+  const ServiceStats& stats() const { return stats_; }
+  const PartitionCatalog& catalog() const { return *catalog_; }
+
+ private:
+  enum class Phase { kWaiting, kRunning, kDone };
+
+  struct JobRec {
+    std::uint64_t id = 0;
+    int size = 1;
+    int alloc_size = 1;
+    double arrival = 0.0;
+    double estimate = 0.0;
+    double runtime = -1.0;  ///< As submitted; < 0 when unknown.
+    double first_start = -1.0;
+    double last_start = -1.0;
+    int restarts = 0;
+    int entry = -1;
+    Phase phase = Phase::kWaiting;
+  };
+
+  void build_scheduler(const FailureTrace* oracle);
+  void ensure_begin(double t);
+  void advance_integrator(const Event& event);
+  void enqueue(JobRec& job);
+  void run_pass(double now, std::vector<Decision>& out);
+  void kill_job(JobRec& job, double now, int node, std::vector<Decision>& out);
+  void release_allocation(JobRec& job);
+  NodeSet scheduling_occupancy() const;
+
+  void on_submit(const Event& e, std::vector<Decision>& out, std::size_t line);
+  void on_complete(const Event& e, std::vector<Decision>& out, std::size_t line);
+  void on_fail(const Event& e, std::vector<Decision>& out);
+  void on_repair(const Event& e, std::vector<Decision>& out, std::size_t line);
+
+  void index_occupy(const NodeSet& mask) {
+    if (index_ != nullptr) index_->occupy(mask);
+  }
+  /// Down nodes stay blocked in the index when a victim's partition is
+  /// released (same overlay rule as the driver).
+  void index_release(const NodeSet& mask) {
+    if (index_ == nullptr) return;
+    if (down_.empty()) {
+      index_->release(mask);
+    } else {
+      NodeSet m = mask;
+      m.subtract(down_);
+      index_->release(m);
+    }
+  }
+
+  const ServiceConfig config_;
+  std::unique_ptr<PartitionCatalog> owned_catalog_;
+  const PartitionCatalog* catalog_;
+  TorusOccupancy torus_;
+  std::unique_ptr<FaultPredictor> predictor_;
+  std::unique_ptr<Scheduler> scheduler_;
+  std::unique_ptr<FreePartitionIndex> index_;
+
+  std::unordered_map<std::uint64_t, JobRec> jobs_;
+  std::vector<std::uint64_t> queue_;    ///< Waiting ids, priority order.
+  std::vector<std::uint64_t> running_;  ///< Running ids, unordered.
+
+  NodeSet down_;
+  double now_ = 0.0;
+  bool any_event_ = false;
+  long long queued_demand_ = 0;
+
+  // Session aggregates for sim_end (same recomputation rules trace_audit
+  // applies: utilization from the runtimes traced in job_submit).
+  CapacityIntegrator integrator_;
+  bool integrator_started_ = false;
+  double integrator_t0_ = 0.0;
+  double min_submit_ = 0.0;
+  double max_finish_ = 0.0;
+  double useful_work_ = 0.0;
+  double wait_sum_ = 0.0;
+  double response_sum_ = 0.0;
+  double slowdown_sum_ = 0.0;
+  ServiceStats stats_;
+
+  obs::TraceSink* tr_;
+  obs::HistogramRegistry* hg_;
+  bool begin_emitted_ = false;
+  bool end_emitted_ = false;
+};
+
+}  // namespace bgl::svc

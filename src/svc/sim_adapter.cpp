@@ -1,0 +1,359 @@
+#include "svc/sim_adapter.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <limits>
+
+#include "ckpt/checkpoint.hpp"
+#include "des/event_queue.hpp"
+#include "obs/counters.hpp"
+#include "svc/service.hpp"
+#include "util/error.hpp"
+#include "util/logging.hpp"
+
+namespace bgl::svc {
+
+namespace {
+
+enum class JobPhase { kNotArrived, kWaiting, kRunning, kDone };
+
+/// Clock-side job state; everything decision-side lives in the service.
+struct JobClock {
+  Job job;
+  JobPhase phase = JobPhase::kNotArrived;
+  double first_start = -1.0;
+  double last_start = -1.0;
+  double remaining_work = 0.0;
+  std::uint64_t gen = 0;  ///< Finish-event validity tag.
+  int restarts = 0;
+  int entry = -1;
+};
+
+ServiceConfig service_config_from(const SimConfig& config) {
+  ServiceConfig sc;
+  sc.dims = config.dims;
+  sc.topology = config.topology;
+  sc.catalog = config.catalog;
+  sc.scheduler = config.scheduler;
+  sc.alpha = config.alpha;
+  sc.tiebreak_false_positive_rate = config.tiebreak_false_positive_rate;
+  sc.predictor_model = config.predictor_model;
+  sc.history_lookback = config.history_lookback;
+  sc.sched = config.sched;
+  sc.queue_order = config.queue_order;
+  sc.metrics = config.metrics;
+  sc.failure_semantics = config.failure_semantics;
+  sc.seed = config.seed;
+  sc.use_partition_index = config.use_partition_index;
+  sc.obs = config.obs;
+  return sc;
+}
+
+class Adapter {
+ public:
+  Adapter(const Workload& workload, const FailureTrace& trace,
+          const SimConfig& config, const PartitionCatalog* shared_catalog)
+      : config_(config),
+        trace_(&trace),
+        service_(service_config_from(config), &trace, shared_catalog),
+        events_(config.event_queue),
+        down_(config.dims.volume()),
+        down_until_(static_cast<std::size_t>(config.dims.volume()), 0.0),
+        ct_(config.obs.counters) {
+    BGL_CHECK(trace.empty() || trace.num_nodes() == config.dims.volume(),
+              "failure trace node count mismatch");
+    const int n = config.dims.volume();
+    jobs_.reserve(workload.jobs.size());
+    for (const Job& j : workload.jobs) {
+      JobClock state;
+      state.job = j;
+      if (state.job.size > n) {
+        BGL_WARN("job " << j.id << " size " << j.size << " exceeds machine ("
+                        << n << "); clamping");
+        state.job.size = n;
+      }
+      state.remaining_work = state.job.runtime;
+      jobs_.push_back(state);
+    }
+  }
+
+  SimResult run();
+
+ private:
+  void apply_decisions(const std::vector<Decision>& decisions, double now);
+  void finish_job(std::size_t index, double now);
+
+  const SimConfig config_;
+  const FailureTrace* trace_;
+  SchedulerService service_;
+  std::vector<JobClock> jobs_;
+  EventQueue events_;
+  CapacityIntegrator integrator_;
+  SimResult result_;
+  std::size_t jobs_done_ = 0;
+  double min_arrival_ = 0.0;
+  double max_finish_ = 0.0;
+  NodeSet down_;
+  std::vector<double> down_until_;
+  obs::CounterRegistry* ct_;
+  std::vector<Decision> decisions_;  ///< Reused across events.
+};
+
+void Adapter::apply_decisions(const std::vector<Decision>& decisions, double now) {
+  for (const Decision& d : decisions) {
+    const std::size_t idx = static_cast<std::size_t>(d.job);
+    BGL_CHECK(idx < jobs_.size(), "decision refers to unknown job");
+    JobClock& s = jobs_[idx];
+    switch (d.kind) {
+      case DecisionKind::kStart: {
+        BGL_CHECK(s.phase == JobPhase::kWaiting, "starting a non-waiting job");
+        s.phase = JobPhase::kRunning;
+        s.last_start = now;
+        if (s.first_start < 0.0) s.first_start = now;
+        s.entry = d.entry;
+        const double wall = walltime_for_work(s.remaining_work, config_.ckpt);
+        ++s.gen;
+        events_.push(bgl::Event{now + wall, EventType::kFinish, d.job, s.gen, 0});
+        if (config_.record_replay) {
+          result_.replay.push_back(ReplayEvent{now, ReplayEventType::kStart,
+                                               s.job.id, -1, d.entry});
+        }
+        break;
+      }
+      case DecisionKind::kMigrate: {
+        BGL_CHECK(s.phase == JobPhase::kRunning, "migrating a non-running job");
+        s.entry = d.entry;
+        ++result_.migrations;
+        if (config_.record_replay) {
+          result_.replay.push_back(ReplayEvent{now, ReplayEventType::kMigration,
+                                               s.job.id, -1, d.entry});
+        }
+        break;
+      }
+      case DecisionKind::kKill: {
+        BGL_CHECK(s.phase == JobPhase::kRunning, "killing a non-running job");
+        const double elapsed = now - s.last_start;
+        const double saved = saved_work_at(elapsed, s.remaining_work, config_.ckpt);
+        if (config_.ckpt.enabled) {
+          const std::size_t taken =
+              static_cast<std::size_t>(checkpoint_count(saved, config_.ckpt)) +
+              (saved > 0.0 ? 1u : 0u);
+          result_.checkpoints_taken += taken;
+          if (ct_ != nullptr) ct_->add(obs::Counter::kDriverCheckpoints, taken);
+        }
+        const double wasted =
+            std::max(0.0, std::min(elapsed, s.remaining_work) - saved);
+        result_.work_lost_node_seconds += wasted * static_cast<double>(s.job.size);
+        s.remaining_work -= saved;
+        if (saved > 0.0) s.remaining_work += config_.ckpt.restart_overhead;
+        ++s.gen;  // invalidate the in-flight finish event
+        ++s.restarts;
+        ++result_.job_kills;
+        if (now <= s.last_start + s.job.estimate + 1e-9) ++result_.avoidable_kills;
+        if (config_.record_replay) {
+          result_.replay.push_back(ReplayEvent{now, ReplayEventType::kKill,
+                                               s.job.id, -1, d.entry});
+        }
+        if (ct_ != nullptr) ct_->add(obs::Counter::kDriverKills);
+        s.phase = JobPhase::kWaiting;
+        s.entry = -1;
+        break;
+      }
+    }
+  }
+}
+
+void Adapter::finish_job(std::size_t index, double now) {
+  JobClock& s = jobs_[index];
+  if (config_.ckpt.enabled) {
+    const std::size_t taken =
+        static_cast<std::size_t>(checkpoint_count(s.remaining_work, config_.ckpt));
+    result_.checkpoints_taken += taken;
+    if (ct_ != nullptr) ct_->add(obs::Counter::kDriverCheckpoints, taken);
+  }
+  s.phase = JobPhase::kDone;
+  max_finish_ = std::max(max_finish_, now);
+  ++jobs_done_;
+  if (config_.record_replay) {
+    result_.replay.push_back(
+        ReplayEvent{now, ReplayEventType::kFinish, s.job.id, -1, s.entry});
+  }
+
+  JobOutcome outcome;
+  outcome.id = s.job.id;
+  outcome.size = s.job.size;
+  outcome.arrival = s.job.arrival;
+  outcome.first_start = s.first_start;
+  outcome.last_start = s.last_start;
+  outcome.finish = now;
+  outcome.runtime = s.job.runtime;
+  outcome.estimate = s.job.estimate;
+  outcome.restarts = s.restarts;
+
+  result_.wait_stats.add(outcome.wait());
+  result_.response_stats.add(outcome.response());
+  result_.slowdown_stats.add(bounded_slowdown(outcome, config_.metrics));
+  if (config_.collect_outcomes) result_.outcomes.push_back(outcome);
+  // Per-job wait/response/slowdown histograms are recorded by the service
+  // (same obs registries), not here — no double counting.
+}
+
+SimResult Adapter::run() {
+  if (jobs_.empty()) return result_;
+
+  min_arrival_ = jobs_.front().job.arrival;
+  for (std::size_t i = 0; i < jobs_.size(); ++i) {
+    min_arrival_ = std::min(min_arrival_, jobs_[i].job.arrival);
+    events_.push(bgl::Event{jobs_[i].job.arrival, EventType::kArrival,
+                       static_cast<std::uint64_t>(i), 0, 0});
+  }
+  for (const FailureEvent& f : trace_->events()) {
+    events_.push(bgl::Event{f.time, EventType::kFailure,
+                       static_cast<std::uint64_t>(f.node), 0, 0});
+  }
+  integrator_.start(min_arrival_, service_.catalog().num_nodes(), 0);
+
+  const bool apply_down = config_.failure_semantics == FailureSemantics::kDownFor &&
+                          config_.node_downtime > 0.0;
+
+  while (!events_.empty() && jobs_done_ < jobs_.size()) {
+    const bgl::Event e = events_.pop();
+    if (ct_ != nullptr) ct_->add(obs::Counter::kDriverEvents);
+    if (e.time >= min_arrival_) integrator_.advance(e.time);
+    decisions_.clear();
+
+    switch (e.type) {
+      case EventType::kArrival: {
+        const std::size_t idx = static_cast<std::size_t>(e.id);
+        JobClock& s = jobs_[idx];
+        s.phase = JobPhase::kWaiting;
+        if (config_.record_replay) {
+          result_.replay.push_back(
+              ReplayEvent{e.time, ReplayEventType::kArrival, s.job.id, -1, -1});
+        }
+        svc::Event submit;
+        submit.kind = EventKind::kSubmit;
+        submit.time = e.time;
+        submit.job = e.id;  // internal index: the driver's scheduler-facing id
+        submit.size = s.job.size;
+        submit.estimate = s.job.estimate;
+        submit.runtime = s.job.runtime;
+        service_.handle(submit, decisions_);
+        apply_decisions(decisions_, e.time);
+        break;
+      }
+      case EventType::kFinish: {
+        const std::size_t idx = static_cast<std::size_t>(e.id);
+        BGL_CHECK(idx < jobs_.size(), "finish event for unknown job");
+        JobClock& s = jobs_[idx];
+        if (s.gen != e.tag || s.phase != JobPhase::kRunning) break;  // stale
+        finish_job(idx, e.time);
+        svc::Event complete;
+        complete.kind = EventKind::kComplete;
+        complete.time = e.time;
+        complete.job = e.id;
+        service_.handle(complete, decisions_);
+        apply_decisions(decisions_, e.time);
+        break;
+      }
+      case EventType::kFailure: {
+        const int node = static_cast<int>(e.id);
+        ++result_.failures_total;
+        if (ct_ != nullptr) ct_->add(obs::Counter::kDriverFailures);
+        if (config_.record_replay) {
+          result_.replay.push_back(
+              ReplayEvent{e.time, ReplayEventType::kNodeFailure, 0, node, -1});
+        }
+        if (apply_down) {
+          down_.set(node);
+          down_until_[static_cast<std::size_t>(node)] =
+              std::max(down_until_[static_cast<std::size_t>(node)],
+                       e.time + config_.node_downtime);
+          // Pushed after the service call below; ordering is unaffected
+          // because kCustom ranks after every same-time kFinish by type.
+          events_.push(bgl::Event{e.time + config_.node_downtime, EventType::kCustom,
+                             e.id, 0, 0});
+        }
+        svc::Event fail;
+        fail.kind = EventKind::kFail;
+        fail.time = e.time;
+        fail.node = node;
+        fail.down = apply_down;
+        service_.handle(fail, decisions_);
+        bool any_kill = false;
+        for (const Decision& d : decisions_) {
+          any_kill = any_kill || d.kind == DecisionKind::kKill;
+        }
+        if (any_kill) ++result_.failures_hitting_jobs;
+        apply_decisions(decisions_, e.time);
+        break;
+      }
+      case EventType::kCustom: {
+        // Node down-time expiry; stale when a later failure extended it.
+        const int node = static_cast<int>(e.id);
+        if (down_.test(node) &&
+            e.time + 1e-9 >= down_until_[static_cast<std::size_t>(node)]) {
+          down_.reset(node);
+          svc::Event repair;
+          repair.kind = EventKind::kRepair;
+          repair.time = e.time;
+          repair.node = node;
+          service_.handle(repair, decisions_);
+          apply_decisions(decisions_, e.time);
+        }
+        break;
+      }
+      case EventType::kCheckpoint:
+        break;  // checkpoints are modelled analytically; no discrete events
+    }
+
+    // Mirror the driver's lazily-updated f(t)/q(t): the service's current
+    // values are exactly what the driver's add/set sites maintain.
+    integrator_.set_queued(service_.queued_demand());
+    integrator_.set_free(service_.usable_free_nodes());
+  }
+
+  BGL_CHECK(jobs_done_ == jobs_.size(),
+            "simulation ended with unfinished jobs (deadlock?)");
+
+  result_.jobs_completed = jobs_done_;
+  result_.starts_on_flagged = service_.stats().starts_on_flagged;
+  result_.flagged_with_alternative = service_.stats().flagged_with_alternative;
+  result_.span = max_finish_ - min_arrival_;
+  result_.avg_wait = result_.wait_stats.mean();
+  result_.avg_response = result_.response_stats.mean();
+  result_.avg_bounded_slowdown = result_.slowdown_stats.mean();
+
+  const double tn =
+      result_.span * static_cast<double>(service_.catalog().num_nodes());
+  if (tn > 0.0) {
+    double useful = 0.0;
+    for (const JobClock& s : jobs_) {
+      useful += static_cast<double>(s.job.size) * s.job.runtime;
+    }
+    result_.utilization = useful / tn;
+    result_.unused = integrator_.unused_integral() / tn;
+    result_.lost = 1.0 - result_.utilization - result_.unused;
+  }
+
+  service_.finish_stream();
+  return result_;
+}
+
+}  // namespace
+
+SimResult run_simulation_via_service(const Workload& workload,
+                                     const FailureTrace& trace,
+                                     const SimConfig& config,
+                                     const PartitionCatalog* shared_catalog) {
+  validate(config.dims);
+  const auto t_begin = std::chrono::steady_clock::now();
+  Adapter adapter(workload, trace, config, shared_catalog);
+  SimResult result = adapter.run();
+  result.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t_begin)
+          .count();
+  return result;
+}
+
+}  // namespace bgl::svc

@@ -1,0 +1,43 @@
+// Drive a SchedulerService from the discrete-event simulator.
+//
+// run_simulation_via_service() is a drop-in replacement for
+// sim/driver.hpp's run_simulation(): same inputs, same SimResult — verified
+// byte-identical (bitwise, via the SimResult checksum) across schedulers ×
+// algorithms by tests/svc_sim_adapter_test.cpp and CI's service-smoke job.
+//
+// The split of responsibilities the service seam defines:
+//
+//   adapter (clock side)            service (decision side)
+//   ------------------------------  -----------------------------------
+//   event queue, arrival/failure    waiting queue, torus occupancy,
+//   preload, finish-time compute    partition index, down overlay,
+//   (walltime_for_work), stale-     scheduler passes, decision + trace
+//   finish generation tags,         emission
+//   checkpoint/kill work account-
+//   ing, capacity integral,
+//   SimResult assembly, replay log
+//
+// The adapter submits jobs under their internal workload indices — the same
+// scheduler-facing ids the driver uses — so id-salted predictors (the
+// tie-breaking coins) see identical inputs and every decision matches.
+//
+// Caveats vs the driver (differential tests run with tracing off):
+// config.obs is handed to the service, so traces follow the service schema
+// (job ids are indices, no checkpoint events, sim_begin jobs=0);
+// config.snapshot_interval is ignored (no machine_state events).
+#pragma once
+
+#include "failure/trace.hpp"
+#include "sim/driver.hpp"
+#include "sim/metrics.hpp"
+#include "workload/job.hpp"
+
+namespace bgl::svc {
+
+SimResult run_simulation_via_service(const Workload& workload,
+                                     const FailureTrace& trace,
+                                     const SimConfig& config,
+                                     const PartitionCatalog* shared_catalog =
+                                         nullptr);
+
+}  // namespace bgl::svc

@@ -1,0 +1,140 @@
+// Adversarial round-trip tests for the trace number formatting: every
+// double written by TraceSink (timestamps and field values) must parse back
+// bit-identical through TraceReader. The old '%.10g' formatting dropped
+// low-order bits at large sim times (e.g. 86423.50000000001 → 86423.5),
+// which made trace_audit's re-derived wait/response metrics drift from the
+// simulator's in-memory values.
+#include "obs/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <limits>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/reader.hpp"
+#include "util/rng.hpp"
+
+namespace bgl::obs {
+namespace {
+
+std::uint64_t bits(double v) {
+  std::uint64_t u;
+  std::memcpy(&u, &v, sizeof(u));
+  return u;
+}
+
+double from_bits(std::uint64_t u) {
+  double v;
+  std::memcpy(&v, &u, sizeof(v));
+  return v;
+}
+
+/// Write one event with `t` as the timestamp and `value` as a field, read
+/// it back, and require both doubles bit-exact.
+void expect_roundtrip(double t, double value) {
+  std::ostringstream out;
+  {
+    TraceSink sink(out);
+    sink.event("snapshot", t).field("x", value);
+    sink.flush();
+  }
+  std::istringstream in(out.str());
+  TraceReader reader(in);
+  TraceRecord record;
+  ASSERT_TRUE(reader.next(record)) << out.str();
+  EXPECT_EQ(bits(record.t()), bits(t))
+      << "t: wrote " << t << " read " << record.t() << " via " << out.str();
+  EXPECT_EQ(bits(record.require_num("x")), bits(value))
+      << "x: wrote " << value << " read " << record.require_num("x")
+      << " via " << out.str();
+}
+
+TEST(ObsDoubleRoundTrip, KnownLossyCasesUnderOldFormatting) {
+  // Values with more than 10 significant decimal digits — all truncated by
+  // the previous '%.10g' and now preserved exactly.
+  expect_roundtrip(86423.50000000001, 86423.50000000001);
+  expect_roundtrip(0.0, 1.0 / 3.0);
+  expect_roundtrip(0.0, 0.1);
+  expect_roundtrip(0.0, 1e16 + 2.0);
+  expect_roundtrip(0.0, 123456789.123456789);
+  // A month of sim time plus a sub-millisecond offset.
+  expect_roundtrip(2592000.0 + 1e-4, 2592000.0 + 1e-4);
+  expect_roundtrip(0.0, std::nextafter(1.0, 2.0));
+  expect_roundtrip(0.0, std::nextafter(1e9, 2e9));
+}
+
+TEST(ObsDoubleRoundTrip, ExtremeMagnitudes) {
+  expect_roundtrip(0.0, std::numeric_limits<double>::max());
+  expect_roundtrip(0.0, std::numeric_limits<double>::min());  // smallest normal
+  expect_roundtrip(0.0, std::numeric_limits<double>::denorm_min());
+  expect_roundtrip(0.0, 5e-324);  // same denormal, spelled as a literal
+  expect_roundtrip(0.0, std::numeric_limits<double>::epsilon());
+  expect_roundtrip(0.0, 4.9406564584124654e-300);
+}
+
+TEST(ObsDoubleRoundTrip, NonFiniteValuesBecomeJsonNull) {
+  // JSON has no Infinity/NaN; the sink writes null and the reader stores a
+  // null-kind field (num() empty) rather than emitting invalid JSON.
+  std::ostringstream out;
+  {
+    TraceSink sink(out);
+    sink.event("snapshot", 1.0)
+        .field("inf", std::numeric_limits<double>::infinity())
+        .field("nan", std::numeric_limits<double>::quiet_NaN());
+    sink.flush();
+  }
+  EXPECT_EQ(out.str().find(":inf"), std::string::npos);  // no bare inf token
+  EXPECT_EQ(out.str().find(":nan"), std::string::npos);
+  EXPECT_NE(out.str().find("null"), std::string::npos);
+  std::istringstream in(out.str());
+  TraceReader reader(in);
+  TraceRecord record;
+  ASSERT_TRUE(reader.next(record));
+  EXPECT_TRUE(record.has("inf"));
+  EXPECT_FALSE(record.num("inf").has_value());
+  EXPECT_FALSE(record.num("nan").has_value());
+}
+
+/// Fuzz: random bit patterns (masked to finite doubles) plus random
+/// accumulations of realistic sim-time increments, one event per value,
+/// all bit-exact after a sink→reader pass.
+TEST(ObsDoubleRoundTrip, RandomBitPatternsSurviveSinkAndReader) {
+  Rng rng(0x0b5e55ed);
+  std::vector<double> values;
+  for (int i = 0; i < 2000; ++i) {
+    const double v = from_bits(rng.next_u64());
+    if (std::isfinite(v)) values.push_back(v);
+  }
+  // Realistic timestamps: a long sim accumulating uneven increments.
+  double t = 0.0;
+  for (int i = 0; i < 2000; ++i) {
+    t += static_cast<double>(rng.next_u64() % 360000) / 1000.0 + 1e-7;
+    values.push_back(t);
+  }
+
+  std::ostringstream out;
+  {
+    TraceSink sink(out);
+    for (const double v : values) {
+      sink.event("snapshot", std::abs(v)).field("x", v);
+    }
+    sink.flush();
+  }
+  std::istringstream in(out.str());
+  TraceReader reader(in);
+  TraceRecord record;
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    ASSERT_TRUE(reader.next(record)) << i;
+    EXPECT_EQ(bits(record.t()), bits(std::abs(values[i]))) << i;
+    EXPECT_EQ(bits(record.require_num("x")), bits(values[i])) << i;
+  }
+  EXPECT_FALSE(reader.next(record));
+}
+
+}  // namespace
+}  // namespace bgl::obs

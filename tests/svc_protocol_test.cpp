@@ -1,0 +1,195 @@
+// Tests of the JSONL event/decision protocol codec (src/svc/protocol.hpp):
+// decoding events from scanned lines, the typed rejections for malformed
+// input, and the writers round-tripping through the trace reader.
+#include "svc/protocol.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/reader.hpp"
+
+namespace bgl::svc {
+namespace {
+
+Event decode(const std::string& line) {
+  obs::TraceRecord record;
+  obs::TraceReader::parse_line(line, 1, record);
+  return event_from(record);
+}
+
+RejectCode code_of(const std::string& line) {
+  try {
+    decode(line);
+  } catch (const ProtocolError& e) {
+    return e.code();
+  }
+  ADD_FAILURE() << "expected ProtocolError for: " << line;
+  return RejectCode::kParse;
+}
+
+TEST(SvcProtocol, DecodesEveryEventKind) {
+  const Event submit = decode(
+      R"({"type":"submit","t":12.5,"job":7,"size":32,"estimate":3600,"runtime":1800.25})");
+  EXPECT_EQ(submit.kind, EventKind::kSubmit);
+  EXPECT_DOUBLE_EQ(submit.time, 12.5);
+  EXPECT_EQ(submit.job, 7u);
+  EXPECT_EQ(submit.size, 32);
+  EXPECT_DOUBLE_EQ(submit.estimate, 3600.0);
+  EXPECT_DOUBLE_EQ(submit.runtime, 1800.25);
+
+  const Event no_runtime =
+      decode(R"({"type":"submit","t":0,"job":1,"size":1,"estimate":10})");
+  EXPECT_LT(no_runtime.runtime, 0.0);  // unknown
+
+  const Event complete = decode(R"({"type":"complete","t":99,"job":7})");
+  EXPECT_EQ(complete.kind, EventKind::kComplete);
+  EXPECT_EQ(complete.job, 7u);
+
+  const Event fail = decode(R"({"type":"fail","t":100,"node":17})");
+  EXPECT_EQ(fail.kind, EventKind::kFail);
+  EXPECT_EQ(fail.node, 17);
+  EXPECT_FALSE(fail.down);
+
+  const Event down = decode(R"({"type":"fail","t":100,"node":17,"down":true})");
+  EXPECT_TRUE(down.down);
+
+  const Event repair = decode(R"({"type":"repair","t":200,"node":17})");
+  EXPECT_EQ(repair.kind, EventKind::kRepair);
+  EXPECT_EQ(repair.node, 17);
+
+  const Event tick = decode(R"({"type":"tick","t":300})");
+  EXPECT_EQ(tick.kind, EventKind::kTick);
+  EXPECT_DOUBLE_EQ(tick.time, 300.0);
+}
+
+TEST(SvcProtocol, RejectsUnknownTypes) {
+  EXPECT_EQ(code_of(R"({"type":"job_start","t":1,"job":1})"),
+            RejectCode::kUnknownType);
+  EXPECT_EQ(code_of(R"({"type":"","t":1})"), RejectCode::kUnknownType);
+}
+
+TEST(SvcProtocol, RejectsMissingAndMistypedFields) {
+  // submit without its required fields.
+  EXPECT_EQ(code_of(R"({"type":"submit","t":1})"), RejectCode::kBadField);
+  EXPECT_EQ(code_of(R"({"type":"submit","t":1,"job":1,"size":4})"),
+            RejectCode::kBadField);
+  // job as a string is a type error, not a silent default.
+  EXPECT_EQ(code_of(R"({"type":"submit","t":1,"job":"x","size":4,"estimate":1})"),
+            RejectCode::kBadField);
+  EXPECT_EQ(code_of(R"({"type":"complete","t":1})"), RejectCode::kBadField);
+  EXPECT_EQ(code_of(R"({"type":"fail","t":1})"), RejectCode::kBadField);
+  EXPECT_EQ(code_of(R"({"type":"repair","t":1})"), RejectCode::kBadField);
+}
+
+TEST(SvcProtocol, RejectsOutOfDomainValues) {
+  // Non-integral, negative, and out-of-range ids/ints are codec-level
+  // kBadValue rejections. (Semantic limits — size vs machine volume,
+  // negative estimates — are the service's domain; see svc_service_test.)
+  EXPECT_EQ(code_of(R"({"type":"submit","t":1,"job":1.5,"size":4,"estimate":1})"),
+            RejectCode::kBadValue);
+  EXPECT_EQ(
+      code_of(R"({"type":"submit","t":1,"job":-3,"size":4,"estimate":1})"),
+      RejectCode::kBadValue);
+  EXPECT_EQ(
+      code_of(R"({"type":"submit","t":1,"job":1e17,"size":4,"estimate":1})"),
+      RejectCode::kBadValue);
+  EXPECT_EQ(
+      code_of(R"({"type":"submit","t":1,"job":1,"size":2.5,"estimate":1})"),
+      RejectCode::kBadValue);
+  EXPECT_EQ(code_of(R"({"type":"fail","t":1,"node":3e9})"),
+            RejectCode::kBadValue);
+  // A null timestamp never reaches the codec: the line scanner itself
+  // refuses it, so a session surfaces it as a "parse" error.
+  EXPECT_THROW(decode(R"({"type":"tick","t":null})"), ParseError);
+  // A boolean where a number is expected is a field-type error.
+  EXPECT_EQ(code_of(R"({"type":"fail","t":1,"node":true})"),
+            RejectCode::kBadField);
+}
+
+TEST(SvcProtocol, ErrorCarriesLineNumber) {
+  obs::TraceRecord record;
+  obs::TraceReader::parse_line(R"({"type":"complete","t":1})", 42, record);
+  try {
+    event_from(record);
+    FAIL() << "expected ProtocolError";
+  } catch (const ProtocolError& e) {
+    EXPECT_EQ(e.line(), 42u);
+    EXPECT_EQ(e.code(), RejectCode::kBadField);
+    EXPECT_NE(std::string(e.what()).find("job"), std::string::npos);
+  }
+}
+
+TEST(SvcProtocol, EventLinesRoundTrip) {
+  Event e;
+  e.kind = EventKind::kSubmit;
+  e.time = 86423.50000000001;  // not representable in 10 significant digits
+  e.job = 123456789;
+  e.size = 512;
+  e.estimate = 0.1;
+  e.runtime = 1.0 / 3.0;
+  std::string line;
+  append_event_line(line, e);
+  ASSERT_FALSE(line.empty());
+  EXPECT_EQ(line.back(), '\n');
+
+  const Event back = decode(line.substr(0, line.size() - 1));
+  EXPECT_EQ(back.kind, e.kind);
+  EXPECT_EQ(back.time, e.time);  // bit-exact: shortest round-trip formatting
+  EXPECT_EQ(back.job, e.job);
+  EXPECT_EQ(back.size, e.size);
+  EXPECT_EQ(back.estimate, e.estimate);
+  EXPECT_EQ(back.runtime, e.runtime);
+}
+
+TEST(SvcProtocol, DecisionLinesParseAsTraceRecords) {
+  Decision d;
+  d.kind = DecisionKind::kMigrate;
+  d.time = 1e9 + 0.25;
+  d.job = 9;
+  d.entry = 31;
+  d.from_entry = 7;
+  std::string line;
+  append_decision_line(line, d);
+
+  obs::TraceRecord record;
+  obs::TraceReader::parse_line(line.substr(0, line.size() - 1), 1, record);
+  EXPECT_EQ(record.type_name(), "migrate");
+  EXPECT_EQ(record.t(), 1e9 + 0.25);
+  EXPECT_EQ(record.require_int("job"), 9);
+  EXPECT_EQ(record.require_int("from_entry"), 7);
+  EXPECT_EQ(record.require_int("to_entry"), 31);
+}
+
+TEST(SvcProtocol, ErrorLinesEscapeAndParse) {
+  const ProtocolError err(RejectCode::kDuplicateJob, 3,
+                          "job 7 \"already\" seen\\here");
+  std::string line;
+  append_error_line(line, 5.5, err);
+
+  obs::TraceRecord record;
+  obs::TraceReader::parse_line(line.substr(0, line.size() - 1), 1, record);
+  EXPECT_EQ(record.type_name(), "error");
+  EXPECT_EQ(record.require_str("code"), "duplicate-job");
+  EXPECT_EQ(record.require_int("line"), 3);
+  EXPECT_EQ(record.require_str("message"), "job 7 \"already\" seen\\here");
+}
+
+TEST(SvcProtocol, RejectCodeStringsAreStable) {
+  EXPECT_STREQ(to_string(RejectCode::kParse), "parse");
+  EXPECT_STREQ(to_string(RejectCode::kUnknownType), "unknown-type");
+  EXPECT_STREQ(to_string(RejectCode::kBadField), "bad-field");
+  EXPECT_STREQ(to_string(RejectCode::kBadValue), "bad-value");
+  EXPECT_STREQ(to_string(RejectCode::kTimeOrder), "time-order");
+  EXPECT_STREQ(to_string(RejectCode::kDuplicateJob), "duplicate-job");
+  EXPECT_STREQ(to_string(RejectCode::kUnknownJob), "unknown-job");
+  EXPECT_STREQ(to_string(RejectCode::kNotRunning), "not-running");
+  EXPECT_STREQ(to_string(RejectCode::kBadNode), "bad-node");
+  EXPECT_STREQ(to_string(RejectCode::kNodeState), "node-state");
+  EXPECT_STREQ(to_string(RejectCode::kNoPartition), "no-partition");
+}
+
+}  // namespace
+}  // namespace bgl::svc

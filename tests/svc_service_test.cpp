@@ -1,0 +1,308 @@
+// Tests of the online SchedulerService (src/svc/service.hpp) and the
+// session loop (src/svc/server.hpp): typed rejections that leave the state
+// untouched, recovery from malformed protocol lines, fuzzed corrupted
+// streams, and a strict trace_audit pass over a service-emitted trace.
+#include "svc/service.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/audit.hpp"
+#include "obs/trace.hpp"
+#include "svc/protocol.hpp"
+#include "svc/server.hpp"
+#include "util/rng.hpp"
+
+namespace bgl::svc {
+namespace {
+
+Event submit(double t, std::uint64_t job, int size, double estimate,
+             double runtime = -1.0) {
+  Event e;
+  e.kind = EventKind::kSubmit;
+  e.time = t;
+  e.job = job;
+  e.size = size;
+  e.estimate = estimate;
+  e.runtime = runtime;
+  return e;
+}
+
+Event complete(double t, std::uint64_t job) {
+  Event e;
+  e.kind = EventKind::kComplete;
+  e.time = t;
+  e.job = job;
+  return e;
+}
+
+Event fail(double t, int node, bool down = false) {
+  Event e;
+  e.kind = EventKind::kFail;
+  e.time = t;
+  e.node = node;
+  e.down = down;
+  return e;
+}
+
+Event repair(double t, int node) {
+  Event e;
+  e.kind = EventKind::kRepair;
+  e.time = t;
+  e.node = node;
+  return e;
+}
+
+RejectCode refusal(SchedulerService& service, const Event& e) {
+  std::vector<Decision> out;
+  try {
+    service.handle(e, out);
+  } catch (const ProtocolError& err) {
+    EXPECT_TRUE(out.empty());
+    return err.code();
+  }
+  ADD_FAILURE() << "event was accepted";
+  return RejectCode::kParse;
+}
+
+TEST(SvcService, SubmitStartsAndCompleteFrees) {
+  SchedulerService service((ServiceConfig()));
+  std::vector<Decision> out;
+  service.handle(submit(0.0, 7, 32, 1000.0), out);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].kind, DecisionKind::kStart);
+  EXPECT_EQ(out[0].job, 7u);
+  EXPECT_GE(out[0].entry, 0);
+  EXPECT_EQ(service.running_jobs(), 1u);
+
+  out.clear();
+  service.handle(complete(500.0, 7), out);
+  EXPECT_TRUE(out.empty());
+  EXPECT_EQ(service.running_jobs(), 0u);
+  EXPECT_EQ(service.stats().finished, 1u);
+  EXPECT_DOUBLE_EQ(service.now(), 500.0);
+}
+
+TEST(SvcService, TypedRejectionsLeaveStateUntouched) {
+  SchedulerService service((ServiceConfig()));
+  std::vector<Decision> out;
+  service.handle(submit(10.0, 1, 16, 100.0), out);
+  const std::size_t running = service.running_jobs();
+
+  // Duplicate id, bad sizes, bad estimate.
+  EXPECT_EQ(refusal(service, submit(11.0, 1, 8, 50.0)),
+            RejectCode::kDuplicateJob);
+  EXPECT_EQ(refusal(service, submit(11.0, 2, 0, 50.0)), RejectCode::kBadValue);
+  EXPECT_EQ(refusal(service, submit(11.0, 2, 129, 50.0)),
+            RejectCode::kBadValue);
+  EXPECT_EQ(refusal(service, submit(11.0, 2, 16, -1.0)), RejectCode::kBadValue);
+
+  // Unknown / not-running completes.
+  EXPECT_EQ(refusal(service, complete(12.0, 99)), RejectCode::kUnknownJob);
+
+  // Nodes outside the 4x4x8 machine; repair of a healthy node.
+  EXPECT_EQ(refusal(service, fail(12.0, -1)), RejectCode::kBadNode);
+  EXPECT_EQ(refusal(service, fail(12.0, 128)), RejectCode::kBadNode);
+  EXPECT_EQ(refusal(service, repair(12.0, 5)), RejectCode::kNodeState);
+
+  // Time running backwards (now_ ratcheted to 12.0 by the rejected events?
+  // No: rejections leave now_ at the last accepted event's time).
+  EXPECT_EQ(refusal(service, submit(9.0, 3, 16, 100.0)),
+            RejectCode::kTimeOrder);
+
+  // The machine state survived every refusal: the job is still running and
+  // a valid event still works.
+  EXPECT_EQ(service.running_jobs(), running);
+  out.clear();
+  service.handle(complete(20.0, 1), out);
+  EXPECT_EQ(service.stats().finished, 1u);
+}
+
+TEST(SvcService, EqualTimestampsAreAccepted) {
+  SchedulerService service((ServiceConfig()));
+  std::vector<Decision> out;
+  service.handle(submit(5.0, 1, 8, 100.0), out);
+  service.handle(submit(5.0, 2, 8, 100.0), out);  // same t: fine
+  EXPECT_EQ(service.stats().submitted, 2u);
+}
+
+TEST(SvcService, DownFailureKillsVictimAndRepairRestores) {
+  ServiceConfig config;
+  SchedulerService service(config);
+  std::vector<Decision> out;
+  // One job spanning the whole machine: any failed node is a victim.
+  service.handle(submit(0.0, 1, 128, 10000.0), out);
+  ASSERT_EQ(out.size(), 1u);
+  ASSERT_EQ(out[0].kind, DecisionKind::kStart);
+
+  out.clear();
+  service.handle(fail(100.0, 17, /*down=*/true), out);
+  ASSERT_FALSE(out.empty());
+  EXPECT_EQ(out[0].kind, DecisionKind::kKill);
+  EXPECT_EQ(out[0].job, 1u);
+  EXPECT_EQ(out[0].node, 17);
+  // Node 17 is down, so the 128-node job cannot restart yet.
+  const bool restarted =
+      std::any_of(out.begin(), out.end(), [](const Decision& d) {
+        return d.kind == DecisionKind::kStart;
+      });
+  EXPECT_FALSE(restarted);
+  EXPECT_EQ(service.waiting_jobs(), 1u);
+  EXPECT_EQ(service.usable_free_nodes(), 127);
+
+  out.clear();
+  service.handle(repair(200.0, 17), out);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].kind, DecisionKind::kStart);
+  EXPECT_EQ(out[0].job, 1u);
+  EXPECT_EQ(service.usable_free_nodes(), 0);
+  EXPECT_EQ(service.stats().kills, 1u);
+}
+
+TEST(SvcService, SessionRecoversFromMalformedLines) {
+  SchedulerService service((ServiceConfig()));
+  std::istringstream in(
+      "{\"type\":\"submit\",\"t\":0,\"job\":1,\"size\":8,\"estimate\":100}\n"
+      "this is not json\n"
+      "{\"type\":\"submit\",\"t\":1,\"job\":1,\"size\":8,\"estimate\":100}\n"
+      "{\"nope\":1}\n"
+      "{\"type\":\"warp\",\"t\":2}\n"
+      "\n"
+      "{\"type\":\"complete\",\"t\":50,\"job\":1}\n");
+  std::ostringstream out;
+  SessionOptions options;
+  options.flush_each = false;
+  const SessionStats stats = run_session(in, out, service, options);
+
+  EXPECT_EQ(stats.lines, 6u);  // blank line skipped
+  EXPECT_EQ(stats.accepted, 2u);
+  EXPECT_EQ(stats.rejected, 4u);
+  EXPECT_EQ(service.stats().finished, 1u);
+
+  // Reply stream: every line answered, errors carry line numbers + codes.
+  const std::string text = out.str();
+  EXPECT_NE(text.find("\"code\":\"parse\""), std::string::npos);
+  EXPECT_NE(text.find("\"code\":\"duplicate-job\""), std::string::npos);
+  EXPECT_NE(text.find("\"code\":\"unknown-type\""), std::string::npos);
+  EXPECT_NE(text.find("\"line\":2"), std::string::npos);
+  EXPECT_NE(text.find("\"type\":\"stats\""), std::string::npos);
+}
+
+/// Fuzz: corrupt a valid session stream in seeded random ways; the session
+/// loop must answer every line (ok or error) and never crash or stop early.
+TEST(SvcService, FuzzedCorruptionNeverCrashesTheSession) {
+  // A valid base session.
+  std::vector<std::string> base;
+  {
+    std::string line;
+    for (int j = 0; j < 10; ++j) {
+      line.clear();
+      append_event_line(line, submit(j * 10.0, j, 8 + 8 * (j % 3), 500.0));
+      base.push_back(line.substr(0, line.size() - 1));
+    }
+    for (int j = 0; j < 10; ++j) {
+      line.clear();
+      append_event_line(line, complete(1000.0 + j * 10.0, j));
+      base.push_back(line.substr(0, line.size() - 1));
+    }
+  }
+
+  Rng rng(0xfadedcafe);
+  for (int round = 0; round < 50; ++round) {
+    std::string stream;
+    for (const std::string& line : base) {
+      std::string mutated = line;
+      switch (rng.next_u64() % 6) {
+        case 0:  // truncate
+          mutated = mutated.substr(0, rng.next_u64() % (mutated.size() + 1));
+          break;
+        case 1: {  // flip one byte
+          const std::size_t i = rng.next_u64() % mutated.size();
+          mutated[i] = static_cast<char>(rng.next_u64() % 256);
+          break;
+        }
+        case 2:  // duplicate the line (duplicate-job / not-running errors)
+          mutated += "\n" + mutated;
+          break;
+        case 3:  // prepend garbage
+          mutated = "\x01\xff{]" + mutated;
+          break;
+        default:  // leave valid
+          break;
+      }
+      stream += mutated;
+      stream += '\n';
+    }
+    SchedulerService service((ServiceConfig()));
+    std::istringstream in(stream);
+    std::ostringstream out;
+    SessionOptions options;
+    options.flush_each = false;
+    options.stats_line = false;
+    const SessionStats stats = run_session(in, out, service, options);
+    EXPECT_EQ(stats.accepted + stats.rejected, stats.lines);
+    // Every consumed line produced a framing reply.
+    const std::string text = out.str();
+    std::size_t frames = 0;
+    for (std::size_t pos = 0; (pos = text.find("\"type\":\"", pos)) !=
+                              std::string::npos;
+         pos += 8) {
+      const std::string_view rest(text.data() + pos + 8, 8);
+      if (rest.substr(0, 2) == "ok" || rest.substr(0, 5) == "error") ++frames;
+    }
+    EXPECT_EQ(frames, stats.lines) << "round " << round;
+  }
+}
+
+TEST(SvcService, EmittedTracePassesStrictAudit) {
+  std::ostringstream trace_out;
+  obs::TraceSink sink(trace_out);
+  ServiceConfig config;
+  config.obs.trace = &sink;
+  SchedulerService service(config);
+
+  // Three size-32 jobs on the 128-node machine: all start on submit. A
+  // transient failure through job 2's partition forces a kill + restart.
+  std::vector<Decision> out;
+  service.handle(submit(0.0, 0, 32, 2000.0, 1000.0), out);
+  service.handle(submit(1.0, 1, 32, 2000.0, 1500.0), out);
+  service.handle(submit(2.0, 2, 128 - 64, 2000.0, 1800.0), out);
+  out.clear();
+  service.handle(fail(500.0, 100), out);  // hits *some* partition or none
+  // Retire everything that is still running; restart decisions re-arm jobs.
+  // Completes are issued from the service's own view to stay valid.
+  double t = 2500.0;
+  for (std::uint64_t j = 0; j < 3; ++j) {
+    std::vector<Decision> d;
+    try {
+      service.handle(complete(t, j), d);
+    } catch (const ProtocolError&) {
+      // Job was killed and is waiting: restart then complete.
+      service.handle(submit(t + 1.0, 100 + j, 1, 1.0), d);  // nudge a pass
+      std::vector<Decision> d2;
+      service.handle(complete(t + 2.0, 100 + j), d2);
+      service.handle(complete(t + 3.0, j), d2);
+    }
+    t += 10.0;
+  }
+  EXPECT_TRUE(service.finish_stream());
+  sink.flush();
+
+  std::istringstream trace_in(trace_out.str());
+  obs::AuditOptions audit;
+  audit.strict = true;
+  const obs::AuditReport report = obs::audit_trace(trace_in, audit);
+  EXPECT_TRUE(report.ok()) << [&] {
+    std::ostringstream s;
+    report.write_json(s);
+    return s.str();
+  }();
+  EXPECT_EQ(report.jobs, report.jobs);  // parsed
+}
+
+}  // namespace
+}  // namespace bgl::svc

@@ -1,0 +1,143 @@
+// Differential tests of the service-backed simulation path
+// (src/svc/sim_adapter.hpp): run_simulation_via_service must take literally
+// the same decisions as sim/driver's run_simulation — compared bitwise via
+// sim_result_checksum — for every scheduler × algorithm pairing and for the
+// clock-side feature variants (downtime semantics, queue orders, event
+// queues, checkpointing).
+#include "svc/sim_adapter.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "failure/generator.hpp"
+#include "sim/driver.hpp"
+#include "sim/metrics.hpp"
+#include "workload/synthetic.hpp"
+#include "workload/transform.hpp"
+
+namespace bgl {
+namespace {
+
+struct Inputs {
+  Workload workload;
+  FailureTrace trace;
+};
+
+const Inputs& small_inputs() {
+  static const Inputs in = [] {
+    SyntheticModel model = SyntheticModel::sdsc();
+    model.num_jobs = 350;
+    Inputs i;
+    i.workload = generate_workload(model, 91);
+    i.workload = rescale_sizes(i.workload, Dims::bluegene_l().volume());
+    const double span = i.workload.arrival_span() * 1.05 + 2.0 * 48.0 * 3600.0;
+    i.trace = generate_failures(FailureModel::bluegene_l(80, span), 91 ^ 0xfa17);
+    return i;
+  }();
+  return in;
+}
+
+void expect_parity(SimConfig config, const std::string& label) {
+  const Inputs& in = small_inputs();
+  const SimResult via_driver = run_simulation(in.workload, in.trace, config);
+  const SimResult via_service =
+      svc::run_simulation_via_service(in.workload, in.trace, config);
+  EXPECT_EQ(sim_result_checksum(via_driver), sim_result_checksum(via_service))
+      << label << ": driver {jobs " << via_driver.jobs_completed << ", util "
+      << via_driver.utilization << ", kills " << via_driver.job_kills
+      << "} vs service {jobs " << via_service.jobs_completed << ", util "
+      << via_service.utilization << ", kills " << via_service.job_kills << "}";
+  EXPECT_GT(via_driver.jobs_completed, 0u) << label;
+}
+
+TEST(SvcSimAdapter, ParityAcrossSchedulersAndAlgorithms) {
+  const SchedulerKind schedulers[] = {SchedulerKind::kKrevat,
+                                      SchedulerKind::kBalancing,
+                                      SchedulerKind::kTieBreak};
+  const SchedAlgorithm algorithms[] = {
+      SchedAlgorithm::kKrevat, SchedAlgorithm::kEasy,
+      SchedAlgorithm::kConservative, SchedAlgorithm::kEasyHoldback};
+  for (const SchedulerKind s : schedulers) {
+    for (const SchedAlgorithm a : algorithms) {
+      SimConfig config;
+      config.scheduler = s;
+      config.sched.algorithm = a;
+      config.alpha = 0.3;
+      config.seed = 17;
+      expect_parity(config, std::string(to_string(s)) + "/" + to_string(a));
+    }
+  }
+}
+
+TEST(SvcSimAdapter, ParityWithDowntimeSemantics) {
+  SimConfig config;
+  config.scheduler = SchedulerKind::kBalancing;
+  config.alpha = 0.1;
+  config.failure_semantics = FailureSemantics::kDownFor;
+  config.node_downtime = 4.0 * 3600.0;
+  expect_parity(config, "downfor");
+}
+
+TEST(SvcSimAdapter, ParityWithCheckpointing) {
+  SimConfig config;
+  config.scheduler = SchedulerKind::kKrevat;
+  config.ckpt.enabled = true;
+  config.ckpt.interval = 3600.0;
+  expect_parity(config, "checkpointing");
+}
+
+TEST(SvcSimAdapter, ParityAcrossQueueOrders) {
+  for (const QueueOrder order : {QueueOrder::kShortestJobFirst,
+                                 QueueOrder::kSmallestJobFirst}) {
+    SimConfig config;
+    config.scheduler = SchedulerKind::kKrevat;
+    config.queue_order = order;
+    expect_parity(config, std::string("queue-order ") + to_string(order));
+  }
+}
+
+TEST(SvcSimAdapter, ParityWithHeapEventQueueAndNoIndex) {
+  SimConfig config;
+  config.scheduler = SchedulerKind::kTieBreak;
+  config.alpha = 0.5;
+  config.event_queue = EventQueueKind::kHeap;
+  config.use_partition_index = false;
+  expect_parity(config, "heap+no-index");
+}
+
+TEST(SvcSimAdapter, ParityWithNoMigrationAndNoBackfill) {
+  SimConfig config;
+  config.scheduler = SchedulerKind::kBalancing;
+  config.alpha = 0.1;
+  config.sched.migration = false;
+  config.sched.backfill = BackfillMode::kNone;
+  expect_parity(config, "no-migration/no-backfill");
+}
+
+TEST(SvcSimAdapter, OutcomesAndReplayMatch) {
+  const Inputs& in = small_inputs();
+  SimConfig config;
+  config.scheduler = SchedulerKind::kKrevat;
+  config.collect_outcomes = true;
+  config.record_replay = true;
+  const SimResult a = run_simulation(in.workload, in.trace, config);
+  const SimResult b = svc::run_simulation_via_service(in.workload, in.trace, config);
+  ASSERT_EQ(a.outcomes.size(), b.outcomes.size());
+  for (std::size_t i = 0; i < a.outcomes.size(); ++i) {
+    EXPECT_EQ(a.outcomes[i].id, b.outcomes[i].id);
+    EXPECT_EQ(a.outcomes[i].finish, b.outcomes[i].finish);
+    EXPECT_EQ(a.outcomes[i].last_start, b.outcomes[i].last_start);
+    EXPECT_EQ(a.outcomes[i].restarts, b.outcomes[i].restarts);
+  }
+  ASSERT_EQ(a.replay.size(), b.replay.size());
+  for (std::size_t i = 0; i < a.replay.size(); ++i) {
+    EXPECT_EQ(a.replay[i].time, b.replay[i].time) << i;
+    EXPECT_EQ(a.replay[i].type, b.replay[i].type) << i;
+    EXPECT_EQ(a.replay[i].job_id, b.replay[i].job_id) << i;
+    EXPECT_EQ(a.replay[i].entry_index, b.replay[i].entry_index) << i;
+  }
+}
+
+}  // namespace
+}  // namespace bgl
