@@ -71,7 +71,8 @@ FigureDef make_scale() {
     Table table({"scheduler", "jobs", "wall_s", "jobs_per_s", "decisions",
                  "decisions_per_s", "p99_decision_us", "utilization"});
     std::ostringstream json;
-    json << "{\n  \"machine\": \"" << to_string(scale_machine_dims())
+    json << "{\n  \"schema_version\": 2,\n  \"stamp\": \"" << artifact_stamp()
+         << "\",\n  \"machine\": \"" << to_string(scale_machine_dims())
          << "\",\n  \"catalog\": \"blocks\",\n  \"schedulers\": {\n";
     const char* names[] = {"krevat", "balancing", "tie-break"};
     for (std::size_t si = 0; si < r.shape().schedulers; ++si) {

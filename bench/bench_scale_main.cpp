@@ -14,6 +14,9 @@
 //       per-decision allocation, full-width scans). The two SimResults must
 //       be identical — the optimizations are pure mechanism — and the
 //       optimized run must be at least kMinSpeedup x faster end to end.
+//       Both gated runs carry a null phase profiler (the zero-cost-when-
+//       detached assertion); a third run with the profiler attached must
+//       reproduce the same SimResult with a populated, drop-free tree.
 //       Exit status: 0 ok, 1 below the speedup gate, 2 results diverge.
 //
 //   bench_scale --emit-trace PATH [--jobs N]
@@ -31,6 +34,7 @@
 #include "common/figures.hpp"
 #include "des/event_queue.hpp"
 #include "obs/counters.hpp"
+#include "obs/profiler.hpp"
 #include "obs/trace.hpp"
 #include "util/strings.hpp"
 
@@ -144,6 +148,37 @@ int run_perf_smoke(int jobs) {
     std::printf("perf-smoke: FAIL — below the %.0fx gate\n", kMinSpeedup);
     return 1;
   }
+
+  // Phase-profiler gate. The two timed runs above carried a null profiler,
+  // so clearing the speedup gate doubles as the zero-cost-when-detached
+  // assertion for the instrumentation sites. Attaching the profiler must
+  // be pure observation: identical SimResult, spans recorded, none lost.
+  SimConfig profiled = smoke_config();
+  obs::PhaseProfiler profiler;
+  profiled.obs.profiler = &profiler;
+  const SimResult prof = timed_run(profiled, "optimized + phase profiler");
+  if (sim_result_checksum(prof) != opt_sum) {
+    std::printf(
+        "perf-smoke: FAIL — attaching the phase profiler changed a "
+        "scheduling decision (checksum %016llx vs %016llx)\n",
+        static_cast<unsigned long long>(sim_result_checksum(prof)),
+        static_cast<unsigned long long>(opt_sum));
+    return 2;
+  }
+  if (profiler.empty() || profiler.dropped_spans() != 0) {
+    std::printf("perf-smoke: FAIL — profiler recorded %zu nodes, dropped "
+                "%llu spans (want a populated tree with zero drops)\n",
+                profiler.num_nodes(),
+                static_cast<unsigned long long>(profiler.dropped_spans()));
+    return 2;
+  }
+  std::printf(
+      "perf-smoke: profiler attached: %.3f s (%.2fx of the detached run), "
+      "%zu tree nodes, 0 dropped spans\n",
+      prof.wall_seconds,
+      opt.wall_seconds > 0.0 ? prof.wall_seconds / opt.wall_seconds : 0.0,
+      profiler.num_nodes());
+
   std::printf("perf-smoke: PASS\n");
   return 0;
 }

@@ -125,6 +125,8 @@ void write_outputs(const FigureDef& figure, const FigureOutput& output,
     result.counters().write_json(stats);
     stats << ",\"histograms\":";
     result.histograms().write_json(stats);
+    stats << ",\"phases\":";
+    result.profiler().write_json(stats);
     stats << "}\n";
     out << "[stats] " << stats_path << "\n";
   } else {

@@ -35,6 +35,8 @@ struct Options {
   std::optional<std::string> trace_out;
   std::optional<std::string> stats_out;
   double snapshot_interval = 0.0;
+  double metrics_interval = 0.0;
+  bool profile = false;
 };
 
 inline long long require_int(const std::string& flag, const std::string& token) {
@@ -113,6 +115,13 @@ inline Options parse_cli_options(int argc, const char* const* argv) {
       if (o.snapshot_interval < 0.0) {
         throw bgl::ConfigError("--snapshot-interval must be >= 0");
       }
+    } else if (arg == "--metrics-interval") {
+      o.metrics_interval = require_double(arg, next());
+      if (o.metrics_interval < 0.0) {
+        throw bgl::ConfigError("--metrics-interval must be >= 0");
+      }
+    } else if (arg == "--profile") {
+      o.profile = true;
     } else if (arg == "--stats-out") {
       o.stats_out = next();
     } else {

@@ -24,8 +24,13 @@
 //                         streams it to stdout, human output to stderr
 //     --snapshot-interval S  with --trace-out: emit a machine_state event
 //                         every S simulated seconds (default off)
+//     --metrics-interval S   with --trace-out: emit a `metrics` telemetry
+//                         event every S simulated seconds (default off)
+//     --profile           attach the hierarchical phase profiler; the phase
+//                         tree lands in --stats-out under "phases"
 //     --stats-out PATH    write config + counters + histograms + result
-//                         metrics as JSON
+//                         metrics (and, with --profile, the phase tree)
+//                         as JSON
 #include <fstream>
 #include <iostream>
 #include <memory>
@@ -36,6 +41,7 @@
 #include "failure/generator.hpp"
 #include "obs/counters.hpp"
 #include "obs/histogram.hpp"
+#include "obs/profiler.hpp"
 #include "obs/trace.hpp"
 #include "sim/driver.hpp"
 #include "sim/experiment.hpp"
@@ -135,6 +141,7 @@ int main(int argc, char** argv) {
     // Observability: a JSONL trace, counters and histograms, all optional.
     obs::CounterRegistry counters;
     obs::HistogramRegistry histograms;
+    obs::PhaseProfiler profiler;
     std::unique_ptr<obs::TraceSink> sink;
     if (o.trace_out) {
       sink = trace_to_stdout ? std::make_unique<obs::TraceSink>(std::cout)
@@ -142,11 +149,13 @@ int main(int argc, char** argv) {
       sink->set_counters(&counters);
       config.obs.trace = sink.get();
       config.snapshot_interval = o.snapshot_interval;
+      config.metrics_interval = o.metrics_interval;
     }
     if (o.trace_out || o.stats_out) {
       config.obs.counters = &counters;
       config.obs.histograms = &histograms;
     }
+    if (o.profile) config.obs.profiler = &profiler;
 
     const SimResult r = run_simulation(workload, trace, config);
 
@@ -173,11 +182,17 @@ int main(int argc, char** argv) {
             << ",\"migration\":" << (config.sched.migration ? "true" : "false")
             << ",\"seed\":" << config.seed
             << ",\"snapshot_interval\":"
-            << format_double(config.snapshot_interval, 10) << "}";
+            << format_double(config.snapshot_interval, 10)
+            << ",\"metrics_interval\":"
+            << format_double(config.metrics_interval, 10) << "}";
       stats << ",\"observability\":";
       counters.write_json(stats);
       stats << ",\"histograms\":";
       histograms.write_json(stats);
+      if (o.profile) {
+        stats << ",\"phases\":";
+        profiler.write_json(stats);
+      }
       stats << ",\"result\":";
       write_result_json(stats, r);
       stats << "}\n";

@@ -19,6 +19,7 @@ struct UnitOutcome {
   std::size_t injected_events = 0;
   obs::CounterRegistry counters;
   obs::HistogramRegistry histograms;
+  obs::PhaseProfiler profiler;
 };
 
 /// One simulation, replicating the historical bench recipe exactly:
@@ -61,6 +62,7 @@ void run_unit(const SweepSpec& spec, const Cell& cell, int repeat,
   config.obs = obs::Observer{};
   config.obs.counters = &out.counters;
   config.obs.histograms = &out.histograms;
+  config.obs.profiler = &out.profiler;
 
   // The shared catalog is the default paper-scale torus one; cells that
   // deviate on any catalog-shaping axis (mesh topology, non-paper dims,
@@ -162,6 +164,7 @@ SweepResult SweepRunner::run(const SweepSpec& spec,
       s.work_lost_node_hours += o.result.work_lost_node_seconds / 3600.0;
       result.counters_.merge(o.counters);
       result.histograms_.merge(o.histograms);
+      result.profiler_.merge(o.profiler);
     }
     s.decision_p99_us =
         cell_hists.histogram(obs::Hist::kDecisionUs).quantile(0.99);

@@ -20,6 +20,7 @@
 #include "exp/sweep.hpp"
 #include "obs/counters.hpp"
 #include "obs/histogram.hpp"
+#include "obs/profiler.hpp"
 
 namespace bgl::exp {
 
@@ -57,6 +58,10 @@ class SweepResult {
   /// the sweep, merged in (cell, repeat) order.
   const obs::CounterRegistry& counters() const { return counters_; }
   const obs::HistogramRegistry& histograms() const { return histograms_; }
+  /// Phase tree over every simulation, merged in the same deterministic
+  /// order: span counts and tree structure are thread-count invariant
+  /// (wall times are host noise).
+  const obs::PhaseProfiler& profiler() const { return profiler_; }
 
  private:
   friend class SweepRunner;
@@ -64,6 +69,7 @@ class SweepResult {
   std::vector<PointSummary> cells_;
   obs::CounterRegistry counters_;
   obs::HistogramRegistry histograms_;
+  obs::PhaseProfiler profiler_;
 };
 
 class SweepRunner {

@@ -36,6 +36,7 @@ const char* to_string(ViolationCode code) {
     case ViolationCode::kFieldMismatch: return "field_mismatch";
     case ViolationCode::kReservation: return "reservation";
     case ViolationCode::kSnapshotMismatch: return "snapshot_mismatch";
+    case ViolationCode::kMetricsMismatch: return "metrics_mismatch";
     case ViolationCode::kAggregateMismatch: return "aggregate_mismatch";
     case ViolationCode::kTruncated: return "truncated";
     case ViolationCode::kUnknownEvent: return "unknown_event";
@@ -257,6 +258,7 @@ class Auditor {
       case EventType::kMachineState:
         on_snapshot(MachineStateEvent::from(rec), line);
         break;
+      case EventType::kMetrics: on_metrics(MetricsEvent::from(rec), line); break;
       case EventType::kSimEnd: on_sim_end(SimEndEvent::from(rec), line); break;
       case EventType::kUnknown:
         ++report_.unknown_events;
@@ -351,6 +353,7 @@ class Auditor {
     jobs_.emplace(e.job, j);
     ++report_.jobs;
     ++waiting_jobs_;
+    ++w_submits_;
     waiting_nodes_ += e.size;
     min_submit_ = std::min(min_submit_, e.t);
     useful_work_ += static_cast<double>(e.size) * e.runtime;
@@ -493,6 +496,7 @@ class Auditor {
     j->entry = e.entry;
     running_.push_back(e.job);
     --waiting_jobs_;
+    ++w_starts_;
     waiting_nodes_ -= j->size;
   }
 
@@ -515,6 +519,7 @@ class Auditor {
     mig_t_ = e.t;
     mig_line_ = line;
     ++migrations_total_;
+    ++w_migrations_;
   }
 
   /// After a migration batch, every running job must again sit on a
@@ -665,6 +670,7 @@ class Auditor {
     ++waiting_jobs_;
     waiting_nodes_ += j->size;
     ++kills_total_;
+    ++w_kills_;
     work_lost_total_ += e.work_lost;
   }
 
@@ -707,6 +713,7 @@ class Auditor {
     j->phase = JobAudit::Phase::kDone;
     running_.erase(std::find(running_.begin(), running_.end(), e.job));
     ++finished_;
+    ++w_finishes_;
     wait_sum_ += e.wait;
     response_sum_ += e.response;
     slowdown_sum_ += e.bounded_slowdown;
@@ -775,6 +782,108 @@ class Auditor {
               std::to_string(e.down_nodes) + " mfp=" + std::to_string(e.mfp) +
               " but reconstruction has " + got);
     }
+  }
+
+  /// `metrics` events carry the same reconstructible gauges as machine_state
+  /// (queue/running/busy/down) plus windowed rates; everything except the
+  /// wall-clock decision_us_* quantiles is re-derived from the event stream.
+  void on_metrics(const MetricsEvent& e, std::size_t line) {
+    auto mm = [&](bool ok, const std::string& what) {
+      if (!ok) add(ViolationCode::kMetricsMismatch, line, -1, what);
+    };
+    mm(e.queue_depth == waiting_jobs_ && e.queued_nodes == waiting_nodes_,
+       "queue_depth=" + std::to_string(e.queue_depth) + "/queued_nodes=" +
+           std::to_string(e.queued_nodes) + " but reconstruction has " +
+           std::to_string(waiting_jobs_) + "/" + std::to_string(waiting_nodes_));
+    mm(e.running_jobs == static_cast<int>(running_.size()),
+       "running_jobs=" + std::to_string(e.running_jobs) +
+           " but reconstruction has " + std::to_string(running_.size()));
+
+    // Window deltas: the emitters count events with the same emit-before-
+    // the-event discipline the stream itself is written in, so stream-order
+    // counting matches exactly.
+    mm(e.submits == w_submits_ && e.starts == w_starts_ &&
+           e.finishes == w_finishes_ && e.kills == w_kills_ &&
+           e.migrations == w_migrations_,
+       "window deltas submits/starts/finishes/kills/migrations=" +
+           std::to_string(e.submits) + "/" + std::to_string(e.starts) + "/" +
+           std::to_string(e.finishes) + "/" + std::to_string(e.kills) + "/" +
+           std::to_string(e.migrations) + " but stream has " +
+           std::to_string(w_submits_) + "/" + std::to_string(w_starts_) + "/" +
+           std::to_string(w_finishes_) + "/" + std::to_string(w_kills_) + "/" +
+           std::to_string(w_migrations_));
+
+    if (last_metrics_t_) {
+      mm(near(e.interval, e.t - *last_metrics_t_, e.t),
+         "interval=" + fmt(e.interval) + " but previous metrics event was at " +
+             fmt(*last_metrics_t_));
+    } else {
+      mm(e.interval > 0.0, "first metrics event has interval <= 0");
+    }
+    if (e.interval > 0.0) {
+      mm(near(e.finished_per_hour,
+              static_cast<double>(e.finishes) * 3600.0 / e.interval,
+              e.finished_per_hour),
+         "finished_per_hour=" + fmt(e.finished_per_hour) + ", recomputed " +
+             fmt(static_cast<double>(e.finishes) * 3600.0 / e.interval));
+    }
+
+    if (begin_) {
+      mm(e.busy_nodes >= 0 && e.busy_nodes <= begin_->nodes,
+         "busy_nodes out of range");
+      const double expected_util =
+          static_cast<double>(e.busy_nodes) / static_cast<double>(begin_->nodes);
+      mm(near(e.utilization, expected_util),
+         "utilization=" + fmt(e.utilization) + " but busy/nodes=" +
+             fmt(expected_util));
+    }
+    if (catalog_ != nullptr) {
+      NodeSet occ(catalog_->num_nodes());
+      for (const std::int64_t id : running_) {
+        const NodeSet* m = entry_mask(jobs_.at(id).entry);
+        if (m != nullptr) occ |= *m;
+      }
+      mm(e.busy_nodes == occ.count(),
+         "busy_nodes=" + std::to_string(e.busy_nodes) +
+             " but running partitions cover " + std::to_string(occ.count()));
+      // Same two-sided boundary reading as machine_state: the snapshot may
+      // land exactly on a down-node expiry.
+      const double eps = 1e-6 + 1e-9 * std::abs(e.t);
+      bool down_ok = false;
+      for (const double boundary : {e.t + eps, e.t - eps}) {
+        int down = 0;
+        for (const double until : down_until_) {
+          if (until > boundary) ++down;
+        }
+        if (e.down_nodes == down) {
+          down_ok = true;
+          break;
+        }
+      }
+      mm(down_ok, "down_nodes=" + std::to_string(e.down_nodes) +
+                      " does not match the down-overlay reconstruction");
+    }
+
+    // Decision-latency fields are wall-clock (not reconstructable); enforce
+    // internal consistency only.
+    mm(e.decisions >= 0, "decisions < 0");
+    if (e.decisions == 0) {
+      mm(e.starts == 0 && e.migrations == 0,
+         "starts/migrations in a window with zero scheduler passes");
+      mm(e.decision_us_p50 == 0.0 && e.decision_us_p99 == 0.0 &&
+             e.decision_us_max == 0.0,
+         "decision_us quantiles nonzero with zero passes");
+    } else {
+      mm(e.decision_us_p50 >= 0.0 &&
+             e.decision_us_p50 <= e.decision_us_p99 + 1e-9 &&
+             e.decision_us_p99 <= e.decision_us_max + 1e-9,
+         "decision_us quantiles not ordered: p50=" + fmt(e.decision_us_p50) +
+             " p99=" + fmt(e.decision_us_p99) + " max=" +
+             fmt(e.decision_us_max));
+    }
+
+    last_metrics_t_ = e.t;
+    w_submits_ = w_starts_ = w_finishes_ = w_kills_ = w_migrations_ = 0;
   }
 
   void on_sim_end(const SimEndEvent& e, std::size_t line) {
@@ -860,6 +969,14 @@ class Auditor {
   bool ended_ = false;
   bool have_t_ = false;
   double last_t_ = 0.0;
+
+  // Windowed event counts since the last `metrics` event (reset there).
+  std::int64_t w_submits_ = 0;
+  std::int64_t w_starts_ = 0;
+  std::int64_t w_finishes_ = 0;
+  std::int64_t w_kills_ = 0;
+  std::int64_t w_migrations_ = 0;
+  std::optional<double> last_metrics_t_;
 
   std::int64_t finished_ = 0;
   std::int64_t kills_total_ = 0;

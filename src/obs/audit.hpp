@@ -20,6 +20,12 @@
 //                      each on a partition containing the failed node
 //   snapshots          machine_state queue/running/free/mfp/frag consistent
 //                      with the reconstructed machine state
+//   metrics            periodic metrics snapshots: gauges match the
+//                      reconstruction, window deltas match the events seen
+//                      since the previous metrics event, derived rates
+//                      (utilization, finished_per_hour, interval) recompute;
+//                      only the wall-clock decision_us_* quantiles are
+//                      exempt (ordering-sanity-checked instead)
 //   aggregates         sim_end matches values recomputed from the stream
 //   reservations       when sim_begin declares a reservation-carrying
 //                      algorithm (easy/conservative/easy-holdback), every
@@ -55,6 +61,7 @@ enum class ViolationCode {
   kFieldMismatch,     ///< Event field disagrees with reconstructed state.
   kReservation,       ///< Backfill reservation invariant broken (see below).
   kSnapshotMismatch,  ///< machine_state disagrees with reconstruction.
+  kMetricsMismatch,   ///< metrics snapshot disagrees with reconstruction.
   kAggregateMismatch, ///< sim_end aggregate != recomputed value.
   kTruncated,         ///< Trace ends without sim_end / unfinished jobs.
   kUnknownEvent,      ///< Unknown event type (violation in strict mode).

@@ -13,14 +13,17 @@ namespace bgl::obs {
 class TraceSink;
 class CounterRegistry;
 class HistogramRegistry;
+class PhaseProfiler;
 
 struct Observer {
   TraceSink* trace = nullptr;
   CounterRegistry* counters = nullptr;
   HistogramRegistry* histograms = nullptr;
+  PhaseProfiler* profiler = nullptr;
 
   bool enabled() const {
-    return trace != nullptr || counters != nullptr || histograms != nullptr;
+    return trace != nullptr || counters != nullptr || histograms != nullptr ||
+           profiler != nullptr;
   }
 };
 

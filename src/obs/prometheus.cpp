@@ -1,0 +1,111 @@
+#include "obs/prometheus.hpp"
+
+#include "obs/counters.hpp"
+#include "obs/histogram.hpp"
+#include "obs/profiler.hpp"
+#include "obs/trace.hpp"
+
+namespace bgl::obs {
+
+std::string prometheus_metric_name(std::string_view dotted) {
+  std::string name = "bgl_";
+  name.reserve(dotted.size() + 4);
+  for (const char c : dotted) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_';
+    name += ok ? c : '_';
+  }
+  return name;
+}
+
+namespace {
+
+/// Label values escape backslash, double quote and newline (the exposition
+/// format's only escapes).
+void append_label_value(std::string& out, std::string_view value) {
+  for (const char c : value) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      default: out += c;
+    }
+  }
+}
+
+void append_sample(std::string& out, std::string_view name, double value) {
+  out += name;
+  out += ' ';
+  append_json_double(out, value);
+  out += '\n';
+}
+
+void render_counters(std::string& out, const CounterRegistry& counters) {
+  for (std::size_t i = 0; i < kNumCounters; ++i) {
+    const auto c = static_cast<Counter>(i);
+    const std::string name = prometheus_metric_name(counter_name(c)) + "_total";
+    out += "# TYPE " + name + " counter\n";
+    out += name + " " + std::to_string(counters.value(c)) + "\n";
+  }
+}
+
+void render_histograms(std::string& out, const HistogramRegistry& histograms) {
+  for (std::size_t i = 0; i < kNumHists; ++i) {
+    const auto h = static_cast<Hist>(i);
+    const LogHistogram& hist = histograms.histogram(h);
+    const std::string name = prometheus_metric_name(histogram_name(h));
+    out += "# TYPE " + name + " summary\n";
+    if (hist.count() > 0) {
+      for (const double q : {0.5, 0.9, 0.99}) {
+        out += name + "{quantile=\"";
+        append_json_double(out, q);
+        out += "\"} ";
+        append_json_double(out, hist.quantile(q));
+        out += '\n';
+      }
+    }
+    append_sample(out, name + "_sum",
+                  hist.mean() * static_cast<double>(hist.count()));
+    out += name + "_count " + std::to_string(hist.count()) + "\n";
+  }
+}
+
+void render_phases(std::string& out, const PhaseProfiler& profiler) {
+  out += "# TYPE bgl_phase_spans_total counter\n";
+  out += "# TYPE bgl_phase_seconds_total counter\n";
+  out += "# TYPE bgl_phase_self_seconds_total counter\n";
+  for (std::size_t i = 0; i < profiler.num_nodes(); ++i) {
+    const PhaseProfiler::NodeView node = profiler.node_view(i);
+    const auto labeled = [&](const char* family, double value) {
+      out += family;
+      out += "{path=\"";
+      append_label_value(out, node.path);
+      out += "\"} ";
+      append_json_double(out, value);
+      out += '\n';
+    };
+    labeled("bgl_phase_spans_total", static_cast<double>(node.count));
+    labeled("bgl_phase_seconds_total",
+            static_cast<double>(node.total_ns) * 1e-9);
+    labeled("bgl_phase_self_seconds_total",
+            static_cast<double>(node.self_ns) * 1e-9);
+  }
+}
+
+}  // namespace
+
+void prometheus_render(std::string& out, const CounterRegistry* counters,
+                       const HistogramRegistry* histograms,
+                       const PhaseProfiler* profiler, const GaugeList& gauges) {
+  if (counters != nullptr) render_counters(out, *counters);
+  if (histograms != nullptr) render_histograms(out, *histograms);
+  if (profiler != nullptr) render_phases(out, *profiler);
+  for (const auto& [name, value] : gauges) {
+    const std::string metric = prometheus_metric_name(name);
+    out += "# TYPE " + metric + " gauge\n";
+    append_sample(out, metric, value);
+  }
+  out += "# EOF\n";
+}
+
+}  // namespace bgl::obs

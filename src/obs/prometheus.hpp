@@ -1,0 +1,45 @@
+// Prometheus text-format exposition over the observability registries.
+//
+// prometheus_render() turns the counter registry, histogram registry, phase
+// profiler and an optional list of instantaneous gauges into the Prometheus
+// text exposition format (version 0.0.4): every metric family is preceded by
+// one `# TYPE` line, counters carry the conventional `_total` suffix,
+// histograms are exposed as summaries (p50/p90/p99 quantile labels plus
+// `_sum`/`_count`), and phase-tree nodes become one sample per tree path
+// under three families (`bgl_phase_spans_total`, `bgl_phase_seconds_total`,
+// `bgl_phase_self_seconds_total`). Dotted registry names map to metric
+// names by prefixing `bgl_` and replacing every non-alphanumeric byte with
+// '_' ("sched.decision_us" -> "bgl_sched_decision_us").
+//
+// docs/OBSERVABILITY.md ("Prometheus exposition") is the rendered contract;
+// tools/sched_server serves this text on --metrics-socket.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace bgl::obs {
+
+class CounterRegistry;
+class HistogramRegistry;
+class PhaseProfiler;
+
+/// One instantaneous gauge: (dotted name, value), e.g. {"svc.queue_depth", 4}.
+using GaugeList = std::vector<std::pair<std::string, double>>;
+
+/// Sanitized Prometheus metric name for a dotted registry name (adds the
+/// "bgl_" prefix, maps every byte outside [a-zA-Z0-9_] to '_').
+std::string prometheus_metric_name(std::string_view dotted);
+
+/// Append the full exposition to `out`. Null registries are skipped; empty
+/// histograms render `_sum`/`_count` only (a summary with no observations
+/// has no quantile samples). The output always ends with "# EOF\n" so
+/// scrapers can detect truncation.
+void prometheus_render(std::string& out, const CounterRegistry* counters,
+                       const HistogramRegistry* histograms,
+                       const PhaseProfiler* profiler,
+                       const GaugeList& gauges = {});
+
+}  // namespace bgl::obs

@@ -20,6 +20,7 @@ EventType event_type_from(std::string_view name) {
   if (name == "checkpoint") return EventType::kCheckpoint;
   if (name == "job_finish") return EventType::kJobFinish;
   if (name == "machine_state") return EventType::kMachineState;
+  if (name == "metrics") return EventType::kMetrics;
   if (name == "sim_end") return EventType::kSimEnd;
   return EventType::kUnknown;
 }
@@ -37,6 +38,7 @@ const char* to_string(EventType type) {
     case EventType::kCheckpoint: return "checkpoint";
     case EventType::kJobFinish: return "job_finish";
     case EventType::kMachineState: return "machine_state";
+    case EventType::kMetrics: return "metrics";
     case EventType::kSimEnd: return "sim_end";
     case EventType::kUnknown: break;
   }
@@ -445,6 +447,29 @@ MachineStateEvent MachineStateEvent::from(const TraceRecord& r) {
   e.mfp = static_cast<int>(r.require_int("mfp"));
   e.frag = r.require_num("frag");
   e.flagged_nodes = static_cast<int>(r.require_int("flagged_nodes"));
+  return e;
+}
+
+MetricsEvent MetricsEvent::from(const TraceRecord& r) {
+  MetricsEvent e;
+  e.t = r.t();
+  e.queue_depth = static_cast<int>(r.require_int("queue_depth"));
+  e.queued_nodes = static_cast<int>(r.require_int("queued_nodes"));
+  e.running_jobs = static_cast<int>(r.require_int("running_jobs"));
+  e.busy_nodes = static_cast<int>(r.require_int("busy_nodes"));
+  e.down_nodes = static_cast<int>(r.require_int("down_nodes"));
+  e.utilization = r.require_num("utilization");
+  e.interval = r.require_num("interval");
+  e.submits = r.require_int("submits");
+  e.starts = r.require_int("starts");
+  e.finishes = r.require_int("finishes");
+  e.kills = r.require_int("kills");
+  e.migrations = r.require_int("migrations");
+  e.finished_per_hour = r.require_num("finished_per_hour");
+  e.decisions = r.require_int("decisions");
+  e.decision_us_p50 = r.require_num("decision_us_p50");
+  e.decision_us_p99 = r.require_num("decision_us_p99");
+  e.decision_us_max = r.require_num("decision_us_max");
   return e;
 }
 

@@ -40,6 +40,7 @@ enum class EventType {
   kCheckpoint,
   kJobFinish,
   kMachineState,
+  kMetrics,
   kSimEnd,
   kUnknown,
 };
@@ -246,6 +247,36 @@ struct MachineStateEvent {
   double frag = 0.0;      ///< 1 - mfp/free_nodes (0 when free_nodes == 0).
   int flagged_nodes = 0;  ///< Predictor flags for the next snapshot window.
   static MachineStateEvent from(const TraceRecord& r);
+};
+
+/// Periodic telemetry snapshot (docs/OBSERVABILITY.md, "metrics"): queue /
+/// occupancy gauges at t plus windowed rates since the previous metrics
+/// event. All fields except the decision_us_* quantiles (wall-clock, host-
+/// dependent) are re-derived and cross-checked by the auditor.
+struct MetricsEvent {
+  double t = 0.0;
+  int queue_depth = 0;     ///< Waiting jobs.
+  int queued_nodes = 0;    ///< Nodes requested by waiting jobs (Σ s_j).
+  int running_jobs = 0;
+  int busy_nodes = 0;      ///< Nodes held by running jobs (down excluded).
+  int down_nodes = 0;
+  double utilization = 0.0;  ///< busy_nodes / machine nodes.
+  double interval = 0.0;     ///< Seconds since the previous metrics event.
+  // Event counts within the interval.
+  std::int64_t submits = 0;
+  std::int64_t starts = 0;
+  std::int64_t finishes = 0;
+  std::int64_t kills = 0;
+  std::int64_t migrations = 0;
+  double finished_per_hour = 0.0;  ///< finishes * 3600 / interval.
+  /// Scheduler passes within the interval; the decision_us_* quantiles are
+  /// nearest-rank over the window's per-pass wall latencies (LatencyRing) —
+  /// the only non-reconstructable (wall-clock) fields besides wall_us.
+  std::int64_t decisions = 0;
+  double decision_us_p50 = 0.0;
+  double decision_us_p99 = 0.0;
+  double decision_us_max = 0.0;
+  static MetricsEvent from(const TraceRecord& r);
 };
 
 struct SimEndEvent {

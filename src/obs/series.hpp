@@ -1,0 +1,75 @@
+// Ring-buffer time series for windowed snapshot statistics.
+//
+// The log histograms are cumulative over a whole run; the periodic `metrics`
+// trace event instead reports decision-latency quantiles *over the interval
+// since the last snapshot*. LatencyRing keeps the last kCapacity samples in
+// a fixed buffer (allocated once at construction, never on the hot path) and
+// answers exact nearest-rank quantiles over its current contents at emission
+// time; the emitter clears it after each snapshot so the window restarts.
+// Header-only: the whole class is a thin wrapper over two vectors.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace bgl::obs {
+
+class LatencyRing {
+ public:
+  explicit LatencyRing(std::size_t capacity = 4096)
+      : buf_(capacity), scratch_(capacity) {}
+
+  /// Record one sample; beyond capacity the oldest sample is overwritten
+  /// (the window stays the most recent kCapacity observations).
+  void add(double value) {
+    buf_[next_] = value;
+    next_ = (next_ + 1) % buf_.size();
+    if (size_ < buf_.size()) ++size_;
+    ++added_;
+  }
+
+  void clear() {
+    next_ = 0;
+    size_ = 0;
+    added_ = 0;
+  }
+
+  std::size_t capacity() const { return buf_.size(); }
+  /// Samples currently held (<= capacity).
+  std::size_t size() const { return size_; }
+  /// Samples added since the last clear() (can exceed capacity).
+  std::uint64_t added() const { return added_; }
+
+  double max() const {
+    double m = 0.0;
+    for (std::size_t i = 0; i < size_; ++i) m = std::max(m, buf_[i]);
+    return m;
+  }
+
+  /// Exact nearest-rank quantile (q in [0, 1]) over the held samples;
+  /// 0 when empty. O(n) via nth_element on a preallocated scratch copy.
+  double quantile(double q) const {
+    if (size_ == 0) return 0.0;
+    std::copy(buf_.begin(), buf_.begin() + static_cast<std::ptrdiff_t>(size_),
+              scratch_.begin());
+    std::size_t rank = static_cast<std::size_t>(
+        q * static_cast<double>(size_) + 0.5);
+    if (rank > 0) --rank;
+    if (rank >= size_) rank = size_ - 1;
+    const auto nth = scratch_.begin() + static_cast<std::ptrdiff_t>(rank);
+    std::nth_element(scratch_.begin(), nth,
+                     scratch_.begin() + static_cast<std::ptrdiff_t>(size_));
+    return *nth;
+  }
+
+ private:
+  std::vector<double> buf_;
+  mutable std::vector<double> scratch_;
+  std::size_t next_ = 0;
+  std::size_t size_ = 0;
+  std::uint64_t added_ = 0;
+};
+
+}  // namespace bgl::obs

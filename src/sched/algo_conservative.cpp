@@ -150,6 +150,7 @@ class ConservativeAlgorithm final : public ISchedulingAlgorithm {
       } else {
         // Backfill phase: admission must respect every reservation.
         if (!fillers_allowed || examined >= config.backfill_depth) break;
+        obs::ScopedPhase backfill_span(p.profiler(), obs::Phase::kBackfill);
         ++examined;
         const std::span<const int> candidates =
             p.free_candidates(job.alloc_size);
@@ -176,8 +177,14 @@ class ConservativeAlgorithm final : public ISchedulingAlgorithm {
       }
 
       // Blocked: grant this job its reservation, in queue order.
-      if (const auto slot =
-              reserve_against(p, job.alloc_size, job.estimate, profile)) {
+      // (reserve_against builds the full schedule profile itself rather
+      // than going through pass.reservation(), so the span is opened here.)
+      std::optional<ProfileSlot> slot;
+      {
+        obs::ScopedPhase res_span(p.profiler(), obs::Phase::kReservation);
+        slot = reserve_against(p, job.alloc_size, job.estimate, profile);
+      }
+      if (slot) {
         Reservation granted;
         granted.time = slot->start;
         granted.entry = slot->entry;

@@ -61,6 +61,7 @@ class EasyAlgorithm final : public ISchedulingAlgorithm {
     }
 
     // Phase 2: the blocked head holds the pass's single reservation.
+    obs::ScopedPhase backfill_span(p.profiler(), obs::Phase::kBackfill);
     const std::optional<Reservation> res =
         p.reservation(queue[head].alloc_size);
     if (!res) return;  // head can never fit: no safe backfilling

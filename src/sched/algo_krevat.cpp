@@ -52,6 +52,7 @@ class KrevatAlgorithm final : public ISchedulingAlgorithm {
 
       // Backfill behind the blocked head job.
       if (config.backfill != BackfillMode::kNone && config.backfill_depth > 0) {
+        obs::ScopedPhase backfill_span(p.profiler(), obs::Phase::kBackfill);
         // Reservations a filler must not delay. EASY: the head job only.
         // Conservative: the first reservation_depth waiting jobs; each
         // reservation is computed against the current running set, which

@@ -80,6 +80,7 @@ std::vector<Reservation>& SchedulingPass::reservation_scratch() {
 // s_->flagged (allocation-free in arena mode; the by-value call is the
 // reference behaviour, one fresh NodeSet per query).
 const NodeSet& SchedulingPass::query_predictor(const WaitingJob& job) {
+  obs::ScopedPhase span(obs_->profiler, obs::Phase::kPredict);
   if (config_->arena_scratch) {
     predictor_->flagged_nodes_into(s_->flagged, now_, now_ + job.estimate,
                                    job.id);
@@ -102,6 +103,7 @@ const NodeSet& SchedulingPass::query_predictor(const WaitingJob& job) {
 }
 
 std::span<const int> SchedulingPass::free_candidates(int alloc_size) {
+  obs::ScopedPhase span(obs_->profiler, obs::Phase::kEnumerate);
   BGL_CHECK(alloc_size > 0 && alloc_size <= catalog_->num_nodes(),
             "waiting job has invalid alloc size");
   candidates_.clear();
@@ -124,6 +126,7 @@ std::span<const int> SchedulingPass::free_candidates(int alloc_size) {
 
 void SchedulingPass::place(std::size_t q, std::span<const int> candidates,
                            bool backfill, const Reservation* res) {
+  obs::ScopedPhase span(obs_->profiler, obs::Phase::kPlace);
   const WaitingJob& job = (*queue_)[q];
   const NodeSet& flagged = query_predictor(job);
 
@@ -143,8 +146,11 @@ void SchedulingPass::place(std::size_t q, std::span<const int> candidates,
   ctx.arena = explain_arena_;
 
   PlacementExplain explain;
-  const int chosen =
-      policy_->choose(ctx, candidates, tracing_ ? &explain : nullptr);
+  int chosen;
+  {
+    obs::ScopedPhase score_span(obs_->profiler, obs::Phase::kScore);
+    chosen = policy_->choose(ctx, candidates, tracing_ ? &explain : nullptr);
+  }
 
   decision_->starts.push_back(Start{job.id, chosen});
   if (catalog_->entry(chosen).mask.intersects(flagged)) {
@@ -182,6 +188,7 @@ void SchedulingPass::place(std::size_t q, std::span<const int> candidates,
 
 bool SchedulingPass::try_migration(int alloc_size) {
   if (!config_->migration || migration_tried_ || s_->live.empty()) return false;
+  obs::ScopedPhase span(obs_->profiler, obs::Phase::kMigration);
   migration_tried_ = true;
   // Occupancy that does not belong to any live job — failed nodes still
   // inside their downtime window — must survive the compaction intact.
@@ -222,6 +229,7 @@ bool SchedulingPass::try_migration(int alloc_size) {
 }
 
 std::optional<Reservation> SchedulingPass::reservation(int alloc_size) const {
+  obs::ScopedPhase span(obs_->profiler, obs::Phase::kReservation);
   return compute_reservation(*catalog_, s_->occ, s_->live, alloc_size, now_,
                              explain_arena_);
 }

@@ -39,6 +39,7 @@
 #include <vector>
 
 #include "obs/observer.hpp"
+#include "obs/profiler.hpp"
 #include "predict/predictor.hpp"
 #include "sched/arena.hpp"
 #include "sched/backfill.hpp"
@@ -101,6 +102,12 @@ class SchedulingPass {
   /// Pooled reservation scratch (elements own heap masks, so it stays a
   /// std::vector reused across passes).
   std::vector<Reservation>& reservation_scratch();
+
+  /// The pass's phase profiler (null when profiling is off). Algorithms use
+  /// it to open the one span the engine cannot place for them — their own
+  /// backfill section (obs::Phase::kBackfill) — so enumerate/place/
+  /// reservation spans nest under it in the tree.
+  obs::PhaseProfiler* profiler() const { return obs_->profiler; }
 
   // --- actions ---
   /// Enumerate the free partitions of `alloc_size` into an internal scratch

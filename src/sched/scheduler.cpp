@@ -4,6 +4,7 @@
 
 #include "obs/counters.hpp"
 #include "obs/histogram.hpp"
+#include "obs/profiler.hpp"
 #include "sched/algorithm.hpp"
 #include "util/error.hpp"
 
@@ -47,6 +48,11 @@ SchedulingDecision Scheduler::schedule(double now, const std::vector<WaitingJob>
   if (obs_.counters != nullptr) {
     obs_.counters->add(obs::Counter::kSchedInvocations);
   }
+  // The sched.pass span opens after t_begin and closes before the elapsed
+  // read below, so its total is contained in sched.decision_ns — the
+  // tiling property the bench_scale acceptance check asserts.
+  obs::PhaseProfiler* const prof = obs_.profiler;
+  if (prof != nullptr) prof->begin(obs::Phase::kSchedPass);
 
   SchedulingDecision decision;
 
@@ -69,6 +75,7 @@ SchedulingDecision Scheduler::schedule(double now, const std::vector<WaitingJob>
   // shares the immutable CSR layout, so this is a ~40 KB copy, not a build.
   FreePartitionIndex* idx = nullptr;
   if (index != nullptr) {
+    obs::ScopedPhase sync_span(prof, obs::Phase::kIndexSync);
     BGL_CHECK(index->occupied() == occupied,
               "free-partition index out of sync with occupancy");
     if (scratch_index_ == nullptr) {
@@ -86,6 +93,7 @@ SchedulingDecision Scheduler::schedule(double now, const std::vector<WaitingJob>
                       queue, s, arena, idx, decision);
   algorithm_->run(pass);
 
+  if (prof != nullptr) prof->end();
   if (obs_.counters != nullptr) {
     obs_.counters->add(obs::Counter::kSchedMigrations,
                        static_cast<std::uint64_t>(decision.migrations.size()));

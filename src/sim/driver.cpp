@@ -8,6 +8,8 @@
 #include "des/event_queue.hpp"
 #include "obs/counters.hpp"
 #include "obs/histogram.hpp"
+#include "obs/profiler.hpp"
+#include "obs/series.hpp"
 #include "obs/trace.hpp"
 #include "predict/predictor.hpp"
 #include "sim/replay.hpp"
@@ -84,7 +86,11 @@ class Driver {
         down_until_(static_cast<std::size_t>(config.dims.volume()), 0.0),
         tr_(config.obs.trace),
         ct_(config.obs.counters),
-        hg_(config.obs.histograms) {
+        hg_(config.obs.histograms),
+        pf_(config.obs.profiler) {
+    if (tr_ != nullptr && config_.metrics_interval > 0.0) {
+      decision_ring_ = std::make_unique<obs::LatencyRing>();
+    }
     if (config_.use_partition_index) {
       index_ = std::make_unique<FreePartitionIndex>(*catalog_);
     }
@@ -107,6 +113,8 @@ class Driver {
   void kill_job(std::size_t index, double now);
   void finish_job(std::size_t index, double now);
   void emit_snapshots_until(double horizon);
+  void emit_machine_state(double t);
+  void emit_metrics(double t);
   NodeSet scheduling_occupancy() const;
   int usable_free_nodes() const;
 
@@ -162,7 +170,23 @@ class Driver {
   obs::TraceSink* tr_;               ///< Borrowed; null when tracing is off.
   obs::CounterRegistry* ct_;         ///< Borrowed; null when counting is off.
   obs::HistogramRegistry* hg_;       ///< Borrowed; null when histograms off.
+  obs::PhaseProfiler* pf_;           ///< Borrowed; null when profiling is off.
   double next_snapshot_ = 0.0;       ///< Next machine_state time; 0 = off.
+
+  // `metrics` emission state: the next boundary (0 = off), the previous
+  // emission time (first interval = metrics_interval), the window's event
+  // counts — incremented exactly where the corresponding trace lines are
+  // written, so stream-order reconstruction (trace_audit) matches — and the
+  // wall-clock latency of every scheduler pass in the window.
+  double next_metrics_ = 0.0;
+  double last_metrics_t_ = 0.0;
+  std::int64_t m_submits_ = 0;
+  std::int64_t m_starts_ = 0;
+  std::int64_t m_finishes_ = 0;
+  std::int64_t m_kills_ = 0;
+  std::int64_t m_migrations_ = 0;
+  std::int64_t m_decisions_ = 0;
+  std::unique_ptr<obs::LatencyRing> decision_ring_;  ///< Null = metrics off.
 };
 
 void Driver::build_jobs(const Workload& workload) {
@@ -296,8 +320,18 @@ void Driver::invoke_scheduler(double now) {
   }
 
   const NodeSet occ = scheduling_occupancy();
+  // Wall-clock pass latency feeds the metrics window (p50/p99/max per
+  // interval); the clock is read only when metrics emission is on.
+  std::chrono::steady_clock::time_point m_begin;
+  if (decision_ring_ != nullptr) m_begin = std::chrono::steady_clock::now();
   const SchedulingDecision decision =
       scheduler_->schedule(now, waiting, running, occ, index_.get());
+  ++m_decisions_;
+  if (decision_ring_ != nullptr) {
+    const std::chrono::duration<double, std::micro> us =
+        std::chrono::steady_clock::now() - m_begin;
+    decision_ring_->add(us.count());
+  }
 
   if (tr_ != nullptr) {
     for (const PredictorQueryRecord& q : decision.predictor_queries) {
@@ -324,6 +358,7 @@ void Driver::invoke_scheduler(double now) {
     JobState& s = jobs_[static_cast<std::size_t>(m.id)];
     s.entry_index = m.to_entry;
     ++result_.migrations;
+    ++m_migrations_;
     if (config_.record_replay) {
       result_.replay.push_back(ReplayEvent{now, ReplayEventType::kMigration,
                                            s.job.id, -1, m.to_entry});
@@ -362,6 +397,7 @@ void Driver::invoke_scheduler(double now) {
     s.last_start = now;
     if (s.first_start < 0.0) s.first_start = now;
     running_.push_back(idx);
+    ++m_starts_;
 
     const double wall = walltime_for_work(s.remaining_work, config_.ckpt);
     ++s.gen;
@@ -438,6 +474,7 @@ void Driver::kill_job(std::size_t index, double now) {
   ++s.gen;  // invalidate the in-flight finish event
   ++s.restarts;
   ++result_.job_kills;
+  ++m_kills_;
   if (now <= s.last_start + s.job.estimate + 1e-9) ++result_.avoidable_kills;
   if (config_.record_replay) {
     result_.replay.push_back(ReplayEvent{now, ReplayEventType::kKill, s.job.id, -1,
@@ -495,6 +532,7 @@ void Driver::finish_job(std::size_t index, double now) {
   *rpos = running_.back();
   running_.pop_back();
   ++jobs_done_;
+  ++m_finishes_;
 
   JobOutcome outcome;
   outcome.id = s.job.id;
@@ -530,39 +568,99 @@ void Driver::finish_job(std::size_t index, double now) {
   }
 }
 
-/// Emit machine_state snapshots for every interval boundary that has passed
-/// before `horizon` (the next event's time). Called at the top of the event
-/// loop, so each snapshot reflects the state the machine held across its
-/// timestamp. Gated on next_snapshot_ > 0, so a run without snapshots pays
-/// one comparison per event and nothing else.
+/// Emit machine_state and metrics events for every interval boundary that
+/// has passed before `horizon` (the next event's time). Called at the top of
+/// the event loop, so each snapshot reflects the state the machine held
+/// across its timestamp. The two cadences are independent; boundaries are
+/// drained in time order, machine_state first on ties. Gated on the next_*
+/// cursors, so a run without either pays two comparisons per event.
 void Driver::emit_snapshots_until(double horizon) {
-  while (next_snapshot_ > 0.0 && next_snapshot_ <= horizon) {
-    const double t = next_snapshot_;
-    next_snapshot_ += config_.snapshot_interval;
-
-    int queued_nodes = 0;
-    for (const std::size_t idx : queue_) queued_nodes += jobs_[idx].job.size;
-    const NodeSet occ = scheduling_occupancy();
-    const int mfp = index_ != nullptr ? index_->mfp() : catalog_->mfp(occ);
-    const int free = usable_free_nodes();
-    const double frag =
-        free > 0 ? 1.0 - static_cast<double>(mfp) / static_cast<double>(free)
-                 : 0.0;
-    // Predictors are const and deterministic per (window, key); an extra
-    // query cannot perturb later scheduling decisions.
-    const int flagged =
-        predictor_->flagged_nodes(t, t + config_.snapshot_interval, 0).count();
-
-    tr_->event("machine_state", t)
-        .field("queue_depth", static_cast<std::int64_t>(queue_.size()))
-        .field("queued_nodes", queued_nodes)
-        .field("running_jobs", static_cast<std::int64_t>(running_.size()))
-        .field("free_nodes", free)
-        .field("down_nodes", down_.count())
-        .field("mfp", mfp)
-        .field("frag", frag)
-        .field("flagged_nodes", flagged);
+  while (true) {
+    const bool snap_due = next_snapshot_ > 0.0 && next_snapshot_ <= horizon;
+    const bool metrics_due = next_metrics_ > 0.0 && next_metrics_ <= horizon;
+    if (!snap_due && !metrics_due) break;
+    if (snap_due && (!metrics_due || next_snapshot_ <= next_metrics_)) {
+      const double t = next_snapshot_;
+      next_snapshot_ += config_.snapshot_interval;
+      emit_machine_state(t);
+    } else {
+      const double t = next_metrics_;
+      next_metrics_ += config_.metrics_interval;
+      emit_metrics(t);
+    }
   }
+}
+
+void Driver::emit_machine_state(double t) {
+  int queued_nodes = 0;
+  for (const std::size_t idx : queue_) queued_nodes += jobs_[idx].job.size;
+  const NodeSet occ = scheduling_occupancy();
+  const int mfp = index_ != nullptr ? index_->mfp() : catalog_->mfp(occ);
+  const int free = usable_free_nodes();
+  const double frag =
+      free > 0 ? 1.0 - static_cast<double>(mfp) / static_cast<double>(free)
+               : 0.0;
+  // Predictors are const and deterministic per (window, key); an extra
+  // query cannot perturb later scheduling decisions.
+  const int flagged =
+      predictor_->flagged_nodes(t, t + config_.snapshot_interval, 0).count();
+
+  tr_->event("machine_state", t)
+      .field("queue_depth", static_cast<std::int64_t>(queue_.size()))
+      .field("queued_nodes", queued_nodes)
+      .field("running_jobs", static_cast<std::int64_t>(running_.size()))
+      .field("free_nodes", free)
+      .field("down_nodes", down_.count())
+      .field("mfp", mfp)
+      .field("frag", frag)
+      .field("flagged_nodes", flagged);
+}
+
+void Driver::emit_metrics(double t) {
+  int queued_nodes = 0;
+  for (const std::size_t idx : queue_) queued_nodes += jobs_[idx].job.size;
+  // busy = nodes held by running jobs: exactly the union of live allocation
+  // masks (down nodes sit in a separate overlay), which is what the auditor
+  // recomputes from the stream.
+  const int busy = torus_.occupied().count();
+  const int nodes = catalog_->num_nodes();
+  const double interval = t - last_metrics_t_;
+  const std::int64_t window_decisions = m_decisions_;
+  double p50 = 0.0, p99 = 0.0, max_us = 0.0;
+  if (decision_ring_ != nullptr && decision_ring_->size() > 0) {
+    p50 = decision_ring_->quantile(0.5);
+    p99 = decision_ring_->quantile(0.99);
+    max_us = decision_ring_->max();
+  }
+
+  tr_->event("metrics", t)
+      .field("queue_depth", static_cast<std::int64_t>(queue_.size()))
+      .field("queued_nodes", queued_nodes)
+      .field("running_jobs", static_cast<std::int64_t>(running_.size()))
+      .field("busy_nodes", busy)
+      .field("down_nodes", down_.count())
+      .field("utilization",
+             nodes > 0 ? static_cast<double>(busy) / static_cast<double>(nodes)
+                       : 0.0)
+      .field("interval", interval)
+      .field("submits", m_submits_)
+      .field("starts", m_starts_)
+      .field("finishes", m_finishes_)
+      .field("kills", m_kills_)
+      .field("migrations", m_migrations_)
+      .field("finished_per_hour",
+             interval > 0.0
+                 ? static_cast<double>(m_finishes_) * 3600.0 / interval
+                 : 0.0)
+      .field("decisions", window_decisions)
+      .field("decision_us_p50", p50)
+      .field("decision_us_p99", p99)
+      .field("decision_us_max", max_us);
+
+  last_metrics_t_ = t;
+  m_submits_ = m_starts_ = m_finishes_ = m_kills_ = m_migrations_ = 0;
+  m_decisions_ = 0;
+  if (decision_ring_ != nullptr) decision_ring_->clear();
 }
 
 SimResult Driver::run() {
@@ -611,11 +709,18 @@ SimResult Driver::run() {
       next_snapshot_ =
           std::min(first_event, min_arrival_) + config_.snapshot_interval;
     }
+    if (config_.metrics_interval > 0.0) {
+      last_metrics_t_ = std::min(first_event, min_arrival_);
+      next_metrics_ = last_metrics_t_ + config_.metrics_interval;
+    }
   }
 
   while (!events_.empty() && jobs_done_ < jobs_.size()) {
     const Event e = events_.pop();
     emit_snapshots_until(e.time);
+    // One des.event span per dispatched event; scheduler passes triggered by
+    // the event (sched.pass and its subtree) nest under it.
+    obs::ScopedPhase des_span(pf_, obs::Phase::kDesEvent);
     if (ct_ != nullptr) ct_->add(obs::Counter::kDriverEvents);
     // Failure events may precede the first arrival; the capacity integral's
     // lower bound is min(t_a) (§6.1), so only advance from there on. State
@@ -626,6 +731,7 @@ SimResult Driver::run() {
       case EventType::kArrival: {
         const JobState& s = jobs_[static_cast<std::size_t>(e.id)];
         enqueue_job(static_cast<std::size_t>(e.id));
+        ++m_submits_;
         if (config_.record_replay) {
           result_.replay.push_back(
               ReplayEvent{e.time, ReplayEventType::kArrival, s.job.id, -1, -1});

@@ -122,6 +122,14 @@ struct SimConfig {
   /// nodes). 0 (the default) disables snapshots entirely; requires
   /// obs.trace, otherwise ignored.
   double snapshot_interval = 0.0;
+
+  /// Emit a `metrics` trace event every this many simulated seconds:
+  /// queue/occupancy gauges plus windowed rates (submits/starts/finishes/
+  /// kills/migrations, throughput, decision-latency quantiles over the
+  /// window's scheduler passes). 0 (the default) disables metrics — traces
+  /// are then byte-identical to pre-metrics builds; requires obs.trace,
+  /// otherwise ignored. docs/OBSERVABILITY.md documents the event.
+  double metrics_interval = 0.0;
 };
 
 /// Run one simulation. Job sizes must already fit config.dims (use

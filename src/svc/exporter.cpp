@@ -1,0 +1,73 @@
+#include "svc/exporter.hpp"
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <csignal>
+#include <cstring>
+#include <utility>
+
+#include "util/error.hpp"
+
+namespace bgl::svc {
+
+MetricsExporter::MetricsExporter(const std::string& path) : path_(path) {
+  // A scraper that disconnects mid-write must not kill the server process.
+  std::signal(SIGPIPE, SIG_IGN);
+
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path_.size() >= sizeof(addr.sun_path)) {
+    throw Error("metrics socket path too long: " + path_);
+  }
+  std::strncpy(addr.sun_path, path_.c_str(), sizeof(addr.sun_path) - 1);
+
+  listener_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (listener_ < 0) throw Error("cannot create metrics socket");
+  ::unlink(path_.c_str());
+  if (::bind(listener_, reinterpret_cast<const sockaddr*>(&addr),
+             sizeof(addr)) != 0 ||
+      ::listen(listener_, 4) != 0) {
+    ::close(listener_);
+    throw Error("cannot bind/listen metrics socket on " + path_);
+  }
+  thread_ = std::thread([this] { serve(); });
+}
+
+MetricsExporter::~MetricsExporter() {
+  // shutdown() wakes the accept() in serve(); the failed accept exits the
+  // loop. close() alone is not guaranteed to interrupt a blocked accept.
+  ::shutdown(listener_, SHUT_RDWR);
+  if (thread_.joinable()) thread_.join();
+  ::close(listener_);
+  ::unlink(path_.c_str());
+}
+
+void MetricsExporter::publish(std::string exposition) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  text_ = std::move(exposition);
+}
+
+void MetricsExporter::serve() {
+  while (true) {
+    const int conn = ::accept(listener_, nullptr, nullptr);
+    if (conn < 0) return;  // listener shut down by the destructor
+    std::string snapshot;
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      snapshot = text_;
+    }
+    const char* p = snapshot.data();
+    std::size_t left = snapshot.size();
+    while (left > 0) {
+      const ssize_t n = ::write(conn, p, left);
+      if (n <= 0) break;  // scraper went away; drop the rest
+      p += n;
+      left -= static_cast<std::size_t>(n);
+    }
+    ::close(conn);
+  }
+}
+
+}  // namespace bgl::svc

@@ -1,0 +1,50 @@
+// MetricsExporter: live Prometheus exposition over a Unix domain socket.
+//
+// The observability registries are single-threaded by design (counters.hpp),
+// so a scraper can never read them directly while a session is applying
+// events. The exporter inverts the flow: the session thread *publishes* a
+// fully rendered exposition string (obs::prometheus_render) at points where
+// the registries are quiescent — every SessionOptions::publish_every accepted
+// events and at end of stream — and a background thread serves the latest
+// published snapshot to each connecting scraper. A scrape therefore observes
+// a consistent, slightly stale view and never touches shared mutable state;
+// the only synchronisation is one mutex around the snapshot string.
+//
+// Protocol: connect, read until EOF. The exporter writes the exposition text
+// (terminated by "# EOF\n", see prometheus.hpp) and closes. No HTTP framing —
+// `socat - UNIX-CONNECT:/path` or the CI scrape script is the client. A
+// scraper that connects before the first publish receives just "# EOF\n".
+#pragma once
+
+#include <mutex>
+#include <string>
+#include <thread>
+
+namespace bgl::svc {
+
+class MetricsExporter {
+ public:
+  /// Binds and listens on a fresh Unix socket at `path` (an existing file is
+  /// removed) and starts the serving thread. Throws Error on socket failure.
+  explicit MetricsExporter(const std::string& path);
+  /// Stops the serving thread and unlinks the socket path.
+  ~MetricsExporter();
+
+  MetricsExporter(const MetricsExporter&) = delete;
+  MetricsExporter& operator=(const MetricsExporter&) = delete;
+
+  /// Replace the served snapshot. Called from the session thread; cheap
+  /// (one mutex + one string move).
+  void publish(std::string exposition);
+
+ private:
+  void serve();
+
+  std::string path_;
+  int listener_ = -1;
+  std::mutex mutex_;
+  std::string text_ = "# EOF\n";  ///< Before the first publish.
+  std::thread thread_;
+};
+
+}  // namespace bgl::svc

@@ -13,13 +13,78 @@
 #include <vector>
 
 #include "obs/histogram.hpp"
+#include "obs/profiler.hpp"
+#include "obs/prometheus.hpp"
 #include "obs/reader.hpp"
 #include "obs/trace.hpp"
+#include "svc/exporter.hpp"
 #include "svc/protocol.hpp"
 #include "svc/service.hpp"
 #include "util/error.hpp"
 
 namespace bgl::svc {
+
+namespace {
+
+/// The one {"type":"stats",...} reply line, shared by the in-band stats
+/// request and the end-of-stream stats line so the two can never drift.
+/// Decision-latency keys follow the registry spelling (`sched.decision_us`
+/// + suffix); the flat ph_* fields come from PhaseProfiler's stats-line
+/// contract (profiler.hpp).
+void append_stats_line(std::string& reply, const SchedulerService& service,
+                       const SessionStats& stats,
+                       const SessionOptions& options) {
+  const ServiceStats& s = service.stats();
+  reply += "{\"type\":\"stats\",\"t\":";
+  obs::append_json_double(reply, service.now());
+  reply += ",\"lines\":" + std::to_string(stats.lines);
+  reply += ",\"accepted\":" + std::to_string(stats.accepted);
+  reply += ",\"rejected\":" + std::to_string(stats.rejected);
+  reply += ",\"decisions\":" + std::to_string(stats.decisions);
+  reply += ",\"submitted\":" + std::to_string(s.submitted);
+  reply += ",\"finished\":" + std::to_string(s.finished);
+  reply += ",\"starts\":" + std::to_string(s.starts);
+  reply += ",\"kills\":" + std::to_string(s.kills);
+  reply += ",\"migrations\":" + std::to_string(s.migrations);
+  reply += ",\"failures\":" + std::to_string(s.failures);
+  reply += ",\"waiting\":" + std::to_string(service.waiting_jobs());
+  reply += ",\"running\":" + std::to_string(service.running_jobs());
+  if (options.histograms != nullptr) {
+    const obs::LogHistogram& h =
+        options.histograms->histogram(obs::Hist::kDecisionUs);
+    reply += ",\"sched.decision_us_count\":" + std::to_string(h.count());
+    reply += ",\"sched.decision_us_mean\":";
+    obs::append_json_double(reply, h.mean());
+    reply += ",\"sched.decision_us_p50\":";
+    obs::append_json_double(reply, h.quantile(0.50));
+    reply += ",\"sched.decision_us_p99\":";
+    obs::append_json_double(reply, h.quantile(0.99));
+    reply += ",\"sched.decision_us_max\":";
+    obs::append_json_double(reply, h.max());
+  }
+  if (options.profiler != nullptr) options.profiler->append_stats_fields(reply);
+  reply += "}\n";
+}
+
+/// Render + publish the live exposition. The gauges are the service's
+/// instantaneous queue state — everything else a scraper needs is already in
+/// the registries.
+void publish_exposition(const SchedulerService& service,
+                        const SessionOptions& options) {
+  if (options.exporter == nullptr) return;
+  obs::GaugeList gauges;
+  gauges.emplace_back("svc.queue_depth",
+                      static_cast<double>(service.waiting_jobs()));
+  gauges.emplace_back("svc.running_jobs",
+                      static_cast<double>(service.running_jobs()));
+  gauges.emplace_back("svc.stream_time_seconds", service.now());
+  std::string text;
+  obs::prometheus_render(text, options.counters, options.histograms,
+                         options.profiler, gauges);
+  options.exporter->publish(std::move(text));
+}
+
+}  // namespace
 
 SessionStats run_session(std::istream& in, std::ostream& out,
                          SchedulerService& service,
@@ -35,6 +100,8 @@ SessionStats run_session(std::istream& in, std::ostream& out,
     if (options.flush_each) out.flush();
     reply.clear();
   };
+
+  publish_exposition(service, options);
 
   while (true) {
     bool have_line = false;
@@ -53,6 +120,15 @@ SessionStats run_session(std::istream& in, std::ostream& out,
     }
     if (!have_line) break;
     ++stats.lines;
+
+    // In-band stats query: answered from the current state, no event applied
+    // (and therefore no time advance and no trace emission).
+    if (record.type_name() == "stats") {
+      ++stats.stats_requests;
+      append_stats_line(reply, service, stats, options);
+      emit();
+      continue;
+    }
 
     decisions.clear();
     try {
@@ -75,37 +151,16 @@ SessionStats run_session(std::istream& in, std::ostream& out,
       reply += ",\"decisions\":" + std::to_string(decisions.size()) + "}\n";
     }
     emit();
+    if (options.exporter != nullptr && options.publish_every > 0 &&
+        stats.accepted % options.publish_every == 0) {
+      publish_exposition(service, options);
+    }
   }
 
   service.finish_stream();
+  publish_exposition(service, options);
   if (options.stats_line) {
-    const ServiceStats& s = service.stats();
-    reply += "{\"type\":\"stats\",\"t\":";
-    obs::append_json_double(reply, service.now());
-    reply += ",\"lines\":" + std::to_string(stats.lines);
-    reply += ",\"accepted\":" + std::to_string(stats.accepted);
-    reply += ",\"rejected\":" + std::to_string(stats.rejected);
-    reply += ",\"decisions\":" + std::to_string(stats.decisions);
-    reply += ",\"submitted\":" + std::to_string(s.submitted);
-    reply += ",\"finished\":" + std::to_string(s.finished);
-    reply += ",\"starts\":" + std::to_string(s.starts);
-    reply += ",\"kills\":" + std::to_string(s.kills);
-    reply += ",\"migrations\":" + std::to_string(s.migrations);
-    reply += ",\"failures\":" + std::to_string(s.failures);
-    reply += ",\"waiting\":" + std::to_string(service.waiting_jobs());
-    reply += ",\"running\":" + std::to_string(service.running_jobs());
-    if (options.histograms != nullptr) {
-      const obs::LogHistogram& h =
-          options.histograms->histogram(obs::Hist::kDecisionUs);
-      reply += ",\"decision_us_count\":" + std::to_string(h.count());
-      reply += ",\"decision_us_mean\":";
-      obs::append_json_double(reply, h.mean());
-      reply += ",\"decision_us_p50\":";
-      obs::append_json_double(reply, h.quantile(0.50));
-      reply += ",\"decision_us_p99\":";
-      obs::append_json_double(reply, h.quantile(0.99));
-    }
-    reply += "}\n";
+    append_stats_line(reply, service, stats, options);
     out.write(reply.data(), static_cast<std::streamsize>(reply.size()));
     reply.clear();
   }
@@ -200,6 +255,7 @@ SessionStats serve_unix_socket(const char* path, SchedulerService& service,
     total.accepted += s.accepted;
     total.rejected += s.rejected;
     total.decisions += s.decisions;
+    total.stats_requests += s.stats_requests;
     ::close(conn);
   }
   ::close(listener);

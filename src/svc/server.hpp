@@ -10,22 +10,38 @@
 // silently defaults: the error reply carries the 1-based line number and a
 // stable RejectCode string, and the service state is untouched.
 //
+// A client may send {"type":"stats","t":0} at any point (the "t" field is
+// demanded by the line framing and ignored): the server answers the
+// same {"type":"stats",...} line it writes at end of stream — session
+// counts, queue/running gauges, the decision-latency summary under the
+// canonical `sched.decision_us_*` keys (before PR 9 these were spelled
+// `decision_us_*`; docs/OBSERVABILITY.md "Key naming" has the compat note),
+// and, when a profiler is attached, the flat `ph_*` phase fields — without
+// ending the session or advancing time.
+//
 // At end of input the loop calls finish_stream() (emitting the sim_end
 // trace event when the session's trace is complete) and, when
-// options.stats_line is set, writes one final
-// {"type":"stats",...} line with session counts and the decision-latency
-// quantiles from the sched.decision_us histogram.
+// options.stats_line is set, writes the final stats line.
+//
+// With options.exporter set, the freshly rendered Prometheus exposition
+// (obs::prometheus_render over the session's registries plus queue gauges)
+// is published to the exporter at session start, every
+// options.publish_every accepted events, and at end of stream — see
+// svc/exporter.hpp for the threading contract.
 #pragma once
 
 #include <cstddef>
 #include <iosfwd>
 
 namespace bgl::obs {
+class CounterRegistry;
 class HistogramRegistry;
-}
+class PhaseProfiler;
+}  // namespace bgl::obs
 
 namespace bgl::svc {
 
+class MetricsExporter;
 class SchedulerService;
 
 struct SessionOptions {
@@ -36,6 +52,14 @@ struct SessionOptions {
   bool flush_each = true;
   /// Decision-latency source for the stats line (nullable).
   const obs::HistogramRegistry* histograms = nullptr;
+  /// Extra exposition sources (nullable). The profiler additionally feeds
+  /// the stats line's flat ph_* phase fields.
+  const obs::CounterRegistry* counters = nullptr;
+  const obs::PhaseProfiler* profiler = nullptr;
+  /// Live Prometheus exposition target (nullable, borrowed).
+  MetricsExporter* exporter = nullptr;
+  /// Republish cadence, in accepted events, when `exporter` is set.
+  std::size_t publish_every = 64;
 };
 
 struct SessionStats {
@@ -43,6 +67,7 @@ struct SessionStats {
   std::size_t accepted = 0;   ///< Events applied.
   std::size_t rejected = 0;   ///< Lines answered with an error reply.
   std::size_t decisions = 0;  ///< start + kill + migrate replies.
+  std::size_t stats_requests = 0;  ///< In-band {"type":"stats"} queries.
 };
 
 SessionStats run_session(std::istream& in, std::ostream& out,

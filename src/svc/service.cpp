@@ -1,9 +1,12 @@
 #include "svc/service.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <string>
 
 #include "obs/histogram.hpp"
+#include "obs/profiler.hpp"
+#include "obs/series.hpp"
 #include "obs/trace.hpp"
 #include "predict/predictor.hpp"
 #include "sched/scheduler.hpp"
@@ -38,6 +41,9 @@ SchedulerService::SchedulerService(const ServiceConfig& config,
             "shared catalog topology mismatch");
   if (config_.use_partition_index) {
     index_ = std::make_unique<FreePartitionIndex>(*catalog_);
+  }
+  if (tr_ != nullptr && config_.metrics_interval > 0.0) {
+    decision_ring_ = std::make_unique<obs::LatencyRing>();
   }
   build_scheduler(oracle);
 }
@@ -139,6 +145,102 @@ void SchedulerService::ensure_begin(double t) {
   if (config_.sched.algorithm != SchedAlgorithm::kKrevat) {
     begin.field("algorithm", to_string(config_.sched.algorithm));
   }
+  // Anchor the periodic-emission cadences at the first traced event, the
+  // online analogue of the driver's min(first_event, min_arrival) base.
+  if (config_.snapshot_interval > 0.0) {
+    next_snapshot_ = t + config_.snapshot_interval;
+  }
+  if (config_.metrics_interval > 0.0) {
+    last_metrics_t_ = t;
+    next_metrics_ = t + config_.metrics_interval;
+  }
+}
+
+void SchedulerService::emit_snapshots_until(double horizon) {
+  while (true) {
+    const bool snap_due = next_snapshot_ > 0.0 && next_snapshot_ <= horizon;
+    const bool metrics_due = next_metrics_ > 0.0 && next_metrics_ <= horizon;
+    if (!snap_due && !metrics_due) break;
+    if (snap_due && (!metrics_due || next_snapshot_ <= next_metrics_)) {
+      const double t = next_snapshot_;
+      next_snapshot_ += config_.snapshot_interval;
+      emit_machine_state(t);
+    } else {
+      const double t = next_metrics_;
+      next_metrics_ += config_.metrics_interval;
+      emit_metrics(t);
+    }
+  }
+}
+
+void SchedulerService::emit_machine_state(double t) {
+  int queued_nodes = 0;
+  for (const std::uint64_t id : queue_) {
+    queued_nodes += jobs_.find(id)->second.size;
+  }
+  const NodeSet occ = scheduling_occupancy();
+  const int mfp = index_ != nullptr ? index_->mfp() : catalog_->mfp(occ);
+  const int free = usable_free_nodes();
+  const double frag =
+      free > 0 ? 1.0 - static_cast<double>(mfp) / static_cast<double>(free)
+               : 0.0;
+  const int flagged =
+      predictor_->flagged_nodes(t, t + config_.snapshot_interval, 0).count();
+
+  tr_->event("machine_state", t)
+      .field("queue_depth", static_cast<std::int64_t>(queue_.size()))
+      .field("queued_nodes", queued_nodes)
+      .field("running_jobs", static_cast<std::int64_t>(running_.size()))
+      .field("free_nodes", free)
+      .field("down_nodes", down_.count())
+      .field("mfp", mfp)
+      .field("frag", frag)
+      .field("flagged_nodes", flagged);
+}
+
+void SchedulerService::emit_metrics(double t) {
+  int queued_nodes = 0;
+  for (const std::uint64_t id : queue_) {
+    queued_nodes += jobs_.find(id)->second.size;
+  }
+  const int busy = torus_.occupied().count();
+  const int nodes = catalog_->num_nodes();
+  const double interval = t - last_metrics_t_;
+  double p50 = 0.0, p99 = 0.0, max_us = 0.0;
+  if (decision_ring_ != nullptr && decision_ring_->size() > 0) {
+    p50 = decision_ring_->quantile(0.5);
+    p99 = decision_ring_->quantile(0.99);
+    max_us = decision_ring_->max();
+  }
+
+  tr_->event("metrics", t)
+      .field("queue_depth", static_cast<std::int64_t>(queue_.size()))
+      .field("queued_nodes", queued_nodes)
+      .field("running_jobs", static_cast<std::int64_t>(running_.size()))
+      .field("busy_nodes", busy)
+      .field("down_nodes", down_.count())
+      .field("utilization",
+             nodes > 0 ? static_cast<double>(busy) / static_cast<double>(nodes)
+                       : 0.0)
+      .field("interval", interval)
+      .field("submits", m_submits_)
+      .field("starts", m_starts_)
+      .field("finishes", m_finishes_)
+      .field("kills", m_kills_)
+      .field("migrations", m_migrations_)
+      .field("finished_per_hour",
+             interval > 0.0
+                 ? static_cast<double>(m_finishes_) * 3600.0 / interval
+                 : 0.0)
+      .field("decisions", m_decisions_)
+      .field("decision_us_p50", p50)
+      .field("decision_us_p99", p99)
+      .field("decision_us_max", max_us);
+
+  last_metrics_t_ = t;
+  m_submits_ = m_starts_ = m_finishes_ = m_kills_ = m_migrations_ = 0;
+  m_decisions_ = 0;
+  if (decision_ring_ != nullptr) decision_ring_->clear();
 }
 
 /// §6.1 capacity integral, driven by the event stream: starts at the first
@@ -206,8 +308,16 @@ void SchedulerService::run_pass(double now, std::vector<Decision>& out) {
   }
 
   const NodeSet occ = scheduling_occupancy();
+  std::chrono::steady_clock::time_point m_begin;
+  if (decision_ring_ != nullptr) m_begin = std::chrono::steady_clock::now();
   const SchedulingDecision decision =
       scheduler_->schedule(now, waiting, running, occ, index_.get());
+  ++m_decisions_;
+  if (decision_ring_ != nullptr) {
+    const std::chrono::duration<double, std::micro> us =
+        std::chrono::steady_clock::now() - m_begin;
+    decision_ring_->add(us.count());
+  }
 
   if (tr_ != nullptr) {
     for (const PredictorQueryRecord& q : decision.predictor_queries) {
@@ -233,6 +343,7 @@ void SchedulerService::run_pass(double now, std::vector<Decision>& out) {
     JobRec& j = jobs_.find(m.id)->second;
     j.entry = m.to_entry;
     ++stats_.migrations;
+    ++m_migrations_;
     if (tr_ != nullptr) {
       tr_->event("migration", now)
           .field("job", j.id)
@@ -272,6 +383,7 @@ void SchedulerService::run_pass(double now, std::vector<Decision>& out) {
     if (j.first_start < 0.0) j.first_start = now;
     running_.push_back(j.id);
     ++stats_.starts;
+    ++m_starts_;
 
     if (tr_ != nullptr) {
       const PlacementRecord& p = decision.placements[start_i];
@@ -325,6 +437,7 @@ void SchedulerService::kill_job(JobRec& job, double now, int node,
   stats_.work_lost_node_seconds += lost;
   ++job.restarts;
   ++stats_.kills;
+  ++m_kills_;
   if (now <= job.last_start + job.estimate + 1e-9) ++stats_.avoidable_kills;
   if (tr_ != nullptr) {
     tr_->event("job_kill", now)
@@ -372,6 +485,8 @@ void SchedulerService::on_submit(const Event& e, std::vector<Decision>& out,
 
   advance_integrator(e);
   ensure_begin(e.time);
+  emit_snapshots_until(e.time);
+  ++m_submits_;
   JobRec rec;
   rec.id = e.job;
   rec.size = e.size;
@@ -412,8 +527,10 @@ void SchedulerService::on_complete(const Event& e, std::vector<Decision>& out,
   }
 
   advance_integrator(e);
+  emit_snapshots_until(e.time);
   job.phase = Phase::kDone;
   ++stats_.finished;
+  ++m_finishes_;
   max_finish_ = std::max(max_finish_, e.time);
 
   JobOutcome outcome;
@@ -455,6 +572,7 @@ void SchedulerService::on_complete(const Event& e, std::vector<Decision>& out,
 void SchedulerService::on_fail(const Event& e, std::vector<Decision>& out) {
   advance_integrator(e);
   ensure_begin(e.time);
+  emit_snapshots_until(e.time);
   ++stats_.failures;
   const std::vector<std::uint64_t> victims =
       torus_.allocations_containing(e.node);
@@ -491,6 +609,7 @@ void SchedulerService::on_repair(const Event& e, std::vector<Decision>& out,
                         "node " + std::to_string(e.node) + " is not down");
   }
   advance_integrator(e);
+  emit_snapshots_until(e.time);
   down_.reset(e.node);
   // The node cannot be allocated while down, so releasing it in the index
   // exactly undoes the failure-time block.
@@ -501,6 +620,9 @@ void SchedulerService::on_repair(const Event& e, std::vector<Decision>& out,
 
 void SchedulerService::handle(const Event& event, std::vector<Decision>& out,
                               std::size_t line) {
+  // One svc.event span per protocol event; scheduler passes it triggers
+  // (sched.pass and its subtree) nest under it.
+  obs::ScopedPhase svc_span(config_.obs.profiler, obs::Phase::kSvcEvent);
   if (any_event_ && event.time < now_) {
     throw ProtocolError(RejectCode::kTimeOrder, line,
                         "time ran backwards: " + std::to_string(event.time) +
@@ -530,6 +652,7 @@ void SchedulerService::handle(const Event& event, std::vector<Decision>& out,
       break;
     case EventKind::kTick:
       advance_integrator(event);
+      emit_snapshots_until(event.time);
       run_pass(event.time, out);
       break;
   }

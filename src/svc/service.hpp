@@ -49,6 +49,10 @@ class Scheduler;
 class FaultPredictor;
 }  // namespace bgl
 
+namespace bgl::obs {
+class LatencyRing;
+}  // namespace bgl::obs
+
 namespace bgl::svc {
 
 /// Service configuration: the scheduling-relevant subset of SimConfig (the
@@ -75,6 +79,15 @@ struct ServiceConfig {
   std::uint64_t seed = 1;
   bool use_partition_index = true;
   obs::Observer obs;
+
+  /// Emit machine_state / `metrics` trace events every this many stream
+  /// seconds (anchored at the first traced event, like the driver's
+  /// SimConfig knobs). Boundaries are drained at the head of each accepted
+  /// event — after validation, before the event's own trace lines — so
+  /// rejected events emit nothing and t stays non-decreasing. 0 (default)
+  /// disables each; requires obs.trace, otherwise ignored.
+  double snapshot_interval = 0.0;
+  double metrics_interval = 0.0;
 };
 
 /// Aggregates the service accumulates across a session (for the sim_end
@@ -162,6 +175,13 @@ class SchedulerService {
   void on_fail(const Event& e, std::vector<Decision>& out);
   void on_repair(const Event& e, std::vector<Decision>& out, std::size_t line);
 
+  /// Emit machine_state / metrics events for every cadence boundary ≤
+  /// `horizon`, in time order (machine_state first on ties). Called by the
+  /// accepted-event handlers before their own trace lines.
+  void emit_snapshots_until(double horizon);
+  void emit_machine_state(double t);
+  void emit_metrics(double t);
+
   void index_occupy(const NodeSet& mask) {
     if (index_ != nullptr) index_->occupy(mask);
   }
@@ -212,6 +232,21 @@ class SchedulerService {
   obs::HistogramRegistry* hg_;
   bool begin_emitted_ = false;
   bool end_emitted_ = false;
+
+  // Periodic-emission state (mirrors sim/driver): cadence cursors anchored
+  // at the first traced event, the metrics window's event counts —
+  // incremented exactly where the matching trace lines are written — and
+  // the wall-clock latency ring over the window's scheduler passes.
+  double next_snapshot_ = 0.0;  ///< 0 = off / not yet anchored.
+  double next_metrics_ = 0.0;
+  double last_metrics_t_ = 0.0;
+  std::int64_t m_submits_ = 0;
+  std::int64_t m_starts_ = 0;
+  std::int64_t m_finishes_ = 0;
+  std::int64_t m_kills_ = 0;
+  std::int64_t m_migrations_ = 0;
+  std::int64_t m_decisions_ = 0;
+  std::unique_ptr<obs::LatencyRing> decision_ring_;  ///< Null = metrics off.
 };
 
 }  // namespace bgl::svc

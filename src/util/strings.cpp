@@ -4,6 +4,7 @@
 #include <charconv>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 
 namespace bgl {
 
@@ -97,6 +98,19 @@ std::string format_duration(double seconds) {
                   negative ? "-" : "", hours, minutes, secs);
   }
   return buffer;
+}
+
+std::string artifact_stamp() {
+  const char* env = std::getenv("BGL_GIT_DESCRIBE");
+  if (env == nullptr || *env == '\0') return "unknown";
+  std::string stamp;
+  for (const char* p = env; *p != '\0'; ++p) {
+    const unsigned char c = static_cast<unsigned char>(*p);
+    const bool safe = std::isalnum(c) != 0 || c == '.' || c == '_' ||
+                      c == '/' || c == '+' || c == '-';
+    stamp += safe ? *p : '_';
+  }
+  return stamp;
 }
 
 }  // namespace bgl

@@ -33,4 +33,10 @@ std::string format_double(double value, int precision);
 /// Human-readable duration like "2d 03:04:05" for report output.
 std::string format_duration(double seconds);
 
+/// Build stamp for checked-in bench artifacts (docs/BENCH_*.json): the
+/// BGL_GIT_DESCRIBE environment variable — set by CI / the bench invocation
+/// to `git describe --always --dirty` — sanitized to [A-Za-z0-9._/+-] so it
+/// can be embedded in JSON unescaped, or "unknown" when unset.
+std::string artifact_stamp();
+
 }  // namespace bgl

@@ -2,14 +2,17 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <map>
 #include <sstream>
 #include <string>
 
 #include "common/figures.hpp"
 #include "exp/runner.hpp"
+#include "obs/profiler.hpp"
 #include "util/error.hpp"
 
 namespace bgl::exp {
@@ -187,6 +190,39 @@ TEST(SweepRunner, ParallelRunIsBitIdenticalToSerial) {
   EXPECT_EQ(strip_timing(ca.str()), strip_timing(cb.str()));
   EXPECT_EQ(strip_timing(ha.str()), strip_timing(hb.str()));
   EXPECT_NE(ca.str(), "{}");  // the merge actually carried data
+  unsetenv("BGL_BENCH_SEEDS");
+}
+
+// The merged phase tree (snapshot content for every bench stats.json) is
+// deterministic across thread counts in everything but wall time: same
+// nodes, same paths, same span counts, no drops. Wall totals are host
+// noise, so they are excluded — the tree *shape* is the contract.
+TEST(SweepRunner, PhaseTreeCountsAreThreadCountInvariant) {
+  ASSERT_EQ(setenv("BGL_BENCH_SEEDS", "2", 1), 0);
+  const SweepSpec spec = tiny_spec();
+
+  const auto counts_by_path = [](const SweepResult& r) {
+    std::map<std::string, std::uint64_t> out;
+    for (std::size_t i = 0; i < r.profiler().num_nodes(); ++i) {
+      const obs::PhaseProfiler::NodeView v = r.profiler().node_view(i);
+      out[v.path] = v.count;
+    }
+    return out;
+  };
+
+  RunOptions serial;
+  serial.threads = 1;
+  RunOptions parallel;
+  parallel.threads = 8;
+  const SweepResult a = SweepRunner().run(spec, serial);
+  const SweepResult b = SweepRunner().run(spec, parallel);
+
+  EXPECT_EQ(a.profiler().dropped_spans(), 0u);
+  EXPECT_EQ(b.profiler().dropped_spans(), 0u);
+  EXPECT_FALSE(a.profiler().empty());
+  EXPECT_EQ(counts_by_path(a), counts_by_path(b));
+  // The root of every simulation's tree is the DES event loop.
+  EXPECT_GT(counts_by_path(a).count("des.event"), 0u);
   unsetenv("BGL_BENCH_SEEDS");
 }
 

@@ -12,6 +12,8 @@
 #include <vector>
 
 #include "obs/audit.hpp"
+#include "obs/histogram.hpp"
+#include "obs/profiler.hpp"
 #include "obs/trace.hpp"
 #include "svc/protocol.hpp"
 #include "svc/server.hpp"
@@ -190,6 +192,59 @@ TEST(SvcService, SessionRecoversFromMalformedLines) {
   EXPECT_NE(text.find("\"code\":\"unknown-type\""), std::string::npos);
   EXPECT_NE(text.find("\"line\":2"), std::string::npos);
   EXPECT_NE(text.find("\"type\":\"stats\""), std::string::npos);
+}
+
+TEST(SvcService, InBandStatsRequestAnswersWithoutApplyingAnEvent) {
+  obs::PhaseProfiler profiler;
+  obs::HistogramRegistry histograms;
+  ServiceConfig config;
+  config.obs.profiler = &profiler;
+  config.obs.histograms = &histograms;
+  SchedulerService service(config);
+
+  // The stats line needs a "t" only because the trace framing demands one on
+  // every record; its value is ignored.
+  std::istringstream in(
+      "{\"type\":\"submit\",\"t\":0,\"job\":1,\"size\":8,\"estimate\":100}\n"
+      "{\"type\":\"stats\",\"t\":0}\n"
+      "{\"type\":\"complete\",\"t\":50,\"job\":1}\n");
+  std::ostringstream out;
+  SessionOptions options;
+  options.flush_each = false;
+  options.profiler = &profiler;
+  options.histograms = &histograms;
+  const SessionStats stats = run_session(in, out, service, options);
+
+  // The request is neither accepted nor rejected: no event was applied, no
+  // time advanced, no decision made.
+  EXPECT_EQ(stats.lines, 3u);
+  EXPECT_EQ(stats.accepted, 2u);
+  EXPECT_EQ(stats.rejected, 0u);
+  EXPECT_EQ(stats.stats_requests, 1u);
+  EXPECT_EQ(service.stats().finished, 1u);
+
+  // Two stats replies: the in-band answer plus the end-of-stream line.
+  const std::string text = out.str();
+  std::size_t replies = 0;
+  for (std::size_t pos = 0;
+       (pos = text.find("\"type\":\"stats\"", pos)) != std::string::npos;
+       pos += 14) {
+    ++replies;
+  }
+  EXPECT_EQ(replies, 2u);
+
+  // The in-band reply (first stats line) reflects mid-session state: one
+  // line consumed so far, one job running, canonical decision-latency keys
+  // and the flat profiler fields.
+  const std::string first =
+      text.substr(text.find("\"type\":\"stats\""),
+                  text.find('\n', text.find("\"type\":\"stats\"")) -
+                      text.find("\"type\":\"stats\""));
+  EXPECT_NE(first.find("\"lines\":2"), std::string::npos);
+  EXPECT_NE(first.find("\"running\":1"), std::string::npos);
+  EXPECT_NE(first.find("\"sched.decision_us_count\":"), std::string::npos);
+  EXPECT_NE(first.find("\"sched.decision_us_max\":"), std::string::npos);
+  EXPECT_NE(first.find("\"ph_count:svc.event\":"), std::string::npos);
 }
 
 /// Fuzz: corrupt a valid session stream in seeded random ways; the session

@@ -374,9 +374,9 @@ class PipeTransport : public Transport {
     }
     if (last_record_is_stats_) {
       obs::TraceReader::parse_line(stats_line_, reply_lines_, record);
-      if (const auto v = record.num("decision_us_p50")) p50_us_ = *v;
-      if (const auto v = record.num("decision_us_p99")) p99_us_ = *v;
-      if (const auto v = record.num("decision_us_mean")) mean_us_ = *v;
+      if (const auto v = record.num("sched.decision_us_p50")) p50_us_ = *v;
+      if (const auto v = record.num("sched.decision_us_p99")) p99_us_ = *v;
+      if (const auto v = record.num("sched.decision_us_mean")) mean_us_ = *v;
     }
   }
 
@@ -545,7 +545,9 @@ void write_bench_json(const std::string& path, const Options& o,
                       const LoopResult& r, const PipeTransport* pipe) {
   std::ofstream out(path, std::ios::trunc);
   if (!out) throw Error("cannot open --json-out file: " + path);
-  out << "{\"bench\":\"service\",\"mode\":\"" << o.mode << "\""
+  out << "{\"schema_version\":2,\"bench\":\"service\""
+      << ",\"stamp\":\"" << artifact_stamp() << "\""
+      << ",\"mode\":\"" << o.mode << "\""
       << ",\"workload\":\"" << o.workload << "\""
       << ",\"jobs\":" << o.jobs << ",\"load\":" << format_double(o.load, 6)
       << ",\"failures\":" << o.failures << ",\"seed\":" << o.seed
@@ -559,9 +561,9 @@ void write_bench_json(const std::string& path, const Options& o,
       << ",\"decisions_per_sec\":"
       << format_double(r.decisions / std::max(r.wall_seconds, 1e-9), 1);
   if (pipe != nullptr) {
-    out << ",\"decision_us_mean\":" << format_double(pipe->mean_us(), 3)
-        << ",\"decision_us_p50\":" << format_double(pipe->p50_us(), 3)
-        << ",\"decision_us_p99\":" << format_double(pipe->p99_us(), 3);
+    out << ",\"sched.decision_us_mean\":" << format_double(pipe->mean_us(), 3)
+        << ",\"sched.decision_us_p50\":" << format_double(pipe->p50_us(), 3)
+        << ",\"sched.decision_us_p99\":" << format_double(pipe->p99_us(), 3);
   }
   out << "}\n";
 }

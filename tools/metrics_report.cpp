@@ -1,0 +1,380 @@
+// metrics_report: render the telemetry of a run for human eyes.
+//
+// Two input shapes, auto-detected from the first line:
+//
+//   * a JSONL trace (simulate_cli --trace-out, sched_server --trace-out,
+//     bench_scale --emit-trace): every `metrics` event becomes one row of a
+//     time-series table — queue depth, utilization, window event counts,
+//     throughput, decision-latency quantiles — followed by a one-line
+//     session summary. Produce the events with --metrics-interval.
+//
+//   * a stats JSON (simulate_cli/sched_server --stats-out, any bench
+//     <name>.stats.json): the "phases" object — written when the run was
+//     profiled (--profile; sweeps always profile) — renders as the
+//     indented self/cumulative phase tree with per-node count, total,
+//     self, max and the self-share of the tree's total.
+//
+// Usage:
+//   metrics_report PATH           auto-detect by content
+//   metrics_report --series PATH  force trace mode
+//   metrics_report --phases PATH  force stats mode
+//
+// The stats file is parsed with a deliberately small recursive-descent JSON
+// reader local to this tool: the obs::TraceReader scanner is flat by design
+// (reader.hpp), and the stats dump is the one nested artifact in the repo.
+#include <cstdint>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <memory>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/reader.hpp"
+#include "util/error.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace bgl;
+
+// --- a minimal JSON value parser (stats files only) -----------------------
+
+struct JsonValue {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string text;
+  std::vector<JsonValue> items;
+  /// Insertion-ordered object members (the phase tree order matters).
+  std::vector<std::pair<std::string, JsonValue>> members;
+
+  const JsonValue* find(const std::string& key) const {
+    for (const auto& [k, v] : members) {
+      if (k == key) return &v;
+    }
+    return nullptr;
+  }
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(const std::string& text) : text_(text) {}
+
+  JsonValue parse() {
+    JsonValue v = value();
+    skip_ws();
+    if (pos_ != text_.size()) fail("trailing content after the JSON value");
+    return v;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& what) const {
+    throw Error("stats JSON, byte " + std::to_string(pos_) + ": " + what);
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  char peek() {
+    skip_ws();
+    if (pos_ >= text_.size()) fail("unexpected end of input");
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) fail(std::string("expected '") + c + "'");
+    ++pos_;
+  }
+
+  std::string string() {
+    expect('"');
+    std::string out;
+    while (true) {
+      if (pos_ >= text_.size()) fail("unterminated string");
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (pos_ >= text_.size()) fail("unterminated escape");
+      const char e = text_[pos_++];
+      switch (e) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'n': out += '\n'; break;
+        case 't': out += '\t'; break;
+        case 'r': out += '\r'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'u':
+          // Stats dumps are ASCII; keep the escape verbatim rather than
+          // decoding surrogate pairs this tool will never see.
+          if (pos_ + 4 > text_.size()) fail("truncated \\u escape");
+          out += "\\u" + text_.substr(pos_, 4);
+          pos_ += 4;
+          break;
+        default: fail(std::string("bad escape '\\") + e + "'");
+      }
+    }
+  }
+
+  JsonValue value() {
+    const char c = peek();
+    JsonValue v;
+    if (c == '{') {
+      ++pos_;
+      v.kind = JsonValue::Kind::kObject;
+      if (peek() == '}') {
+        ++pos_;
+        return v;
+      }
+      while (true) {
+        std::string key = string();
+        expect(':');
+        v.members.emplace_back(std::move(key), value());
+        const char d = peek();
+        ++pos_;
+        if (d == '}') return v;
+        if (d != ',') fail("expected ',' or '}' in object");
+      }
+    }
+    if (c == '[') {
+      ++pos_;
+      v.kind = JsonValue::Kind::kArray;
+      if (peek() == ']') {
+        ++pos_;
+        return v;
+      }
+      while (true) {
+        v.items.push_back(value());
+        const char d = peek();
+        ++pos_;
+        if (d == ']') return v;
+        if (d != ',') fail("expected ',' or ']' in array");
+      }
+    }
+    if (c == '"') {
+      v.kind = JsonValue::Kind::kString;
+      v.text = string();
+      return v;
+    }
+    if (c == 't' || c == 'f') {
+      const bool is_true = c == 't';
+      const std::string word = is_true ? "true" : "false";
+      if (text_.compare(pos_, word.size(), word) != 0) fail("bad literal");
+      pos_ += word.size();
+      v.kind = JsonValue::Kind::kBool;
+      v.boolean = is_true;
+      return v;
+    }
+    if (c == 'n') {
+      if (text_.compare(pos_, 4, "null") != 0) fail("bad literal");
+      pos_ += 4;
+      return v;
+    }
+    // Number.
+    const std::size_t start = pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0 ||
+            text_[pos_] == '-' || text_[pos_] == '+' || text_[pos_] == '.' ||
+            text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+    }
+    const auto parsed = parse_double(text_.substr(start, pos_ - start));
+    if (!parsed) fail("malformed number");
+    v.kind = JsonValue::Kind::kNumber;
+    v.number = *parsed;
+    return v;
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+// --- phase-tree rendering (stats mode) ------------------------------------
+
+double num_member(const JsonValue& node, const char* key) {
+  const JsonValue* v = node.find(key);
+  if (v == nullptr || v->kind != JsonValue::Kind::kNumber) {
+    throw Error(std::string("phase node missing numeric \"") + key + "\"");
+  }
+  return v->number;
+}
+
+void add_phase_rows(Table& table, const JsonValue& node, int depth,
+                    double tree_total_ns) {
+  const JsonValue* phase = node.find("phase");
+  if (phase == nullptr || phase->kind != JsonValue::Kind::kString) {
+    throw Error("phase node missing string \"phase\"");
+  }
+  const double total_ns = num_member(node, "total_ns");
+  const double self_ns = num_member(node, "self_ns");
+  table.add_row()
+      .add(std::string(static_cast<std::size_t>(depth) * 2, ' ') + phase->text)
+      .add(static_cast<long long>(num_member(node, "count")))
+      .add(total_ns / 1e6, 3)
+      .add(self_ns / 1e6, 3)
+      .add(num_member(node, "max_ns") / 1e3, 1)
+      .add(tree_total_ns > 0.0 ? 100.0 * self_ns / tree_total_ns : 0.0, 1);
+  if (const JsonValue* children = node.find("children")) {
+    for (const JsonValue& child : children->items) {
+      add_phase_rows(table, child, depth + 1, tree_total_ns);
+    }
+  }
+}
+
+int report_phases(const JsonValue& stats) {
+  const JsonValue* phases = stats.find("phases");
+  if (phases == nullptr) {
+    std::cerr << "metrics_report: no \"phases\" object in this stats JSON —\n"
+                 "  produce one with --profile (simulate_cli, sched_server)\n"
+                 "  or from any bench <name>.stats.json\n";
+    return 1;
+  }
+  const JsonValue* tree = phases->find("tree");
+  if (tree == nullptr || tree->items.empty()) {
+    std::cout << "phase tree: empty (the run made no instrumented calls)\n";
+    return 0;
+  }
+
+  // Share denominators: the summed total of the root spans.
+  double tree_total_ns = 0.0;
+  for (const JsonValue& root : tree->items) {
+    tree_total_ns += num_member(root, "total_ns");
+  }
+
+  Table table({"phase", "count", "total_ms", "self_ms", "max_us", "self_%"});
+  for (const JsonValue& root : tree->items) {
+    add_phase_rows(table, root, 0, tree_total_ns);
+  }
+  std::cout << "phase tree (self% of " << format_double(tree_total_ns / 1e6, 3)
+            << " ms root total)\n"
+            << table.render();
+  if (const JsonValue* dropped = phases->find("dropped")) {
+    if (dropped->number > 0.0) {
+      std::cout << "dropped spans: "
+                << static_cast<long long>(dropped->number) << "\n";
+    }
+  }
+  return 0;
+}
+
+// --- time-series rendering (trace mode) -----------------------------------
+
+int report_series(std::istream& in) {
+  obs::TraceReader reader(in);
+  obs::TraceRecord record;
+  std::vector<obs::MetricsEvent> series;
+  std::size_t events = 0;
+  while (reader.next(record)) {
+    ++events;
+    if (record.type() == obs::EventType::kMetrics) {
+      series.push_back(obs::MetricsEvent::from(record));
+    }
+  }
+  if (series.empty()) {
+    std::cerr << "metrics_report: no `metrics` events in this trace —\n"
+                 "  produce them with --metrics-interval (simulate_cli,\n"
+                 "  sched_server)\n";
+    return 1;
+  }
+
+  Table table({"t", "queue", "run", "util", "submit", "start", "finish",
+               "kill", "migr", "fin_per_h", "passes", "p50_us", "p99_us"});
+  std::int64_t submits = 0;
+  std::int64_t finishes = 0;
+  std::int64_t decisions = 0;
+  for (const obs::MetricsEvent& m : series) {
+    table.add_row()
+        .add(m.t, 0)
+        .add(m.queue_depth)
+        .add(m.running_jobs)
+        .add(m.utilization, 3)
+        .add(static_cast<long long>(m.submits))
+        .add(static_cast<long long>(m.starts))
+        .add(static_cast<long long>(m.finishes))
+        .add(static_cast<long long>(m.kills))
+        .add(static_cast<long long>(m.migrations))
+        .add(m.finished_per_hour, 1)
+        .add(static_cast<long long>(m.decisions))
+        .add(m.decision_us_p50, 1)
+        .add(m.decision_us_p99, 1);
+    submits += m.submits;
+    finishes += m.finishes;
+    decisions += m.decisions;
+  }
+  std::cout << table.render();
+  std::cout << series.size() << " metrics events over "
+            << format_duration(series.back().t - series.front().t) << " ("
+            << events << " trace events; windows: " << submits << " submits, "
+            << finishes << " finishes, " << decisions
+            << " scheduler passes)\n";
+  return 0;
+}
+
+int usage() {
+  std::cerr << "usage: metrics_report [--series|--phases] PATH\n"
+               "see the header comment of tools/metrics_report.cpp\n";
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::optional<std::string> path;
+  std::optional<std::string> mode;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--series" || arg == "--phases") {
+      mode = arg;
+    } else if (arg == "--help" || arg == "-h") {
+      usage();
+      return 0;
+    } else if (!path) {
+      path = arg;
+    } else {
+      return usage();
+    }
+  }
+  if (!path) return usage();
+
+  try {
+    std::ifstream in(*path);
+    if (!in) throw Error("cannot open " + *path);
+
+    if (!mode) {
+      // Auto-detect: a trace line carries a "type" member first; a stats
+      // dump starts with "config", "session" or "observability".
+      std::string head;
+      std::getline(in, head);
+      in.clear();
+      in.seekg(0);
+      mode = head.find("\"type\"") != std::string::npos ? "--series"
+                                                        : "--phases";
+    }
+
+    if (*mode == "--series") return report_series(in);
+
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    const std::string text = buffer.str();
+    JsonParser parser(text);
+    const JsonValue stats = parser.parse();
+    return report_phases(stats);
+  } catch (const std::exception& e) {
+    std::cerr << "metrics_report: " << e.what() << '\n';
+    return 1;
+  }
+}

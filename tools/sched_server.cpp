@@ -25,12 +25,26 @@
 //     --no-index          disable the incremental free-partition index
 //     --trace-out PATH    write the standard JSONL event trace ("-": stdout
 //                         is the protocol stream, so "-" is rejected here)
+//     --snapshot-interval S  with --trace-out: emit a machine_state event
+//                         every S stream seconds (default off)
+//     --metrics-interval S   with --trace-out: emit a `metrics` telemetry
+//                         event every S stream seconds (default off)
+//     --profile           attach the hierarchical phase profiler: flat ph_*
+//                         fields on the stats line, bgl_phase_* families on
+//                         the exposition, "phases" tree in --stats-out
+//     --metrics-socket PATH  serve the live Prometheus text exposition on
+//                         this Unix socket (connect, read to EOF; see
+//                         docs/OBSERVABILITY.md "Prometheus exposition")
 //     --stats-out PATH    write counters + histograms JSON at shutdown
 //     --socket PATH       serve a Unix socket instead of stdin/stdout
 //     --max-conns N       with --socket: sequential sessions to accept
 //                         against the same machine state (default 1)
 //     --quiet             suppress per-event ok lines (decisions + errors
 //                         only; the final stats line is always written)
+//
+// A client can also request the stats line mid-session by sending
+// {"type":"stats","t":0} — answered in-band without advancing time (the
+// "t" field is demanded by the line framing and ignored).
 #include <fstream>
 #include <iostream>
 #include <memory>
@@ -40,7 +54,9 @@
 #include "failure/trace.hpp"
 #include "obs/counters.hpp"
 #include "obs/histogram.hpp"
+#include "obs/profiler.hpp"
 #include "obs/trace.hpp"
+#include "svc/exporter.hpp"
 #include "svc/server.hpp"
 #include "svc/service.hpp"
 #include "util/error.hpp"
@@ -56,8 +72,10 @@ struct Options {
   std::optional<std::string> trace_out;
   std::optional<std::string> stats_out;
   std::optional<std::string> socket_path;
+  std::optional<std::string> metrics_socket;
   int max_conns = 1;
   bool echo_ok = true;
+  bool profile = false;
 };
 
 long long require_int(const std::string& flag, const std::string& token) {
@@ -161,6 +179,20 @@ Options parse(int argc, char** argv) {
                           "reply stream; give a file path");
       }
       o.trace_out = v;
+    } else if (arg == "--snapshot-interval") {
+      o.service.snapshot_interval = require_double(arg, next());
+      if (o.service.snapshot_interval < 0.0) {
+        throw ConfigError("--snapshot-interval must be >= 0");
+      }
+    } else if (arg == "--metrics-interval") {
+      o.service.metrics_interval = require_double(arg, next());
+      if (o.service.metrics_interval < 0.0) {
+        throw ConfigError("--metrics-interval must be >= 0");
+      }
+    } else if (arg == "--profile") {
+      o.profile = true;
+    } else if (arg == "--metrics-socket") {
+      o.metrics_socket = next();
     } else if (arg == "--stats-out") {
       o.stats_out = next();
     } else if (arg == "--socket") {
@@ -173,6 +205,12 @@ Options parse(int argc, char** argv) {
     } else {
       throw ConfigError("unknown option: " + arg);
     }
+  }
+  if ((o.service.snapshot_interval > 0.0 || o.service.metrics_interval > 0.0) &&
+      !o.trace_out) {
+    throw ConfigError(
+        "--snapshot-interval/--metrics-interval write trace events and "
+        "need --trace-out");
   }
   return o;
 }
@@ -194,8 +232,10 @@ int main(int argc, char** argv) {
     // latency quantiles come from the sched.decision_us histogram.
     obs::CounterRegistry counters;
     obs::HistogramRegistry histograms;
+    obs::PhaseProfiler profiler;
     o.service.obs.counters = &counters;
     o.service.obs.histograms = &histograms;
+    if (o.profile) o.service.obs.profiler = &profiler;
 
     std::unique_ptr<obs::TraceSink> sink;
     if (o.trace_out) {
@@ -216,6 +256,13 @@ int main(int argc, char** argv) {
     svc::SessionOptions session;
     session.echo_ok = o.echo_ok;
     session.histograms = &histograms;
+    session.counters = &counters;
+    if (o.profile) session.profiler = &profiler;
+    std::unique_ptr<svc::MetricsExporter> exporter;
+    if (o.metrics_socket) {
+      exporter = std::make_unique<svc::MetricsExporter>(*o.metrics_socket);
+      session.exporter = exporter.get();
+    }
 
     svc::SessionStats stats;
     if (o.socket_path) {
@@ -237,11 +284,16 @@ int main(int argc, char** argv) {
           << "\"lines\":" << stats.lines
           << ",\"accepted\":" << stats.accepted
           << ",\"rejected\":" << stats.rejected
-          << ",\"decisions\":" << stats.decisions << "}";
+          << ",\"decisions\":" << stats.decisions
+          << ",\"stats_requests\":" << stats.stats_requests << "}";
       out << ",\"observability\":";
       counters.write_json(out);
       out << ",\"histograms\":";
       histograms.write_json(out);
+      if (o.profile) {
+        out << ",\"phases\":";
+        profiler.write_json(out);
+      }
       out << "}\n";
     }
     std::cerr << "[sched_server] " << stats.lines << " lines, "
