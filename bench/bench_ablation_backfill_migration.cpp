@@ -53,7 +53,7 @@ FigureDef make_ablation_backfill_migration() {
     Table table({"variant", "slowdown", "response_h", "utilized", "kills",
                  "migrations"});
     for (std::size_t ci = 0; ci < r.shape().configs; ++ci) {
-      const exp::PointSummary& p = r.at(0, 0, 0, 0, 0, 0, ci);
+      const exp::PointSummary& p = r.at(0, 0, 0, 0, 0, 0, 0, ci);
       table.add_row()
           .add(labels[ci])
           .add(p.slowdown, 1)

@@ -53,7 +53,7 @@ FigureDef make_ablation_checkpoint() {
     const double alphas[] = {0.0, 0.1, 0.9};
     for (std::size_t ci = 0; ci < r.shape().configs; ++ci) {
       for (std::size_t ai = 0; ai < r.shape().alphas; ++ai) {
-        const exp::PointSummary& p = r.at(0, 0, 0, 0, 0, ai, ci);
+        const exp::PointSummary& p = r.at(0, 0, 0, 0, 0, ai, 0, ci);
         table.add_row()
             .add(labels[ci])
             .add(alphas[ai], 1)

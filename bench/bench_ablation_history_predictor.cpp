@@ -83,7 +83,7 @@ FigureDef make_ablation_history_predictor() {
 
     Table table({"predictor", "slowdown", "kills", "utilized", "lost"});
     for (std::size_t ci = 0; ci < r.shape().configs; ++ci) {
-      const exp::PointSummary& p = r.at(0, 0, 0, 0, 0, 0, ci);
+      const exp::PointSummary& p = r.at(0, 0, 0, 0, 0, 0, 0, ci);
       table.add_row()
           .add(labels[ci])
           .add(p.slowdown, 1)

@@ -39,8 +39,8 @@ FigureDef make_ablation_pf_rule() {
                  "kills_product", "kills_max"});
     const double alphas[] = {0.1, 0.5, 0.9};
     for (std::size_t ai = 0; ai < r.shape().alphas; ++ai) {
-      const exp::PointSummary& rp = r.at(0, 0, 0, 0, 0, ai, 0);
-      const exp::PointSummary& rm = r.at(0, 0, 0, 0, 0, ai, 1);
+      const exp::PointSummary& rp = r.at(0, 0, 0, 0, 0, ai, 0, 0);
+      const exp::PointSummary& rm = r.at(0, 0, 0, 0, 0, ai, 0, 1);
       table.add_row()
           .add(alphas[ai], 1)
           .add(rp.slowdown, 1)

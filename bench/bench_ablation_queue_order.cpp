@@ -41,7 +41,7 @@ FigureDef make_ablation_queue_order() {
     Table table({"queue_order", "slowdown", "wait_h", "max_wait_h_proxy",
                  "utilized", "kills"});
     for (std::size_t ci = 0; ci < r.shape().configs; ++ci) {
-      const exp::PointSummary& p = r.at(0, 0, 0, 0, 0, 0, ci);
+      const exp::PointSummary& p = r.at(0, 0, 0, 0, 0, 0, 0, ci);
       table.add_row()
           .add(labels[ci])
           .add(p.slowdown, 1)

@@ -43,7 +43,7 @@ FigureDef make_ablation_topology() {
                  "kills"});
     for (std::size_t ci = 0; ci < r.shape().configs; ++ci) {
       for (std::size_t ai = 0; ai < r.shape().alphas; ++ai) {
-        const exp::PointSummary& p = r.at(0, 0, 0, 0, 0, ai, ci);
+        const exp::PointSummary& p = r.at(0, 0, 0, 0, 0, ai, 0, ci);
         table.add_row()
             .add(labels[ci])
             .add(0.1 * static_cast<int>(ai), 1)

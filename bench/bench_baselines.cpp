@@ -59,7 +59,7 @@ FigureDef make_baselines() {
       const double c = li == 0 ? 1.0 : 1.2;
       for (std::size_t si = 0; si < r.shape().schedulers; ++si) {
         for (std::size_t gi = 0; gi < r.shape().algorithms; ++gi) {
-          const exp::PointSummary& p = r.at(0, li, 0, si, gi, 0, 0);
+          const exp::PointSummary& p = r.at(0, li, 0, si, gi, 0, 0, 0);
           table.add_row()
               .add(c, 1)
               .add(std::string(to_string(kSchedulers[si])))

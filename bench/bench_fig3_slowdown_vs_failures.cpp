@@ -44,9 +44,9 @@ FigureDef make_fig3() {
     double base_at_1000 = -1.0;
     for (std::size_t fi = 0; fi < r.shape().failures; ++fi) {
       const std::size_t rate = 500 * fi;
-      const exp::PointSummary& none = r.at(0, 0, fi, 0, 0, 0, 0);
-      const exp::PointSummary& low = r.at(0, 0, fi, 0, 0, 1, 0);
-      const exp::PointSummary& high = r.at(0, 0, fi, 0, 0, 2, 0);
+      const exp::PointSummary& none = r.at(0, 0, fi, 0, 0, 0, 0, 0);
+      const exp::PointSummary& low = r.at(0, 0, fi, 0, 0, 1, 0, 0);
+      const exp::PointSummary& high = r.at(0, 0, fi, 0, 0, 2, 0, 0);
       if (rate == 0) base_at_zero = none.slowdown;
       if (rate == 1000) base_at_1000 = none.slowdown;
       table.add_row()

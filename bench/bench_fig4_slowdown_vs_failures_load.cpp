@@ -38,8 +38,8 @@ FigureDef make_fig4() {
   fig.render = [](const exp::SweepResult& r) {
     Table table({"failure_rate", "c=1.0", "c=1.2", "ratio"});
     for (std::size_t fi = 0; fi < r.shape().failures; ++fi) {
-      const exp::PointSummary& c10 = r.at(0, 0, fi, 0, 0, 0, 0);
-      const exp::PointSummary& c12 = r.at(0, 1, fi, 0, 0, 0, 0);
+      const exp::PointSummary& c10 = r.at(0, 0, fi, 0, 0, 0, 0, 0);
+      const exp::PointSummary& c12 = r.at(0, 1, fi, 0, 0, 0, 0, 0);
       table.add_row()
           .add(static_cast<long long>(500 * fi))
           .add(c10.slowdown, 1)

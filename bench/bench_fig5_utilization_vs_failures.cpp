@@ -41,7 +41,7 @@ FigureDef make_fig5() {
       const double c = li == 0 ? 1.0 : 1.2;
       Table table({"failure_rate", "utilized", "unused", "lost"});
       for (std::size_t fi = 0; fi < r.shape().failures; ++fi) {
-        const exp::PointSummary& p = r.at(0, li, fi, 0, 0, 0, 0);
+        const exp::PointSummary& p = r.at(0, li, fi, 0, 0, 0, 0, 0);
         table.add_row()
             .add(static_cast<long long>(500 * fi))
             .add(p.utilization, 3)

@@ -47,8 +47,8 @@ FigureDef make_fig6() {
       double base10 = -1.0;
       double base12 = -1.0;
       for (std::size_t ai = 0; ai < r.shape().alphas; ++ai) {
-        const exp::PointSummary& r10 = r.at(mi, 0, 0, 0, 0, ai, 0);
-        const exp::PointSummary& r12 = r.at(mi, 1, 0, 0, 0, ai, 0);
+        const exp::PointSummary& r10 = r.at(mi, 0, 0, 0, 0, ai, 0, 0);
+        const exp::PointSummary& r12 = r.at(mi, 1, 0, 0, 0, ai, 0, 0);
         if (ai == 0) {
           base10 = r10.slowdown;
           base12 = r12.slowdown;

@@ -38,7 +38,7 @@ FigureDef make_fig8() {
       const double c = li == 0 ? 1.0 : 1.2;
       Table table({"confidence", "utilized", "unused", "lost", "kills"});
       for (std::size_t ai = 0; ai < r.shape().alphas; ++ai) {
-        const exp::PointSummary& p = r.at(0, li, 0, 0, 0, ai, 0);
+        const exp::PointSummary& p = r.at(0, li, 0, 0, 0, ai, 0, 0);
         table.add_row()
             .add(0.1 * static_cast<int>(ai), 1)
             .add(p.utilization, 3)

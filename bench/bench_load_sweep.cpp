@@ -37,8 +37,8 @@ FigureDef make_load_sweep() {
                  "util_a0.1"});
     for (std::size_t li = 0; li < r.shape().loads; ++li) {
       const double c = 0.1 * static_cast<int>(5 + li);
-      const exp::PointSummary& none = r.at(0, li, 0, 0, 0, 0, 0);
-      const exp::PointSummary& low = r.at(0, li, 0, 0, 0, 1, 0);
+      const exp::PointSummary& none = r.at(0, li, 0, 0, 0, 0, 0, 0);
+      const exp::PointSummary& low = r.at(0, li, 0, 0, 0, 1, 0, 0);
       table.add_row()
           .add(c, 1)
           .add(none.slowdown, 1)

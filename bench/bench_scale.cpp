@@ -76,7 +76,7 @@ FigureDef make_scale() {
          << "\",\n  \"catalog\": \"blocks\",\n  \"schedulers\": {\n";
     const char* names[] = {"krevat", "balancing", "tie-break"};
     for (std::size_t si = 0; si < r.shape().schedulers; ++si) {
-      const exp::PointSummary& p = r.at(0, 0, 0, si, 0, 0, 0);
+      const exp::PointSummary& p = r.at(0, 0, 0, si, 0, 0, 0, 0);
       table.add_row()
           .add(names[si])
           .add(static_cast<long long>(p.jobs_completed))

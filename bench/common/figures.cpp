@@ -30,6 +30,7 @@ std::vector<FigureDef> all_figures() {
   figures.push_back(make_ablation_backfill_migration());
   figures.push_back(make_ablation_checkpoint());
   figures.push_back(make_baselines());
+  figures.push_back(make_predict());
   figures.push_back(make_scale());
   return figures;
 }

@@ -81,6 +81,7 @@ FigureDef make_ablation_history_predictor();
 FigureDef make_ablation_backfill_migration();
 FigureDef make_ablation_checkpoint();
 FigureDef make_baselines();
+FigureDef make_predict();
 FigureDef make_scale();
 
 // bench_scale's machine recipe, shared with its companion binary

@@ -26,7 +26,10 @@ struct Options {
   std::optional<std::string> failure_csv;
   std::string scheduler = "balancing";
   std::string algorithm = "krevat";
+  std::string predictor = "paper";
   double alpha = 0.1;
+  double history_lookback = 0.0;  ///< 0 = keep SimConfig default.
+  double flag_window = 0.0;       ///< 0 = keep AdaptiveConfig default.
   bgl::BackfillMode backfill = bgl::BackfillMode::kEasy;
   bool migration = true;
   double ckpt_interval = 0.0;
@@ -87,6 +90,18 @@ inline Options parse_cli_options(int argc, const char* const* argv) {
       o.scheduler = next();
     } else if (arg == "--algorithm") {
       o.algorithm = next();
+    } else if (arg == "--predictor") {
+      o.predictor = next();
+    } else if (arg == "--history-lookback") {
+      o.history_lookback = require_double(arg, next());
+      if (o.history_lookback <= 0.0) {
+        throw bgl::ConfigError("--history-lookback must be positive");
+      }
+    } else if (arg == "--flag-window") {
+      o.flag_window = require_double(arg, next());
+      if (o.flag_window <= 0.0) {
+        throw bgl::ConfigError("--flag-window must be positive");
+      }
     } else if (arg == "--alpha") {
       o.alpha = require_double(arg, next());
       if (o.alpha < 0.0 || o.alpha > 1.0) {

@@ -14,6 +14,11 @@
 //     --algorithm <krevat|easy|conservative|easy-holdback>
 //                         backfill discipline (default krevat; see
 //                         docs/SCHEDULERS.md)
+//     --predictor <paper|history|perfect|none|adaptive>
+//                         fault-prediction model (default paper; see
+//                         docs/PREDICTORS.md)
+//     --history-lookback S  kHistory: sliding-window length in seconds
+//     --flag-window S     adaptive: base per-node flag window in seconds
 //     --alpha A           confidence/accuracy in [0,1] (default 0.1)
 //     --no-backfill --conservative-backfill --no-migration
 //     --ckpt-interval S   enable checkpointing with this interval (seconds)
@@ -125,6 +130,14 @@ int main(int argc, char** argv) {
       std::cerr << "unknown algorithm: " << o.algorithm << '\n';
       return usage();
     }
+    if (const auto model = parse_predictor_model(o.predictor)) {
+      config.predictor_model = *model;
+    } else {
+      std::cerr << "unknown predictor: " << o.predictor << '\n';
+      return usage();
+    }
+    if (o.history_lookback > 0.0) config.history_lookback = o.history_lookback;
+    if (o.flag_window > 0.0) config.adaptive.node_flag_window = o.flag_window;
     config.alpha = o.alpha;
     config.sched.backfill = o.backfill;
     config.sched.migration = o.migration;

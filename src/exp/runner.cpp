@@ -54,6 +54,7 @@ void run_unit(const SweepSpec& spec, const Cell& cell, int repeat,
   SimConfig config = cell.config->proto;
   config.scheduler = cell.scheduler;
   if (cell.algorithm) config.sched.algorithm = *cell.algorithm;
+  if (cell.predictor) config.predictor_model = *cell.predictor;
   config.alpha = cell.alpha;
   config.seed = seeds.sim;
   apply_partition_index_env(config);
@@ -82,20 +83,23 @@ const PointSummary& SweepResult::at(std::size_t model, std::size_t load,
                                     std::size_t failures,
                                     std::size_t scheduler,
                                     std::size_t algorithm, std::size_t alpha,
+                                    std::size_t predictor,
                                     std::size_t config) const {
   BGL_CHECK(model < shape_.models && load < shape_.loads &&
                 failures < shape_.failures && scheduler < shape_.schedulers &&
                 algorithm < shape_.algorithms && alpha < shape_.alphas &&
-                config < shape_.configs,
+                predictor < shape_.predictors && config < shape_.configs,
             "sweep cell coordinate out of range");
   const std::size_t index =
-      (((((model * shape_.loads + load) * shape_.failures + failures) *
-             shape_.schedulers +
-         scheduler) *
-            shape_.algorithms +
-        algorithm) *
-           shape_.alphas +
-       alpha) *
+      ((((((model * shape_.loads + load) * shape_.failures + failures) *
+              shape_.schedulers +
+          scheduler) *
+             shape_.algorithms +
+         algorithm) *
+            shape_.alphas +
+        alpha) *
+           shape_.predictors +
+       predictor) *
           shape_.configs +
       config;
   return cells_[index];
@@ -133,6 +137,7 @@ SweepResult SweepRunner::run(const SweepSpec& spec,
   result.shape_.schedulers = std::max<std::size_t>(1, spec.schedulers.size());
   result.shape_.algorithms = std::max<std::size_t>(1, spec.algorithms.size());
   result.shape_.alphas = std::max<std::size_t>(1, spec.alphas.size());
+  result.shape_.predictors = std::max<std::size_t>(1, spec.predictors.size());
   result.shape_.configs = std::max<std::size_t>(1, spec.configs.size());
 
   // Deterministic reduction: repeats average in repeat order within each

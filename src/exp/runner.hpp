@@ -39,7 +39,7 @@ class SweepResult {
   /// Axis extents in spec declaration order (degenerate axes count 1).
   struct Shape {
     std::size_t models = 1, loads = 1, failures = 1, schedulers = 1,
-                algorithms = 1, alphas = 1, configs = 1;
+                algorithms = 1, alphas = 1, predictors = 1, configs = 1;
   };
 
   const Shape& shape() const { return shape_; }
@@ -52,7 +52,7 @@ class SweepResult {
   const PointSummary& at(std::size_t model, std::size_t load,
                          std::size_t failures, std::size_t scheduler,
                          std::size_t algorithm, std::size_t alpha,
-                         std::size_t config) const;
+                         std::size_t predictor, std::size_t config) const;
 
   /// Hot-path counters / distribution histograms over every simulation of
   /// the sweep, merged in (cell, repeat) order.

@@ -17,7 +17,7 @@ std::size_t SweepSpec::num_cells() const {
   return models.size() * axis_size(load_scales.size()) *
          axis_size(failure_budgets.size()) * axis_size(schedulers.size()) *
          axis_size(algorithms.size()) * axis_size(alphas.size()) *
-         axis_size(configs.size());
+         axis_size(predictors.size()) * axis_size(configs.size());
 }
 
 int SweepSpec::repeats() const {
@@ -38,6 +38,7 @@ std::vector<Cell> expand_cells(const SweepSpec& spec) {
   const std::size_t n_sched = axis_size(spec.schedulers.size());
   const std::size_t n_algo = axis_size(spec.algorithms.size());
   const std::size_t n_alpha = axis_size(spec.alphas.size());
+  const std::size_t n_pred = axis_size(spec.predictors.size());
   const std::size_t n_cfg = axis_size(spec.configs.size());
   static const ConfigCase kDefaultConfig{"", SimConfig{}, std::nullopt};
 
@@ -49,28 +50,33 @@ std::vector<Cell> expand_cells(const SweepSpec& spec) {
         for (std::size_t si = 0; si < n_sched; ++si) {
           for (std::size_t gi = 0; gi < n_algo; ++gi) {
             for (std::size_t ai = 0; ai < n_alpha; ++ai) {
-              for (std::size_t ci = 0; ci < n_cfg; ++ci) {
-                Cell cell;
-                cell.index = cells.size();
-                cell.coord = {mi, li, fi, si, gi, ai, ci};
-                cell.model = &spec.models[mi];
-                cell.load_scale =
-                    spec.load_scales.empty() ? 1.0 : spec.load_scales[li];
-                cell.nominal_failures =
-                    spec.failure_budgets.empty()
-                        ? paper_failure_count(cell.model->model)
-                        : spec.failure_budgets[fi];
-                cell.scheduler = spec.schedulers.empty()
-                                     ? SchedulerKind::kBalancing
-                                     : spec.schedulers[si];
-                if (!spec.algorithms.empty()) {
-                  cell.algorithm = spec.algorithms[gi];
+              for (std::size_t pi = 0; pi < n_pred; ++pi) {
+                for (std::size_t ci = 0; ci < n_cfg; ++ci) {
+                  Cell cell;
+                  cell.index = cells.size();
+                  cell.coord = {mi, li, fi, si, gi, ai, pi, ci};
+                  cell.model = &spec.models[mi];
+                  cell.load_scale =
+                      spec.load_scales.empty() ? 1.0 : spec.load_scales[li];
+                  cell.nominal_failures =
+                      spec.failure_budgets.empty()
+                          ? paper_failure_count(cell.model->model)
+                          : spec.failure_budgets[fi];
+                  cell.scheduler = spec.schedulers.empty()
+                                       ? SchedulerKind::kBalancing
+                                       : spec.schedulers[si];
+                  if (!spec.algorithms.empty()) {
+                    cell.algorithm = spec.algorithms[gi];
+                  }
+                  if (!spec.predictors.empty()) {
+                    cell.predictor = spec.predictors[pi];
+                  }
+                  cell.config = spec.configs.empty() ? &kDefaultConfig
+                                                     : &spec.configs[ci];
+                  cell.alpha = cell.config->alpha.value_or(
+                      spec.alphas.empty() ? 0.0 : spec.alphas[ai]);
+                  cells.push_back(cell);
                 }
-                cell.config =
-                    spec.configs.empty() ? &kDefaultConfig : &spec.configs[ci];
-                cell.alpha = cell.config->alpha.value_or(
-                    spec.alphas.empty() ? 0.0 : spec.alphas[ai]);
-                cells.push_back(cell);
               }
             }
           }

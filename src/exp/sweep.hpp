@@ -75,6 +75,8 @@ enum class SeedScheme {
 ///   algorithms       whatever each ConfigCase proto carries (i.e. the axis
 ///                    does not override SchedulerConfig::algorithm at all)
 ///   alphas           {0.0}
+///   predictors       whatever each ConfigCase proto carries (i.e. the axis
+///                    does not override SimConfig::predictor_model at all)
 ///   configs          one default-constructed SimConfig, no alpha override
 struct SweepSpec {
   std::string name;                       ///< e.g. "fig3" — output naming.
@@ -88,6 +90,10 @@ struct SweepSpec {
   /// picks the placement-scoring policy + predictor pairing).
   std::vector<SchedAlgorithm> algorithms;
   std::vector<double> alphas;
+  /// Predictor-model axis (docs/PREDICTORS.md): which fault-prediction
+  /// source feeds the scheduler, orthogonal to `alphas` (the quality /
+  /// confidence knob the oracle models consume).
+  std::vector<PredictorModel> predictors;
   std::vector<ConfigCase> configs;
 
   /// Repeats (seeds) averaged per cell: max(BGL_BENCH_SEEDS, repeat_floor).
@@ -114,6 +120,7 @@ struct CellCoord {
   std::size_t scheduler = 0;
   std::size_t algorithm = 0;
   std::size_t alpha = 0;
+  std::size_t predictor = 0;
   std::size_t config = 0;
 };
 
@@ -132,6 +139,9 @@ struct Cell {
   /// default, which keeps pre-axis sweeps byte-identical).
   std::optional<SchedAlgorithm> algorithm;
   double alpha = 0.0;       ///< After any ConfigCase override.
+  /// Set iff the spec's predictor axis is non-empty; nullopt keeps the
+  /// ConfigCase proto's PredictorModel (same degenerate-axis contract).
+  std::optional<PredictorModel> predictor;
   const ConfigCase* config = nullptr;
 };
 

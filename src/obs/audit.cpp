@@ -37,6 +37,7 @@ const char* to_string(ViolationCode code) {
     case ViolationCode::kReservation: return "reservation";
     case ViolationCode::kSnapshotMismatch: return "snapshot_mismatch";
     case ViolationCode::kMetricsMismatch: return "metrics_mismatch";
+    case ViolationCode::kPredictorMismatch: return "predictor_mismatch";
     case ViolationCode::kAggregateMismatch: return "aggregate_mismatch";
     case ViolationCode::kTruncated: return "truncated";
     case ViolationCode::kUnknownEvent: return "unknown_event";
@@ -270,12 +271,33 @@ class Auditor {
     }
   }
 
+  /// True when the declared configuration provably runs the NullPredictor:
+  /// predictor "none", or "paper" resolved under the krevat scheduler (its
+  /// PaperRole is kNull — see predict/registry.hpp). Such a run must never
+  /// flag a node anywhere in the stream.
+  bool predictor_inert() const {
+    return begin_ && (begin_->predictor == "none" ||
+                      (begin_->predictor == "paper" &&
+                       begin_->scheduler == "krevat"));
+  }
+
   void on_sim_begin(const SimBeginEvent& e, std::size_t line) {
     if (begin_) {
       add(ViolationCode::kFormat, line, -1, "duplicate sim_begin");
       return;
     }
     begin_ = e;
+    // Adaptive provenance: flag_window/burst_window iff the adaptive model.
+    if (e.predictor == "adaptive") {
+      if (e.flag_window <= 0.0 || e.burst_window <= 0.0) {
+        add(ViolationCode::kPredictorMismatch, line, -1,
+            "adaptive predictor without flag_window/burst_window provenance");
+      }
+    } else if (e.flag_window != 0.0 || e.burst_window != 0.0) {
+      add(ViolationCode::kPredictorMismatch, line, -1,
+          "flag_window/burst_window from non-adaptive predictor '" +
+              e.predictor + "'");
+    }
     int x = 0, y = 0, z = 0;
     if (std::sscanf(e.machine.c_str(), "%dx%dx%d", &x, &y, &z) != 3 ||
         x <= 0 || y <= 0 || z <= 0) {
@@ -375,6 +397,12 @@ class Auditor {
       add(ViolationCode::kFieldMismatch, line, e.job,
           "nodes_flagged out of range: " + std::to_string(e.nodes_flagged));
     }
+    if (e.nodes_flagged > 0 && predictor_inert()) {
+      add(ViolationCode::kPredictorMismatch, line, e.job,
+          "predictor '" + begin_->predictor + "' under scheduler '" +
+              begin_->scheduler + "' flagged " +
+              std::to_string(e.nodes_flagged) + " nodes");
+    }
   }
 
   void on_decision(const SchedDecisionEvent& e, std::size_t line) {
@@ -387,6 +415,11 @@ class Auditor {
       if (e.candidates < 1) {
         add(ViolationCode::kFieldMismatch, line, e.job,
             "decision with no candidates");
+      }
+      if (e.flags_in_chosen > 0 && predictor_inert()) {
+        add(ViolationCode::kPredictorMismatch, line, e.job,
+            "flags_in_chosen=" + std::to_string(e.flags_in_chosen) +
+                " from an inert predictor pairing");
       }
       check_entry(e.entry, *j, e.job, line, "sched_decision");
     }
@@ -880,6 +913,25 @@ class Auditor {
          "decision_us quantiles not ordered: p50=" + fmt(e.decision_us_p50) +
              " p99=" + fmt(e.decision_us_p99) + " max=" +
              fmt(e.decision_us_max));
+    }
+
+    // Forecast-quality fields score predictor-internal state (the flagged
+    // set captured at the window's start), so like the latency quantiles
+    // they are not reconstructable — range-check them instead: each count
+    // is a node subset of the machine.
+    if (e.pred_tp < 0 || e.pred_fp < 0 || e.pred_fn < 0 ||
+        (begin_ && (e.pred_tp + e.pred_fp > begin_->nodes ||
+                    e.pred_tp + e.pred_fn > begin_->nodes))) {
+      add(ViolationCode::kMetricsMismatch, line, -1,
+          "pred_tp/pred_fp/pred_fn out of range: " +
+              std::to_string(e.pred_tp) + "/" + std::to_string(e.pred_fp) +
+              "/" + std::to_string(e.pred_fn));
+    }
+    if ((e.pred_tp > 0 || e.pred_fp > 0) && predictor_inert()) {
+      add(ViolationCode::kPredictorMismatch, line, -1,
+          "forecast scored flagged nodes (pred_tp=" +
+              std::to_string(e.pred_tp) + ", pred_fp=" +
+              std::to_string(e.pred_fp) + ") from an inert predictor pairing");
     }
 
     last_metrics_t_ = e.t;

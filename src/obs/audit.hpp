@@ -24,8 +24,17 @@
 //                      reconstruction, window deltas match the events seen
 //                      since the previous metrics event, derived rates
 //                      (utilization, finished_per_hour, interval) recompute;
-//                      only the wall-clock decision_us_* quantiles are
-//                      exempt (ordering-sanity-checked instead)
+//                      only the wall-clock decision_us_* quantiles and the
+//                      pred_tp/pred_fp/pred_fn forecast scores (predictor-
+//                      internal state) are exempt from reconstruction —
+//                      both get ordering/range sanity checks instead
+//   predictor          sim_begin predictor provenance (flag_window /
+//                      burst_window present iff predictor == "adaptive");
+//                      an inert predictor pairing — "none", or "paper"
+//                      under the krevat scheduler — must never flag a node
+//                      (predictor_query.nodes_flagged == 0,
+//                      sched_decision.flags_in_chosen == 0, pred_tp ==
+//                      pred_fp == 0)
 //   aggregates         sim_end matches values recomputed from the stream
 //   reservations       when sim_begin declares a reservation-carrying
 //                      algorithm (easy/conservative/easy-holdback), every
@@ -62,6 +71,7 @@ enum class ViolationCode {
   kReservation,       ///< Backfill reservation invariant broken (see below).
   kSnapshotMismatch,  ///< machine_state disagrees with reconstruction.
   kMetricsMismatch,   ///< metrics snapshot disagrees with reconstruction.
+  kPredictorMismatch, ///< Predictor provenance / flag-count invariant broken.
   kAggregateMismatch, ///< sim_end aggregate != recomputed value.
   kTruncated,         ///< Trace ends without sim_end / unfinished jobs.
   kUnknownEvent,      ///< Unknown event type (violation in strict mode).

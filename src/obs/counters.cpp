@@ -18,6 +18,10 @@ std::string_view counter_name(Counter c) {
     case Counter::kCandidatesConsidered: return "sched.candidates_considered";
     case Counter::kPredictorQueries: return "predictor.queries";
     case Counter::kPredictorNodesFlagged: return "predictor.nodes_flagged";
+    case Counter::kPredWindowsScored: return "pred.windows_scored";
+    case Counter::kPredWindowTruePositives: return "pred.window_tp";
+    case Counter::kPredWindowFalsePositives: return "pred.window_fp";
+    case Counter::kPredWindowFalseNegatives: return "pred.window_fn";
     case Counter::kDriverEvents: return "driver.events";
     case Counter::kDriverFailures: return "driver.failures";
     case Counter::kDriverKills: return "driver.kills";
@@ -63,6 +67,15 @@ void CounterRegistry::write_json(std::ostream& out) const {
   ratio("avg_nodes_flagged_per_query",
         static_cast<double>(v(Counter::kPredictorNodesFlagged)),
         v(Counter::kPredictorQueries));
+  // Realized precision/recall of the windowed forecast scorer.
+  ratio("pred.precision",
+        static_cast<double>(v(Counter::kPredWindowTruePositives)),
+        v(Counter::kPredWindowTruePositives) +
+            v(Counter::kPredWindowFalsePositives));
+  ratio("pred.recall",
+        static_cast<double>(v(Counter::kPredWindowTruePositives)),
+        v(Counter::kPredWindowTruePositives) +
+            v(Counter::kPredWindowFalseNegatives));
   out << "}}";
 }
 

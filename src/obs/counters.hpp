@@ -41,6 +41,13 @@ enum class Counter : std::size_t {
   // Predictor traffic.
   kPredictorQueries,       ///< flagged_nodes() calls.
   kPredictorNodesFlagged,  ///< Total nodes flagged across all queries.
+  // Realized forecast quality, scored once per metrics window at node-window
+  // granularity (flagged-at-window-start vs failed-inside-window). The
+  // derived pred.precision / pred.recall ratios come from these.
+  kPredWindowsScored,        ///< Metrics windows scored.
+  kPredWindowTruePositives,  ///< Flagged nodes that did fail in the window.
+  kPredWindowFalsePositives, ///< Flagged nodes that did not fail.
+  kPredWindowFalseNegatives, ///< Failing nodes the forecast missed.
   // Driver lifecycle.
   kDriverEvents,           ///< Discrete events popped from the event queue.
   kDriverFailures,         ///< Node-failure events processed.

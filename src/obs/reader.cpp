@@ -332,6 +332,8 @@ SimBeginEvent SimBeginEvent::from(const TraceRecord& r) {
   if (const auto m = r.num("min_block")) e.min_block = static_cast<int>(*m);
   if (const auto q = r.str("event_queue")) e.event_queue = std::string(*q);
   if (const auto a = r.str("algorithm")) e.algorithm = std::string(*a);
+  if (const auto w = r.num("flag_window")) e.flag_window = *w;
+  if (const auto b = r.num("burst_window")) e.burst_window = *b;
   return e;
 }
 
@@ -470,6 +472,10 @@ MetricsEvent MetricsEvent::from(const TraceRecord& r) {
   e.decision_us_p50 = r.require_num("decision_us_p50");
   e.decision_us_p99 = r.require_num("decision_us_p99");
   e.decision_us_max = r.require_num("decision_us_max");
+  // Forecast-quality fields: optional so pre-predictor traces stay readable.
+  if (const auto tp = r.num("pred_tp")) e.pred_tp = static_cast<std::int64_t>(*tp);
+  if (const auto fp = r.num("pred_fp")) e.pred_fp = static_cast<std::int64_t>(*fp);
+  if (const auto fn = r.num("pred_fn")) e.pred_fn = static_cast<std::int64_t>(*fn);
   return e;
 }
 

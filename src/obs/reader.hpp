@@ -137,6 +137,10 @@ struct SimBeginEvent {
   int min_block = 0;       ///< kBlocks only: smallest block size.
   std::string event_queue; ///< "" (calendar) | "heap".
   std::string algorithm;   ///< "" (krevat) | "easy" | "conservative" | ...
+  // Adaptive-predictor provenance, written iff predictor == "adaptive"
+  // (docs/PREDICTORS.md); 0 means the fields were absent.
+  double flag_window = 0.0;   ///< Base per-node flag window (seconds).
+  double burst_window = 0.0;  ///< Machine-wide burst-detection window.
   static SimBeginEvent from(const TraceRecord& r);
 };
 
@@ -276,6 +280,14 @@ struct MetricsEvent {
   double decision_us_p50 = 0.0;
   double decision_us_p99 = 0.0;
   double decision_us_max = 0.0;
+  /// Realized forecast quality of the window that just closed: the flagged
+  /// set captured at the window's start scored against the nodes that
+  /// failed inside it (node-window granularity). Absent in pre-predictor
+  /// traces; the auditor treats them as ordering/sanity-only (the flagged
+  /// capture is predictor-internal state, not reconstructable).
+  std::int64_t pred_tp = 0;
+  std::int64_t pred_fp = 0;
+  std::int64_t pred_fn = 0;
   static MetricsEvent from(const TraceRecord& r);
 };
 

@@ -132,4 +132,40 @@ PredictionQuality evaluate_predictor(const FaultPredictor& predictor,
   return quality;
 }
 
+PredictionQuality evaluate_predictor_online(FaultPredictor& predictor,
+                                            const FailureTrace& truth,
+                                            double window, double step) {
+  BGL_CHECK(window > 0.0 && step > 0.0, "window and step must be positive");
+  PredictionQuality quality;
+  if (truth.empty()) return quality;
+  const std::vector<FailureEvent>& events = truth.events();
+  const double t_begin = events.front().time;
+  const double t_end = events.back().time;
+  std::size_t true_positives = 0;
+  std::size_t fed = 0;  ///< Truth events already shown to the predictor.
+  std::uint64_t key = 0;
+  for (double t = t_begin; t + window <= t_end; t += step, ++key) {
+    while (fed < events.size() && events[fed].time <= t) {
+      predictor.observe_failure(events[fed].node, events[fed].time, 0.0);
+      ++fed;
+    }
+    predictor.advance(t);
+    const NodeSet flagged = predictor.flagged_nodes(t, t + window, key);
+    const NodeSet failing = truth.failing_nodes(t, t + window);
+    quality.flagged += static_cast<std::size_t>(flagged.count());
+    quality.failing += static_cast<std::size_t>(failing.count());
+    true_positives += static_cast<std::size_t>(flagged.intersect_count(failing));
+    ++quality.windows;
+  }
+  if (quality.flagged > 0) {
+    quality.precision = static_cast<double>(true_positives) /
+                        static_cast<double>(quality.flagged);
+  }
+  if (quality.failing > 0) {
+    quality.recall = static_cast<double>(true_positives) /
+                     static_cast<double>(quality.failing);
+  }
+  return quality;
+}
+
 }  // namespace bgl

@@ -35,6 +35,39 @@ class FaultPredictor {
  public:
   virtual ~FaultPredictor() = default;
 
+  // --- observation interface (event-fed lifecycle) -----------------------
+  //
+  // The clock owner (sim/driver or svc/SchedulerService) feeds the predictor
+  // the failure stream as it unfolds: observe_failure() at every node
+  // failure, observe_repair() when a down node returns, and advance() at
+  // every event so time-based state (flag expiry) can retire. The paper's
+  // oracle predictors answer from the ground-truth trace and ignore all
+  // three (the no-op defaults below keep every pre-seam trace and golden CSV
+  // byte-identical); learned predictors (AdaptivePredictor) build their
+  // entire state from these calls and never see the future.
+  //
+  // Contract for implementers, enforced by the driver-vs-service
+  // differential test: advance(t) must be monotone and idempotent —
+  // advance(a); advance(b) with a <= b must leave the same state as
+  // advance(b) alone — because the simulator calls it on stale events that
+  // the service-side adapter filters out. Queries must not mutate state
+  // (they are re-asked within one scheduling pass), and `down_for` is
+  // advisory only: the live protocol has no up-front down-time, so the
+  // service always passes 0 where the simulator passes the configured
+  // downtime.
+
+  /// A node failed at time `t`; it will be unschedulable for `down_for`
+  /// seconds (0 = transient / unknown, see contract above).
+  virtual void observe_failure(int node, double t, double down_for) {
+    (void)node, (void)t, (void)down_for;
+  }
+
+  /// A down node came back at time `t`.
+  virtual void observe_repair(int node, double t) { (void)node, (void)t; }
+
+  /// Simulation/stream time reached `t`; retire expired internal state.
+  virtual void advance(double t) { (void)t; }
+
   /// Nodes flagged as "will fail" for the window (t0, t1]. `query_key`
   /// seeds any stochastic decisions (pass the job id).
   virtual NodeSet flagged_nodes(double t0, double t1,
@@ -149,6 +182,19 @@ struct PredictionQuality {
 PredictionQuality evaluate_predictor(const FaultPredictor& predictor,
                                      const FailureTrace& truth, double window,
                                      double step);
+
+/// Online/rolling variant: before each sampled window starting at t, the
+/// predictor is fed (observe_failure + advance) every truth event with time
+/// <= t — exactly the information a live deployment would have — and only
+/// then queried for (t, t + window]. For the oracle predictors (no-op
+/// observers) this returns the same numbers as evaluate_predictor(); for
+/// event-fed predictors it measures *realized* precision/recall with no
+/// future leakage. Takes the predictor by non-const reference because
+/// feeding observations mutates it; evaluate a fresh instance, not one
+/// mid-simulation.
+PredictionQuality evaluate_predictor_online(FaultPredictor& predictor,
+                                            const FailureTrace& truth,
+                                            double window, double step);
 
 /// Oracle: flags exactly the failing nodes with probability 1 (upper bound).
 class PerfectPredictor final : public FaultPredictor {

@@ -39,14 +39,13 @@ const char* to_string(SchedulerKind kind) {
   return "?";
 }
 
-const char* to_string(PredictorModel model) {
-  switch (model) {
-    case PredictorModel::kPaper: return "paper";
-    case PredictorModel::kHistory: return "history";
-    case PredictorModel::kPerfect: return "perfect";
-    case PredictorModel::kNone: return "none";
+PaperRole paper_role_for(SchedulerKind kind) {
+  switch (kind) {
+    case SchedulerKind::kKrevat: return PaperRole::kNull;
+    case SchedulerKind::kBalancing: return PaperRole::kBalancing;
+    case SchedulerKind::kTieBreak: return PaperRole::kTieBreak;
   }
-  return "?";
+  return PaperRole::kNull;
 }
 
 namespace {
@@ -187,6 +186,18 @@ class Driver {
   std::int64_t m_migrations_ = 0;
   std::int64_t m_decisions_ = 0;
   std::unique_ptr<obs::LatencyRing> decision_ring_;  ///< Null = metrics off.
+
+  // Rolling forecast scorer (same cadence as `metrics`): at each boundary
+  // the previous window's forecast — the flagged set captured at the
+  // window's start — is scored against the nodes that actually failed
+  // inside it, at node-window granularity. Feeds the pred_tp/pred_fp/
+  // pred_fn metrics fields and the cumulative pred.* counters (from which
+  // write_json / prometheus_render derive realized precision/recall).
+  // Armed when metrics_interval > 0 and either a trace sink or a counter
+  // registry is attached.
+  bool pred_armed_ = false;
+  NodeSet pred_flagged_;  ///< Forecast captured at the window's start.
+  NodeSet pred_failed_;   ///< Nodes that failed inside the window.
 };
 
 void Driver::build_jobs(const Workload& workload) {
@@ -212,34 +223,18 @@ void Driver::build_scheduler() {
   const int n = config_.dims.volume();
 
   // Predictor: the paper's simulated predictors by default; alternatives
-  // (real history-based, oracle, none) are extensions.
-  switch (config_.predictor_model) {
-    case PredictorModel::kPaper:
-      switch (config_.scheduler) {
-        case SchedulerKind::kKrevat:
-          predictor_ = std::make_unique<NullPredictor>(n);
-          break;
-        case SchedulerKind::kBalancing:
-          predictor_ = std::make_unique<BalancingPredictor>(*trace_, config_.alpha);
-          break;
-        case SchedulerKind::kTieBreak:
-          predictor_ = std::make_unique<TieBreakPredictor>(
-              *trace_, config_.alpha, config_.tiebreak_false_positive_rate,
-              config_.seed);
-          break;
-      }
-      break;
-    case PredictorModel::kHistory:
-      predictor_ = std::make_unique<HistoryPredictor>(
-          *trace_, config_.history_lookback, config_.alpha);
-      break;
-    case PredictorModel::kPerfect:
-      predictor_ = std::make_unique<PerfectPredictor>(*trace_);
-      break;
-    case PredictorModel::kNone:
-      predictor_ = std::make_unique<NullPredictor>(n);
-      break;
-  }
+  // (real history-based, oracle, learned, none) come from the registry.
+  PredictorSpec spec;
+  spec.model = config_.predictor_model;
+  spec.paper_role = paper_role_for(config_.scheduler);
+  spec.alpha = config_.alpha;
+  spec.tiebreak_false_positive_rate = config_.tiebreak_false_positive_rate;
+  spec.history_lookback = config_.history_lookback;
+  spec.seed = config_.seed;
+  spec.adaptive = config_.adaptive;
+  // The driver always owns a ground-truth trace (possibly empty), so the
+  // oracle models never raise OracleRequiredError here.
+  predictor_ = make_predictor(spec, n, trace_);
 
   switch (config_.scheduler) {
     case SchedulerKind::kKrevat:
@@ -617,50 +612,78 @@ void Driver::emit_machine_state(double t) {
 }
 
 void Driver::emit_metrics(double t) {
-  int queued_nodes = 0;
-  for (const std::size_t idx : queue_) queued_nodes += jobs_[idx].job.size;
-  // busy = nodes held by running jobs: exactly the union of live allocation
-  // masks (down nodes sit in a separate overlay), which is what the auditor
-  // recomputes from the stream.
-  const int busy = torus_.occupied().count();
-  const int nodes = catalog_->num_nodes();
-  const double interval = t - last_metrics_t_;
-  const std::int64_t window_decisions = m_decisions_;
-  double p50 = 0.0, p99 = 0.0, max_us = 0.0;
-  if (decision_ring_ != nullptr && decision_ring_->size() > 0) {
-    p50 = decision_ring_->quantile(0.5);
-    p99 = decision_ring_->quantile(0.99);
-    max_us = decision_ring_->max();
+  // Score the closing window's forecast against realized failures before
+  // anything is emitted, then re-capture for the next window below.
+  std::int64_t pred_tp = 0, pred_fp = 0, pred_fn = 0;
+  if (pred_armed_) {
+    pred_tp = pred_flagged_.intersect_count(pred_failed_);
+    pred_fp = pred_flagged_.count() - pred_tp;
+    pred_fn = pred_failed_.count() - pred_tp;
+    if (ct_ != nullptr) {
+      ct_->add(obs::Counter::kPredWindowTruePositives,
+               static_cast<std::uint64_t>(pred_tp));
+      ct_->add(obs::Counter::kPredWindowFalsePositives,
+               static_cast<std::uint64_t>(pred_fp));
+      ct_->add(obs::Counter::kPredWindowFalseNegatives,
+               static_cast<std::uint64_t>(pred_fn));
+      ct_->add(obs::Counter::kPredWindowsScored);
+    }
   }
 
-  tr_->event("metrics", t)
-      .field("queue_depth", static_cast<std::int64_t>(queue_.size()))
-      .field("queued_nodes", queued_nodes)
-      .field("running_jobs", static_cast<std::int64_t>(running_.size()))
-      .field("busy_nodes", busy)
-      .field("down_nodes", down_.count())
-      .field("utilization",
-             nodes > 0 ? static_cast<double>(busy) / static_cast<double>(nodes)
-                       : 0.0)
-      .field("interval", interval)
-      .field("submits", m_submits_)
-      .field("starts", m_starts_)
-      .field("finishes", m_finishes_)
-      .field("kills", m_kills_)
-      .field("migrations", m_migrations_)
-      .field("finished_per_hour",
-             interval > 0.0
-                 ? static_cast<double>(m_finishes_) * 3600.0 / interval
-                 : 0.0)
-      .field("decisions", window_decisions)
-      .field("decision_us_p50", p50)
-      .field("decision_us_p99", p99)
-      .field("decision_us_max", max_us);
+  if (tr_ != nullptr) {
+    int queued_nodes = 0;
+    for (const std::size_t idx : queue_) queued_nodes += jobs_[idx].job.size;
+    // busy = nodes held by running jobs: exactly the union of live allocation
+    // masks (down nodes sit in a separate overlay), which is what the auditor
+    // recomputes from the stream.
+    const int busy = torus_.occupied().count();
+    const int nodes = catalog_->num_nodes();
+    const double interval = t - last_metrics_t_;
+    const std::int64_t window_decisions = m_decisions_;
+    double p50 = 0.0, p99 = 0.0, max_us = 0.0;
+    if (decision_ring_ != nullptr && decision_ring_->size() > 0) {
+      p50 = decision_ring_->quantile(0.5);
+      p99 = decision_ring_->quantile(0.99);
+      max_us = decision_ring_->max();
+    }
+
+    tr_->event("metrics", t)
+        .field("queue_depth", static_cast<std::int64_t>(queue_.size()))
+        .field("queued_nodes", queued_nodes)
+        .field("running_jobs", static_cast<std::int64_t>(running_.size()))
+        .field("busy_nodes", busy)
+        .field("down_nodes", down_.count())
+        .field("utilization",
+               nodes > 0 ? static_cast<double>(busy) / static_cast<double>(nodes)
+                         : 0.0)
+        .field("interval", interval)
+        .field("submits", m_submits_)
+        .field("starts", m_starts_)
+        .field("finishes", m_finishes_)
+        .field("kills", m_kills_)
+        .field("migrations", m_migrations_)
+        .field("finished_per_hour",
+               interval > 0.0
+                   ? static_cast<double>(m_finishes_) * 3600.0 / interval
+                   : 0.0)
+        .field("decisions", window_decisions)
+        .field("decision_us_p50", p50)
+        .field("decision_us_p99", p99)
+        .field("decision_us_max", max_us)
+        .field("pred_tp", pred_tp)
+        .field("pred_fp", pred_fp)
+        .field("pred_fn", pred_fn);
+  }
 
   last_metrics_t_ = t;
   m_submits_ = m_starts_ = m_finishes_ = m_kills_ = m_migrations_ = 0;
   m_decisions_ = 0;
   if (decision_ring_ != nullptr) decision_ring_->clear();
+  if (pred_armed_) {
+    predictor_->flagged_nodes_into(pred_flagged_, t,
+                                   t + config_.metrics_interval, 0);
+    pred_failed_.clear();
+  }
 }
 
 SimResult Driver::run() {
@@ -705,18 +728,37 @@ SimResult Driver::run() {
     if (config_.sched.algorithm != SchedAlgorithm::kKrevat) {
       begin.field("algorithm", to_string(config_.sched.algorithm));
     }
+    // Adaptive-predictor provenance: emitted for kAdaptive only (a new
+    // model, so no pre-existing trace changes) and required by the strict
+    // auditor's predictor_mismatch invariant.
+    if (config_.predictor_model == PredictorModel::kAdaptive) {
+      begin.field("flag_window", config_.adaptive.node_flag_window)
+          .field("burst_window", config_.adaptive.burst_window);
+    }
     if (config_.snapshot_interval > 0.0) {
       next_snapshot_ =
           std::min(first_event, min_arrival_) + config_.snapshot_interval;
     }
-    if (config_.metrics_interval > 0.0) {
-      last_metrics_t_ = std::min(first_event, min_arrival_);
-      next_metrics_ = last_metrics_t_ + config_.metrics_interval;
-    }
+  }
+  // The metrics cadence (and the forecast scorer riding on it) also runs
+  // trace-less when a counter registry is attached, so --stats-out alone
+  // still reports realized pred.* precision/recall.
+  if (config_.metrics_interval > 0.0 && (tr_ != nullptr || ct_ != nullptr)) {
+    last_metrics_t_ = std::min(first_event, min_arrival_);
+    next_metrics_ = last_metrics_t_ + config_.metrics_interval;
+    pred_armed_ = true;
+    pred_flagged_ = predictor_->flagged_nodes(
+        last_metrics_t_, last_metrics_t_ + config_.metrics_interval, 0);
+    pred_failed_ = NodeSet(catalog_->num_nodes());
   }
 
   while (!events_.empty() && jobs_done_ < jobs_.size()) {
     const Event e = events_.pop();
+    // Event-fed predictor lifecycle: retire expired flags before any
+    // snapshot or decision at this timestamp. Called for every popped event
+    // (including stale finishes/expiries the service-side adapter filters
+    // out), which is why the advance() contract demands idempotency.
+    predictor_->advance(e.time);
     emit_snapshots_until(e.time);
     // One des.event span per dispatched event; scheduler passes triggered by
     // the event (sched.pass and its subtree) nest under it.
@@ -760,6 +802,15 @@ SimResult Driver::run() {
       case EventType::kFailure: {
         const int node = static_cast<int>(e.id);
         ++result_.failures_total;
+        // Feed the failure to the predictor before the kills it causes, so
+        // the requeued victims are re-placed with the new evidence (same
+        // order as the service's on_fail).
+        predictor_->observe_failure(
+            node, e.time,
+            config_.failure_semantics == FailureSemantics::kDownFor
+                ? config_.node_downtime
+                : 0.0);
+        if (pred_armed_) pred_failed_.set(node);
         if (ct_ != nullptr) ct_->add(obs::Counter::kDriverFailures);
         if (config_.record_replay) {
           result_.replay.push_back(
@@ -805,6 +856,7 @@ SimResult Driver::run() {
         if (down_.test(node) &&
             e.time + 1e-9 >= down_until_[static_cast<std::size_t>(node)]) {
           down_.reset(node);
+          predictor_->observe_repair(node, e.time);
           // The node cannot be allocated while down, so releasing it in
           // the index exactly undoes the failure-time block.
           if (index_ != nullptr) index_->release_node(node);

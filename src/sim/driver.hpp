@@ -23,6 +23,7 @@
 #include "des/event_queue.hpp"
 #include "failure/trace.hpp"
 #include "obs/observer.hpp"
+#include "predict/registry.hpp"
 #include "sched/types.hpp"
 #include "sim/metrics.hpp"
 #include "torus/catalog.hpp"
@@ -34,16 +35,13 @@ enum class SchedulerKind { kKrevat, kBalancing, kTieBreak };
 
 const char* to_string(SchedulerKind kind);
 
-/// Which predictor feeds the fault-aware placement policies.
-enum class PredictorModel {
-  kPaper,    ///< §4: balancing/tie-breaking predictors with knob `alpha`.
-  kHistory,  ///< Extension: real past-only predictor (HistoryPredictor);
-             ///  `alpha` becomes its per-node confidence, lookback below.
-  kPerfect,  ///< Oracle upper bound.
-  kNone,     ///< Fault-oblivious regardless of scheduler kind.
-};
+// PredictorModel (and its to_string/parse) lives in predict/registry.hpp —
+// one registry shared by driver, service, CLIs and the sweep engine.
 
-const char* to_string(PredictorModel model);
+/// The PaperRole the kPaper model resolves to under a scheduler kind:
+/// balancing -> BalancingPredictor, tie-break -> TieBreakPredictor,
+/// krevat -> no predictor.
+PaperRole paper_role_for(SchedulerKind kind);
 
 /// Waiting-queue priority order. The paper is strictly FCFS; the others are
 /// classic alternatives provided for scheduler studies (see
@@ -88,6 +86,9 @@ struct SimConfig {
   PredictorModel predictor_model = PredictorModel::kPaper;
   /// History window of the kHistory predictor.
   double history_lookback = 7.0 * 86400.0;
+  /// Hazard-model knobs of the kAdaptive predictor (its confidence follows
+  /// `alpha` when alpha > 0; see make_predictor).
+  AdaptiveConfig adaptive;
 
   SchedulerConfig sched;
   QueueOrder queue_order = QueueOrder::kFcfs;

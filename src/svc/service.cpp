@@ -4,11 +4,13 @@
 #include <chrono>
 #include <string>
 
+#include "obs/counters.hpp"
 #include "obs/histogram.hpp"
 #include "obs/profiler.hpp"
 #include "obs/series.hpp"
 #include "obs/trace.hpp"
 #include "predict/predictor.hpp"
+#include "predict/registry.hpp"
 #include "sched/scheduler.hpp"
 #include "util/error.hpp"
 #include "util/logging.hpp"
@@ -35,7 +37,8 @@ SchedulerService::SchedulerService(const ServiceConfig& config,
       torus_(*catalog_),
       down_(config.dims.volume()),
       tr_(config.obs.trace),
-      hg_(config.obs.histograms) {
+      hg_(config.obs.histograms),
+      ct_(config.obs.counters) {
   BGL_CHECK(catalog_->dims() == config.dims, "shared catalog dims mismatch");
   BGL_CHECK(catalog_->topology() == config.topology,
             "shared catalog topology mismatch");
@@ -52,46 +55,19 @@ SchedulerService::~SchedulerService() = default;
 
 void SchedulerService::build_scheduler(const FailureTrace* oracle) {
   const int n = config_.dims.volume();
-  auto need_oracle = [&]() -> const FailureTrace& {
-    if (oracle == nullptr) {
-      throw ConfigError(
-          std::string("scheduler '") + to_string(config_.scheduler) +
-          "' with predictor '" + to_string(config_.predictor_model) +
-          "' needs a failure oracle trace; pass one or use predictor 'none'");
-    }
-    BGL_CHECK(oracle->empty() || oracle->num_nodes() == n,
-              "failure oracle node count mismatch");
-    return *oracle;
-  };
-
-  switch (config_.predictor_model) {
-    case PredictorModel::kPaper:
-      switch (config_.scheduler) {
-        case SchedulerKind::kKrevat:
-          predictor_ = std::make_unique<NullPredictor>(n);
-          break;
-        case SchedulerKind::kBalancing:
-          predictor_ =
-              std::make_unique<BalancingPredictor>(need_oracle(), config_.alpha);
-          break;
-        case SchedulerKind::kTieBreak:
-          predictor_ = std::make_unique<TieBreakPredictor>(
-              need_oracle(), config_.alpha, config_.tiebreak_false_positive_rate,
-              config_.seed);
-          break;
-      }
-      break;
-    case PredictorModel::kHistory:
-      predictor_ = std::make_unique<HistoryPredictor>(
-          need_oracle(), config_.history_lookback, config_.alpha);
-      break;
-    case PredictorModel::kPerfect:
-      predictor_ = std::make_unique<PerfectPredictor>(need_oracle());
-      break;
-    case PredictorModel::kNone:
-      predictor_ = std::make_unique<NullPredictor>(n);
-      break;
-  }
+  // One registry for every frontend: make_predictor raises the typed
+  // OracleRequiredError — naming the model — when an oracle-backed model is
+  // configured without a trace. kAdaptive needs none: it is fed by the
+  // stream's fail/repair events.
+  PredictorSpec spec;
+  spec.model = config_.predictor_model;
+  spec.paper_role = paper_role_for(config_.scheduler);
+  spec.alpha = config_.alpha;
+  spec.tiebreak_false_positive_rate = config_.tiebreak_false_positive_rate;
+  spec.history_lookback = config_.history_lookback;
+  spec.seed = config_.seed;
+  spec.adaptive = config_.adaptive;
+  predictor_ = make_predictor(spec, n, oracle);
 
   switch (config_.scheduler) {
     case SchedulerKind::kKrevat:
@@ -122,6 +98,22 @@ int SchedulerService::usable_free_nodes() const {
 }
 
 void SchedulerService::ensure_begin(double t) {
+  // Cadence anchoring is independent of tracing: the metrics window (and
+  // the forecast scorer riding on it) also runs counters-only, so a live
+  // sched_server scrape shows pred.* without a trace sink attached.
+  if (!cadences_anchored_) {
+    cadences_anchored_ = true;
+    if (tr_ != nullptr && config_.snapshot_interval > 0.0) {
+      next_snapshot_ = t + config_.snapshot_interval;
+    }
+    if (config_.metrics_interval > 0.0 && (tr_ != nullptr || ct_ != nullptr)) {
+      last_metrics_t_ = t;
+      next_metrics_ = t + config_.metrics_interval;
+      pred_armed_ = true;
+      pred_flagged_ = predictor_->flagged_nodes(t, t + config_.metrics_interval, 0);
+      pred_failed_ = NodeSet(catalog_->num_nodes());
+    }
+  }
   if (tr_ == nullptr || begin_emitted_) return;
   begin_emitted_ = true;
   auto begin = tr_->event("sim_begin", t);
@@ -145,14 +137,11 @@ void SchedulerService::ensure_begin(double t) {
   if (config_.sched.algorithm != SchedAlgorithm::kKrevat) {
     begin.field("algorithm", to_string(config_.sched.algorithm));
   }
-  // Anchor the periodic-emission cadences at the first traced event, the
-  // online analogue of the driver's min(first_event, min_arrival) base.
-  if (config_.snapshot_interval > 0.0) {
-    next_snapshot_ = t + config_.snapshot_interval;
-  }
-  if (config_.metrics_interval > 0.0) {
-    last_metrics_t_ = t;
-    next_metrics_ = t + config_.metrics_interval;
+  // Adaptive-predictor provenance, mirroring the driver (and checked by the
+  // strict auditor's predictor_mismatch invariant).
+  if (config_.predictor_model == PredictorModel::kAdaptive) {
+    begin.field("flag_window", config_.adaptive.node_flag_window)
+        .field("burst_window", config_.adaptive.burst_window);
   }
 }
 
@@ -199,48 +188,75 @@ void SchedulerService::emit_machine_state(double t) {
 }
 
 void SchedulerService::emit_metrics(double t) {
-  int queued_nodes = 0;
-  for (const std::uint64_t id : queue_) {
-    queued_nodes += jobs_.find(id)->second.size;
-  }
-  const int busy = torus_.occupied().count();
-  const int nodes = catalog_->num_nodes();
-  const double interval = t - last_metrics_t_;
-  double p50 = 0.0, p99 = 0.0, max_us = 0.0;
-  if (decision_ring_ != nullptr && decision_ring_->size() > 0) {
-    p50 = decision_ring_->quantile(0.5);
-    p99 = decision_ring_->quantile(0.99);
-    max_us = decision_ring_->max();
+  // Score the closing window's forecast first (mirrors sim/driver).
+  std::int64_t pred_tp = 0, pred_fp = 0, pred_fn = 0;
+  if (pred_armed_) {
+    pred_tp = pred_flagged_.intersect_count(pred_failed_);
+    pred_fp = pred_flagged_.count() - pred_tp;
+    pred_fn = pred_failed_.count() - pred_tp;
+    if (ct_ != nullptr) {
+      ct_->add(obs::Counter::kPredWindowTruePositives,
+               static_cast<std::uint64_t>(pred_tp));
+      ct_->add(obs::Counter::kPredWindowFalsePositives,
+               static_cast<std::uint64_t>(pred_fp));
+      ct_->add(obs::Counter::kPredWindowFalseNegatives,
+               static_cast<std::uint64_t>(pred_fn));
+      ct_->add(obs::Counter::kPredWindowsScored);
+    }
   }
 
-  tr_->event("metrics", t)
-      .field("queue_depth", static_cast<std::int64_t>(queue_.size()))
-      .field("queued_nodes", queued_nodes)
-      .field("running_jobs", static_cast<std::int64_t>(running_.size()))
-      .field("busy_nodes", busy)
-      .field("down_nodes", down_.count())
-      .field("utilization",
-             nodes > 0 ? static_cast<double>(busy) / static_cast<double>(nodes)
-                       : 0.0)
-      .field("interval", interval)
-      .field("submits", m_submits_)
-      .field("starts", m_starts_)
-      .field("finishes", m_finishes_)
-      .field("kills", m_kills_)
-      .field("migrations", m_migrations_)
-      .field("finished_per_hour",
-             interval > 0.0
-                 ? static_cast<double>(m_finishes_) * 3600.0 / interval
-                 : 0.0)
-      .field("decisions", m_decisions_)
-      .field("decision_us_p50", p50)
-      .field("decision_us_p99", p99)
-      .field("decision_us_max", max_us);
+  if (tr_ != nullptr) {
+    int queued_nodes = 0;
+    for (const std::uint64_t id : queue_) {
+      queued_nodes += jobs_.find(id)->second.size;
+    }
+    const int busy = torus_.occupied().count();
+    const int nodes = catalog_->num_nodes();
+    const double interval = t - last_metrics_t_;
+    double p50 = 0.0, p99 = 0.0, max_us = 0.0;
+    if (decision_ring_ != nullptr && decision_ring_->size() > 0) {
+      p50 = decision_ring_->quantile(0.5);
+      p99 = decision_ring_->quantile(0.99);
+      max_us = decision_ring_->max();
+    }
+
+    tr_->event("metrics", t)
+        .field("queue_depth", static_cast<std::int64_t>(queue_.size()))
+        .field("queued_nodes", queued_nodes)
+        .field("running_jobs", static_cast<std::int64_t>(running_.size()))
+        .field("busy_nodes", busy)
+        .field("down_nodes", down_.count())
+        .field("utilization",
+               nodes > 0 ? static_cast<double>(busy) / static_cast<double>(nodes)
+                         : 0.0)
+        .field("interval", interval)
+        .field("submits", m_submits_)
+        .field("starts", m_starts_)
+        .field("finishes", m_finishes_)
+        .field("kills", m_kills_)
+        .field("migrations", m_migrations_)
+        .field("finished_per_hour",
+               interval > 0.0
+                   ? static_cast<double>(m_finishes_) * 3600.0 / interval
+                   : 0.0)
+        .field("decisions", m_decisions_)
+        .field("decision_us_p50", p50)
+        .field("decision_us_p99", p99)
+        .field("decision_us_max", max_us)
+        .field("pred_tp", pred_tp)
+        .field("pred_fp", pred_fp)
+        .field("pred_fn", pred_fn);
+  }
 
   last_metrics_t_ = t;
   m_submits_ = m_starts_ = m_finishes_ = m_kills_ = m_migrations_ = 0;
   m_decisions_ = 0;
   if (decision_ring_ != nullptr) decision_ring_->clear();
+  if (pred_armed_) {
+    predictor_->flagged_nodes_into(pred_flagged_, t,
+                                   t + config_.metrics_interval, 0);
+    pred_failed_.clear();
+  }
 }
 
 /// §6.1 capacity integral, driven by the event stream: starts at the first
@@ -484,6 +500,7 @@ void SchedulerService::on_submit(const Event& e, std::vector<Decision>& out,
   }
 
   advance_integrator(e);
+  predictor_->advance(e.time);
   ensure_begin(e.time);
   emit_snapshots_until(e.time);
   ++m_submits_;
@@ -527,6 +544,7 @@ void SchedulerService::on_complete(const Event& e, std::vector<Decision>& out,
   }
 
   advance_integrator(e);
+  predictor_->advance(e.time);
   emit_snapshots_until(e.time);
   job.phase = Phase::kDone;
   ++stats_.finished;
@@ -571,8 +589,15 @@ void SchedulerService::on_complete(const Event& e, std::vector<Decision>& out,
 
 void SchedulerService::on_fail(const Event& e, std::vector<Decision>& out) {
   advance_integrator(e);
+  predictor_->advance(e.time);
   ensure_begin(e.time);
   emit_snapshots_until(e.time);
+  // Feed the failure to the predictor before the kills it causes, so the
+  // requeued victims are re-placed with the new evidence (mirrors the
+  // driver's kFailure order). The protocol carries no up-front down-time,
+  // so down_for is 0 — see the FaultPredictor contract.
+  predictor_->observe_failure(e.node, e.time, 0.0);
+  if (pred_armed_) pred_failed_.set(e.node);
   ++stats_.failures;
   const std::vector<std::uint64_t> victims =
       torus_.allocations_containing(e.node);
@@ -609,7 +634,9 @@ void SchedulerService::on_repair(const Event& e, std::vector<Decision>& out,
                         "node " + std::to_string(e.node) + " is not down");
   }
   advance_integrator(e);
+  predictor_->advance(e.time);
   emit_snapshots_until(e.time);
+  predictor_->observe_repair(e.node, e.time);
   down_.reset(e.node);
   // The node cannot be allocated while down, so releasing it in the index
   // exactly undoes the failure-time block.
@@ -652,6 +679,7 @@ void SchedulerService::handle(const Event& event, std::vector<Decision>& out,
       break;
     case EventKind::kTick:
       advance_integrator(event);
+      predictor_->advance(event.time);
       emit_snapshots_until(event.time);
       run_pass(event.time, out);
       break;

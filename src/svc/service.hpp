@@ -68,8 +68,11 @@ struct ServiceConfig {
   double tiebreak_false_positive_rate = 0.0;
   /// kNone by default: the oracle predictors need a failure trace, which an
   /// online deployment does not have (pass one for simulation parity).
+  /// kAdaptive needs none — it learns from the fail/repair events.
   PredictorModel predictor_model = PredictorModel::kNone;
   double history_lookback = 7.0 * 86400.0;
+  /// Hazard-model knobs of the kAdaptive predictor.
+  AdaptiveConfig adaptive;
   SchedulerConfig sched;
   QueueOrder queue_order = QueueOrder::kFcfs;
   MetricsConfig metrics;
@@ -109,8 +112,9 @@ struct ServiceStats {
 class SchedulerService {
  public:
   /// `oracle` (nullable, borrowed) feeds the paper's simulated predictors;
-  /// required iff the configured scheduler/predictor consults one (throws
-  /// ConfigError otherwise). `shared_catalog` (nullable, borrowed) skips
+  /// required iff the configured predictor model consults one (throws the
+  /// typed OracleRequiredError — naming the model — otherwise; kAdaptive
+  /// and kNone need no oracle). `shared_catalog` (nullable, borrowed) skips
   /// catalog construction, exactly like run_simulation's parameter.
   explicit SchedulerService(const ServiceConfig& config,
                             const FailureTrace* oracle = nullptr,
@@ -230,8 +234,10 @@ class SchedulerService {
 
   obs::TraceSink* tr_;
   obs::HistogramRegistry* hg_;
+  obs::CounterRegistry* ct_;
   bool begin_emitted_ = false;
   bool end_emitted_ = false;
+  bool cadences_anchored_ = false;
 
   // Periodic-emission state (mirrors sim/driver): cadence cursors anchored
   // at the first traced event, the metrics window's event counts —
@@ -247,6 +253,15 @@ class SchedulerService {
   std::int64_t m_migrations_ = 0;
   std::int64_t m_decisions_ = 0;
   std::unique_ptr<obs::LatencyRing> decision_ring_;  ///< Null = metrics off.
+
+  // Rolling forecast scorer, mirroring sim/driver: the flagged set captured
+  // at each metrics boundary is scored against the nodes that failed inside
+  // the window (pred_tp/pred_fp/pred_fn metrics fields + cumulative pred.*
+  // counters for prometheus_render). Armed when metrics_interval > 0 and a
+  // trace sink or counter registry is attached.
+  bool pred_armed_ = false;
+  NodeSet pred_flagged_;
+  NodeSet pred_failed_;
 };
 
 }  // namespace bgl::svc

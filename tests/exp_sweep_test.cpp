@@ -388,7 +388,7 @@ TEST(SweepRunner, AlgorithmAxisReachesTheScheduler) {
   ASSERT_EQ(result.num_cells(), 3u);
   EXPECT_EQ(result.shape().algorithms, 3u);
   // at() addresses the algorithm dimension directly.
-  EXPECT_EQ(&result.at(0, 0, 0, 0, 1, 0, 0), &result.cell(1));
+  EXPECT_EQ(&result.at(0, 0, 0, 0, 1, 0, 0, 0), &result.cell(1));
   // The disciplines must actually produce different schedules somewhere:
   // identical grids would mean the axis never reached SchedulerConfig.
   bool any_difference = false;
@@ -397,6 +397,97 @@ TEST(SweepRunner, AlgorithmAxisReachesTheScheduler) {
     const PointSummary& other = result.cell(gi);
     if (base.slowdown != other.slowdown || base.wait != other.wait ||
         base.utilization != other.utilization) {
+      any_difference = true;
+    }
+  }
+  EXPECT_TRUE(any_difference);
+}
+
+// --- predictor axis (fault-prediction-model dimension) -------------------
+
+TEST(SweepSpec, PredictorAxisExpandsBetweenAlphasAndConfigs) {
+  SweepSpec spec;
+  spec.name = "preds";
+  spec.models = {{"SDSC", tiny_model()}};
+  spec.alphas = {0.0, 0.5};
+  spec.predictors = {PredictorModel::kPaper, PredictorModel::kHistory,
+                     PredictorModel::kAdaptive};
+  SimConfig mesh;
+  mesh.topology = Topology::kMesh;
+  spec.configs = {{"torus", SimConfig{}, std::nullopt},
+                  {"mesh", mesh, std::nullopt}};
+
+  const std::vector<Cell> cells = expand_cells(spec);
+  ASSERT_EQ(cells.size(), spec.num_cells());
+  ASSERT_EQ(cells.size(), 2u * 3u * 2u);  // alphas x predictors x configs
+
+  // Configs vary fastest, then predictors, then alphas.
+  ASSERT_TRUE(cells[0].predictor.has_value());
+  EXPECT_EQ(*cells[0].predictor, PredictorModel::kPaper);
+  EXPECT_EQ(*cells[2].predictor, PredictorModel::kHistory);
+  EXPECT_EQ(*cells[4].predictor, PredictorModel::kAdaptive);
+  EXPECT_EQ(cells[1].config->label, "mesh");
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    EXPECT_EQ(cells[i].coord.config, i % 2) << i;
+    EXPECT_EQ(cells[i].coord.predictor, (i / 2) % 3) << i;
+    EXPECT_EQ(cells[i].coord.alpha, i / 6) << i;
+  }
+}
+
+TEST(SweepSpec, EmptyPredictorAxisPreservesConfigChoice) {
+  // No predictor axis -> no override: run_unit keeps whatever
+  // PredictorModel the ConfigCase proto pinned, so every pre-axis sweep
+  // stays byte-identical (same contract as the algorithm axis).
+  const std::vector<Cell> cells = expand_cells(tiny_spec());
+  for (const Cell& cell : cells) EXPECT_FALSE(cell.predictor.has_value());
+}
+
+TEST(SweepRunner, DegeneratePredictorAxisIsByteIdentical) {
+  ASSERT_EQ(setenv("BGL_BENCH_SEEDS", "2", 1), 0);
+  SweepSpec base = tiny_spec();
+  SweepSpec with_axis = tiny_spec();
+  with_axis.predictors = {PredictorModel::kPaper};  // == the proto default
+
+  const SweepResult a = SweepRunner().run(base, RunOptions{});
+  const SweepResult b = SweepRunner().run(with_axis, RunOptions{});
+  unsetenv("BGL_BENCH_SEEDS");
+
+  ASSERT_EQ(a.num_cells(), b.num_cells());
+  EXPECT_EQ(b.shape().predictors, 1u);
+  for (std::size_t i = 0; i < a.num_cells(); ++i) {
+    PointSummary pa = a.cell(i);
+    PointSummary pb = b.cell(i);
+    pa.wall_seconds = pb.wall_seconds = 0.0;
+    pa.decision_p99_us = pb.decision_p99_us = 0.0;
+    EXPECT_EQ(std::memcmp(&pa, &pb, sizeof(PointSummary)), 0) << "cell " << i;
+  }
+}
+
+TEST(SweepRunner, PredictorAxisReachesTheDriver) {
+  ASSERT_EQ(setenv("BGL_BENCH_SEEDS", "2", 1), 0);
+  SweepSpec spec;
+  spec.name = "pred-effect";
+  spec.models = {{"SDSC", tiny_model()}};
+  spec.failure_budgets = {2000};  // dense faults: prediction choices matter
+  spec.alphas = {0.9};
+  spec.predictors = {PredictorModel::kNone, PredictorModel::kPerfect,
+                     PredictorModel::kAdaptive};
+
+  const SweepResult result = SweepRunner().run(spec, RunOptions{});
+  unsetenv("BGL_BENCH_SEEDS");
+
+  ASSERT_EQ(result.num_cells(), 3u);
+  EXPECT_EQ(result.shape().predictors, 3u);
+  // at() addresses the predictor dimension directly.
+  EXPECT_EQ(&result.at(0, 0, 0, 0, 0, 0, 1, 0), &result.cell(1));
+  // The models must actually produce different schedules somewhere:
+  // identical grids would mean the axis never reached SimConfig.
+  bool any_difference = false;
+  for (std::size_t pi = 1; pi < 3; ++pi) {
+    const PointSummary& base = result.cell(0);
+    const PointSummary& other = result.cell(pi);
+    if (base.slowdown != other.slowdown || base.wait != other.wait ||
+        base.kills != other.kills) {
       any_difference = true;
     }
   }

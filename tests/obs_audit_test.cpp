@@ -304,6 +304,89 @@ TEST(TraceAudit, DetectsCorruptedSimEndAggregate) {
       << codes_of(report);
 }
 
+/// A short adaptive-predictor run with metrics snapshots: exercises the
+/// predictor provenance fields (sim_begin flag_window/burst_window) and the
+/// pred_* forecast scores the predictor-seam corruption tests key on.
+std::string adaptive_run(PredictorModel model = PredictorModel::kAdaptive,
+                         SchedulerKind kind = SchedulerKind::kBalancing) {
+  Workload w = make_workload({
+      Job{1, 0.0, 80.0, 90.0, 64},
+      Job{2, 5.0, 60.0, 70.0, 64},
+      Job{3, 15.0, 60.0, 70.0, 32},
+  });
+  const FailureTrace trace({FailureEvent{30.0, 5}, FailureEvent{35.0, 5}}, 128);
+  SimConfig config;
+  config.scheduler = kind;
+  config.predictor_model = model;
+  config.alpha = 0.3;
+  config.metrics_interval = 50.0;
+  std::ostringstream out;
+  TraceSink sink(out);
+  config.obs.trace = &sink;
+  run_simulation(w, trace, config);
+  return out.str();
+}
+
+TEST(TraceAudit, CleanAdaptiveTracePassesStrict) {
+  const AuditReport report =
+      audit_string(adaptive_run(), AuditOptions{.strict = true});
+  EXPECT_TRUE(report.ok()) << codes_of(report);
+}
+
+TEST(TraceAudit, DetectsMissingAdaptiveProvenance) {
+  std::string trace = adaptive_run();
+  ASSERT_TRUE(corrupt_field(trace, "\"type\":\"sim_begin\"", "flag_window", "0"));
+  const AuditReport report = audit_string(trace);
+  EXPECT_TRUE(has_code(report, ViolationCode::kPredictorMismatch))
+      << codes_of(report);
+}
+
+TEST(TraceAudit, DetectsProvenanceFromNonAdaptivePredictor) {
+  // Rewriting the declared predictor to an inert one leaves the adaptive
+  // provenance fields (and any flags downstream) contradicting it.
+  std::string trace = adaptive_run();
+  ASSERT_TRUE(
+      corrupt_field(trace, "\"type\":\"sim_begin\"", "predictor", "\"none\""));
+  const AuditReport report = audit_string(trace);
+  EXPECT_TRUE(has_code(report, ViolationCode::kPredictorMismatch))
+      << codes_of(report);
+}
+
+TEST(TraceAudit, DetectsFlagsFromInertPredictorPairing) {
+  // krevat + paper is the inert pairing: its decisions must never report
+  // flags in the chosen partition.
+  std::string trace =
+      adaptive_run(PredictorModel::kPaper, SchedulerKind::kKrevat);
+  ASSERT_TRUE(
+      corrupt_field(trace, "\"type\":\"sched_decision\"", "flags_in_chosen", "2"));
+  const AuditReport report = audit_string(trace);
+  EXPECT_TRUE(has_code(report, ViolationCode::kPredictorMismatch))
+      << codes_of(report);
+}
+
+TEST(TraceAudit, DetectsForecastScoresFromInertPredictor) {
+  std::string trace =
+      adaptive_run(PredictorModel::kPaper, SchedulerKind::kKrevat);
+  ASSERT_TRUE(corrupt_field(trace, "\"type\":\"metrics\"", "pred_tp", "1"));
+  const AuditReport report = audit_string(trace);
+  EXPECT_TRUE(has_code(report, ViolationCode::kPredictorMismatch))
+      << codes_of(report);
+}
+
+TEST(TraceAudit, DetectsOutOfRangeForecastScores) {
+  // pred_tp + pred_fp can never exceed the machine's node count, and the
+  // counts are non-negative; both breaches are metrics-level corruption.
+  std::string trace = adaptive_run();
+  ASSERT_TRUE(corrupt_field(trace, "\"type\":\"metrics\"", "pred_fp", "999"));
+  EXPECT_TRUE(has_code(audit_string(trace), ViolationCode::kMetricsMismatch))
+      << codes_of(audit_string(trace));
+
+  std::string trace2 = adaptive_run();
+  ASSERT_TRUE(corrupt_field(trace2, "\"type\":\"metrics\"", "pred_fn", "-3"));
+  EXPECT_TRUE(has_code(audit_string(trace2), ViolationCode::kMetricsMismatch))
+      << codes_of(audit_string(trace2));
+}
+
 TEST(TraceAudit, UnknownEventsTolerantByDefaultStrictOptIn) {
   // Insert an unrecognised event just before sim_end, borrowing sim_end's
   // own t so the time-order invariant stays intact.
@@ -364,6 +447,8 @@ TEST(TraceAudit, ViolationCodeStringsAreStable) {
   EXPECT_STREQ(obs::to_string(ViolationCode::kAggregateMismatch),
                "aggregate_mismatch");
   EXPECT_STREQ(obs::to_string(ViolationCode::kTruncated), "truncated");
+  EXPECT_STREQ(obs::to_string(ViolationCode::kPredictorMismatch),
+               "predictor_mismatch");
 }
 
 // --- machine_state snapshots ---

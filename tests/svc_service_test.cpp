@@ -359,5 +359,46 @@ TEST(SvcService, EmittedTracePassesStrictAudit) {
   EXPECT_EQ(report.jobs, report.jobs);  // parsed
 }
 
+TEST(SvcService, OracleModelsWithoutATraceRaiseTypedError) {
+  for (const PredictorModel model :
+       {PredictorModel::kPerfect, PredictorModel::kHistory}) {
+    ServiceConfig config;
+    config.scheduler = SchedulerKind::kBalancing;
+    config.alpha = 0.5;
+    config.predictor_model = model;
+    try {
+      SchedulerService service(config);
+      FAIL() << to_string(model) << " built without an oracle";
+    } catch (const OracleRequiredError& e) {
+      EXPECT_EQ(e.model(), model);  // names the flag the frontend must report
+    }
+  }
+  // kPaper needs the oracle only when a fault-aware scheduler consults it.
+  ServiceConfig paper;
+  paper.scheduler = SchedulerKind::kTieBreak;
+  paper.alpha = 0.5;
+  paper.predictor_model = PredictorModel::kPaper;
+  EXPECT_THROW(SchedulerService{paper}, OracleRequiredError);
+  paper.scheduler = SchedulerKind::kKrevat;
+  EXPECT_NO_THROW(SchedulerService{paper});
+}
+
+TEST(SvcService, AdaptivePredictorNeedsNoOracleAndLearnsFromEvents) {
+  ServiceConfig config;
+  config.scheduler = SchedulerKind::kBalancing;
+  config.alpha = 0.5;
+  config.predictor_model = PredictorModel::kAdaptive;
+  SchedulerService service(config);  // no oracle: must construct
+
+  // Feed a failure on an idle machine, then submit: the learned flag should
+  // be visible to the scheduling pass (counted by the service's stats).
+  std::vector<Decision> out;
+  service.handle(fail(10.0, 3), out);
+  EXPECT_TRUE(out.empty());
+  service.handle(submit(20.0, 1, 1, 3600.0), out);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(service.stats().failures, 1u);
+}
+
 }  // namespace
 }  // namespace bgl::svc

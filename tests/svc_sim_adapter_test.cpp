@@ -70,6 +70,45 @@ TEST(SvcSimAdapter, ParityAcrossSchedulersAndAlgorithms) {
   }
 }
 
+// The adaptive predictor is the one model whose entire state is built from
+// the observation feed, so this is the differential that proves both clock
+// owners deliver the identical observation sequence: any ordering or
+// filtering divergence between sim/driver and svc/SchedulerService changes
+// its flags and therefore the decisions.
+TEST(SvcSimAdapter, ParityWithAdaptivePredictor) {
+  const SchedulerKind schedulers[] = {SchedulerKind::kKrevat,
+                                      SchedulerKind::kBalancing,
+                                      SchedulerKind::kTieBreak};
+  const SchedAlgorithm algorithms[] = {
+      SchedAlgorithm::kKrevat, SchedAlgorithm::kEasy,
+      SchedAlgorithm::kConservative, SchedAlgorithm::kEasyHoldback};
+  for (const SchedulerKind s : schedulers) {
+    for (const SchedAlgorithm a : algorithms) {
+      SimConfig config;
+      config.scheduler = s;
+      config.sched.algorithm = a;
+      config.predictor_model = PredictorModel::kAdaptive;
+      config.alpha = 0.3;
+      config.seed = 17;
+      expect_parity(config,
+                    std::string("adaptive/") + to_string(s) + "/" + to_string(a));
+    }
+  }
+}
+
+TEST(SvcSimAdapter, ParityWithAdaptivePredictorUnderDowntime) {
+  // The service never learns the configured downtime (its observe_failure
+  // gets down_for = 0) while the driver passes it; parity holds because the
+  // adaptive model deliberately ignores the advisory field.
+  SimConfig config;
+  config.scheduler = SchedulerKind::kBalancing;
+  config.predictor_model = PredictorModel::kAdaptive;
+  config.alpha = 0.4;
+  config.failure_semantics = FailureSemantics::kDownFor;
+  config.node_downtime = 4.0 * 3600.0;
+  expect_parity(config, "adaptive/downfor");
+}
+
 TEST(SvcSimAdapter, ParityWithDowntimeSemantics) {
   SimConfig config;
   config.scheduler = SchedulerKind::kBalancing;

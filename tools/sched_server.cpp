@@ -16,8 +16,10 @@
 //     --alpha A           predictor confidence/accuracy in [0,1]
 //     --no-backfill --conservative-backfill --no-migration
 //     --queue-order <fcfs|sjf|smallest>
-//     --predictor <none|paper|history|perfect>  (default none; paper and
-//                         perfect need --failure-csv as the oracle)
+//     --predictor <none|paper|history|perfect|adaptive>  (default none;
+//                         the oracle models need --failure-csv; adaptive
+//                         learns online from the event stream and needs no
+//                         oracle — see docs/PREDICTORS.md)
 //     --failure-csv PATH  failure oracle for the simulated predictors
 //     --downfor           kDownFor failure semantics: victimless fail
 //                         events still trigger a scheduling pass
@@ -159,11 +161,9 @@ Options parse(int argc, char** argv) {
       else throw ConfigError("--queue-order must be fcfs, sjf or smallest");
     } else if (arg == "--predictor") {
       const std::string v = next();
-      if (v == "none") o.service.predictor_model = PredictorModel::kNone;
-      else if (v == "paper") o.service.predictor_model = PredictorModel::kPaper;
-      else if (v == "history") o.service.predictor_model = PredictorModel::kHistory;
-      else if (v == "perfect") o.service.predictor_model = PredictorModel::kPerfect;
-      else throw ConfigError("unknown predictor: '" + v + "'");
+      const auto model = parse_predictor_model(v);
+      if (!model) throw ConfigError("unknown predictor: '" + v + "'");
+      o.service.predictor_model = *model;
     } else if (arg == "--failure-csv") {
       o.failure_csv = next();
     } else if (arg == "--downfor") {
@@ -250,8 +250,18 @@ int main(int argc, char** argv) {
       oracle = read_failure_csv(*o.failure_csv, o.service.dims.volume());
     }
 
-    svc::SchedulerService service(o.service,
-                                  have_oracle ? &oracle : nullptr);
+    std::unique_ptr<svc::SchedulerService> service_ptr;
+    try {
+      service_ptr = std::make_unique<svc::SchedulerService>(
+          o.service, have_oracle ? &oracle : nullptr);
+    } catch (const OracleRequiredError& e) {
+      // Typed: the configured model consults a failure oracle we don't have.
+      std::cerr << "error: --predictor " << to_string(e.model())
+                << " needs --failure-csv (or use --predictor none|adaptive)\n"
+                << "see the header comment of tools/sched_server.cpp for usage\n";
+      return 2;
+    }
+    svc::SchedulerService& service = *service_ptr;
 
     svc::SessionOptions session;
     session.echo_ok = o.echo_ok;
